@@ -1,0 +1,85 @@
+//! §2.5 — TBAA's complexity claim: building the analysis is
+//! O(instructions · types) bit-vector steps, asymptotically as fast as
+//! the fastest existing alias analysis (Steensgaard). This bench builds
+//! synthetic programs with growing numbers of types and pointer
+//! assignments and times `Tbaa::build` at each size; the reported times
+//! should grow roughly linearly in program size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tbaa::analysis::{Level, Tbaa};
+use tbaa::World;
+
+/// Generates a module with `n` object types in a chain of small
+/// hierarchies, one global per type, and ~2·n pointer assignments.
+fn synthetic_source(n: usize) -> String {
+    let mut s = String::from("MODULE Synth;\nTYPE\n  T0 = OBJECT f: INTEGER; g: T0; END;\n");
+    for i in 1..n {
+        if i % 3 == 0 {
+            s.push_str(&format!("  T{i} = T{} OBJECT h{i}: INTEGER; END;\n", i - 1));
+        } else {
+            s.push_str(&format!(
+                "  T{i} = OBJECT f{i}: INTEGER; p{i}: T{}; END;\n",
+                i - 1
+            ));
+        }
+    }
+    s.push_str("VAR\n");
+    for i in 0..n {
+        s.push_str(&format!("  v{i}: T{i};\n"));
+    }
+    s.push_str("BEGIN\n");
+    for i in 0..n {
+        s.push_str(&format!("  v{i} := NEW(T{i});\n"));
+    }
+    for i in 1..n {
+        if i % 3 == 0 {
+            // supertype assignment: a genuine merge
+            s.push_str(&format!("  v{} := v{i};\n", i - 1));
+        } else {
+            s.push_str(&format!("  v{i}.p{i} := v{};\n", i - 1));
+        }
+    }
+    s.push_str("END Synth.\n");
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis_speed");
+    g.sample_size(10);
+    println!("analysis_speed: Tbaa::build cost vs program size (expect ~linear)");
+    for n in [50usize, 100, 200, 400] {
+        let src = synthetic_source(n);
+        let prog = tbaa_ir::compile_to_ir(&src).expect("synthetic program compiles");
+        let instrs = prog.instr_count();
+        println!(
+            "  n={n}: {} types, {} instrs, {} merges",
+            prog.types.len(),
+            instrs,
+            prog.merges.len()
+        );
+        g.bench_with_input(BenchmarkId::new("build_sm", n), &prog, |bench, p| {
+            bench.iter(|| Tbaa::build(p, Level::SmFieldTypeRefs, World::Closed))
+        });
+    }
+    // The per-query cost (may_alias) for the paper's Table 2 recursion.
+    let prog = tbaa_ir::compile_to_ir(&synthetic_source(200)).unwrap();
+    let analysis = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+    let sites = prog.heap_ref_sites();
+    g.bench_function("may_alias_queries/200", |bench| {
+        bench.iter(|| {
+            let mut hits = 0usize;
+            for (_, a, _) in sites.iter().take(64) {
+                for (_, b, _) in sites.iter().take(64) {
+                    if tbaa::AliasAnalysis::may_alias(&analysis, &prog.aps, *a, *b) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 11 — cumulative impact of RLE and Minv+Inlining. Prints the
+//! recomputed series once and times the full optimization pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbaa::analysis::Level;
+use tbaa_opt::{optimize, OptOptions};
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        tbaa_bench::render_runtime(
+            "Figure 11: Cumulative Impact of Optimizations (percent of original time)",
+            &tbaa_bench::fig11(1)
+        )
+    );
+    let mut g = c.benchmark_group("fig11_cumulative");
+    g.sample_size(10);
+    let b = tbaa_benchsuite::Benchmark::by_name("slisp").unwrap();
+    g.bench_function("optimize-full/slisp", |bench| {
+        bench.iter(|| {
+            let mut prog = b.compile(1).unwrap();
+            optimize(&mut prog, &OptOptions::full(Level::SmFieldTypeRefs))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 12 — open- vs closed-world analysis. Prints the recomputed
+//! series once and times building the analysis under each world
+//! assumption.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbaa::analysis::{Level, Tbaa};
+use tbaa::World;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        tbaa_bench::render_runtime(
+            "Figure 12: Open and Closed World Assumptions (percent of original time)",
+            &tbaa_bench::fig12(1)
+        )
+    );
+    println!("Static open-world comparison (SMFieldTypeRefs, global pairs):");
+    for (name, closed, open) in tbaa_bench::open_world_pairs(1) {
+        println!(
+            "  {name:<13} closed={} open={}",
+            closed.global_pairs, open.global_pairs
+        );
+    }
+    println!();
+    let mut g = c.benchmark_group("fig12_openworld");
+    g.sample_size(10);
+    let b = tbaa_benchsuite::Benchmark::by_name("m3cg").unwrap();
+    let prog = b.compile(1).unwrap();
+    for (label, world) in [("closed", World::Closed), ("open", World::Open)] {
+        g.bench_function(format!("build/m3cg/{label}"), |bench| {
+            bench.iter(|| Tbaa::build(&prog, Level::SmFieldTypeRefs, world))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 8 — simulated run time of RLE per analysis level. Prints the
+//! recomputed series once and times the cache-simulating execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbaa_sim::interp::RunConfig;
+use tbaa_sim::simulate;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        tbaa_bench::render_runtime(
+            "Figure 8: Impact of RLE (percent of original running time)",
+            &tbaa_bench::fig8(1)
+        )
+    );
+    let mut g = c.benchmark_group("fig8_rle_runtime");
+    g.sample_size(10);
+    let b = tbaa_benchsuite::Benchmark::by_name("write-pickle").unwrap();
+    let prog = b.compile(1).unwrap();
+    g.bench_function("simulate/write-pickle", |bench| {
+        bench.iter(|| simulate(&prog, RunConfig::default()).expect("runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figures 9 and 10 — the limit study. Prints both recomputed series
+//! once and times the ATOM-style redundancy trace plus the category
+//! classifier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbaa::analysis::{Level, Tbaa};
+use tbaa::World;
+use tbaa_sim::interp::{run, RunConfig};
+use tbaa_sim::{classify_remaining, RedundancyTrace};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tbaa_bench::render_fig9(&tbaa_bench::fig9(1)));
+    println!("{}", tbaa_bench::render_fig10(&tbaa_bench::fig10(1)));
+    let mut g = c.benchmark_group("fig9_fig10_limit");
+    g.sample_size(10);
+    let b = tbaa_benchsuite::Benchmark::by_name("pp").unwrap();
+    let mut prog = b.compile(1).unwrap();
+    let analysis = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+    tbaa_opt::rle::run_rle(&mut prog, &analysis);
+    g.bench_function("trace/pp", |bench| {
+        bench.iter(|| {
+            let mut t = RedundancyTrace::new();
+            run(&prog, &mut t, RunConfig::default()).expect("runs");
+            t
+        })
+    });
+    let mut trace = RedundancyTrace::new();
+    run(&prog, &mut trace, RunConfig::default()).expect("runs");
+    g.bench_function("classify/pp", |bench| {
+        bench.iter(|| classify_remaining(&mut prog, &analysis, &trace))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

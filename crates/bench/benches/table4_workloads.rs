@@ -1,0 +1,23 @@
+//! Table 4 — benchmark description. Prints the recomputed table once and
+//! times whole-program interpretation (the workload generator behind
+//! every dynamic number).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbaa_sim::interp::{run, NullHook, RunConfig};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tbaa_bench::render_table4(&tbaa_bench::table4(1)));
+    let mut g = c.benchmark_group("table4_workloads");
+    g.sample_size(10);
+    for name in ["format", "ktree", "slisp"] {
+        let b = tbaa_benchsuite::Benchmark::by_name(name).unwrap();
+        let prog = b.compile(1).unwrap();
+        g.bench_function(format!("interpret/{name}"), |bench| {
+            bench.iter(|| run(&prog, &mut NullHook, RunConfig::default()).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

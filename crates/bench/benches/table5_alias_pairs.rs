@@ -1,0 +1,42 @@
+//! Table 5 — static alias pairs. Prints the recomputed table once and
+//! times the O(e²) pair enumeration under each analysis level (the cost
+//! §2.5 distinguishes from building the analysis itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbaa::analysis::{Level, Tbaa};
+use tbaa::{count_alias_pairs, World};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tbaa_bench::render_table5(&tbaa_bench::table5(1)));
+    // Related-work comparison (§5): instruction-based Steensgaard vs TBAA.
+    println!("Steensgaard (field-insensitive unification) global pairs vs TBAA:");
+    for b in tbaa_benchsuite::suite() {
+        let prog = b.compile(1).unwrap();
+        let st = tbaa::Steensgaard::build(&prog);
+        let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
+        let st_pairs = count_alias_pairs(&prog, &st);
+        let ftd_pairs = count_alias_pairs(&prog, &ftd);
+        println!(
+            "  {:<13} steensgaard={:<6} fieldtypedecl={}",
+            b.name, st_pairs.global_pairs, ftd_pairs.global_pairs
+        );
+    }
+    println!();
+    let mut g = c.benchmark_group("table5_alias_pairs");
+    g.sample_size(10);
+    let b = tbaa_benchsuite::Benchmark::by_name("m3cg").unwrap();
+    let prog = b.compile(1).unwrap();
+    for level in Level::ALL {
+        let analysis = Tbaa::build(&prog, level, World::Closed);
+        g.bench_function(format!("pairs/m3cg/{level}"), |bench| {
+            bench.iter(|| count_alias_pairs(&prog, &analysis))
+        });
+    }
+    g.bench_function("steensgaard_build/m3cg", |bench| {
+        bench.iter(|| tbaa::Steensgaard::build(&prog))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table 6 — redundant loads removed statically. Prints the recomputed
+//! table once and times the RLE pass itself at each analysis level, plus
+//! the copy-propagation ablation the paper's optimizer lacked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbaa::analysis::{Level, Tbaa};
+use tbaa::World;
+use tbaa_opt::rle::run_rle;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", tbaa_bench::render_table6(&tbaa_bench::table6(1)));
+    // Ablations: the optimizer extensions the paper discusses as missing
+    // or future work, plus the second client.
+    println!("Ablations at SMFieldTypeRefs (loads removed; DSE column = stores removed)");
+    for b in tbaa_benchsuite::suite().iter().filter(|b| !b.interactive) {
+        let analysis_of =
+            |p: &tbaa_ir::Program| Tbaa::build(p, Level::SmFieldTypeRefs, World::Closed);
+        let plain = {
+            let mut p = b.compile(1).unwrap();
+            let a = analysis_of(&p);
+            run_rle(&mut p, &a).removed()
+        };
+        let with_cp = {
+            let mut p = b.compile(1).unwrap();
+            let a = analysis_of(&p);
+            tbaa_opt::copyprop::propagate_access_paths(&mut p, &a);
+            run_rle(&mut p, &a).removed()
+        };
+        let with_pre = {
+            let mut p = b.compile(1).unwrap();
+            let a = analysis_of(&p);
+            let (rle, _) = tbaa_opt::pre::run_rle_with_pre(&mut p, &a);
+            rle.removed()
+        };
+        let dse = {
+            let mut p = b.compile(1).unwrap();
+            let a = analysis_of(&p);
+            tbaa_opt::dse::run_dse(&mut p, &a).removed
+        };
+        println!(
+            "  {:<13} rle={plain:<4} +copyprop={with_cp:<4} +pre={with_pre:<4} dse={dse}",
+            b.name
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("table6_rle_static");
+    g.sample_size(10);
+    let b = tbaa_benchsuite::Benchmark::by_name("m3cg").unwrap();
+    for level in Level::ALL {
+        g.bench_function(format!("rle/m3cg/{level}"), |bench| {
+            bench.iter(|| {
+                let mut prog = b.compile(1).unwrap();
+                let analysis = Tbaa::build(&prog, level, World::Closed);
+                run_rle(&mut prog, &analysis)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

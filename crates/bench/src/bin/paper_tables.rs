@@ -1,0 +1,83 @@
+//! `paper-tables` — prints every table and figure of the TBAA paper,
+//! recomputed over the MiniM3 benchmark suite.
+//!
+//! ```text
+//! paper-tables [table4|table5|table6|fig8|fig9|fig10|fig11|fig12|all] [--scale N]
+//! ```
+
+use tbaa_bench as tb;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = tb::DEFAULT_SCALE;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(tb::DEFAULT_SCALE);
+            }
+            other => which = other.to_string(),
+        }
+        i += 1;
+    }
+    let all = which == "all";
+    println!("Type-Based Alias Analysis (PLDI 1998) — reproduction tables (scale {scale})\n");
+    if all || which == "table4" {
+        println!("{}", tb::render_table4(&tb::table4(scale)));
+    }
+    if all || which == "table5" {
+        println!("{}", tb::render_table5(&tb::table5(scale)));
+    }
+    if all || which == "table6" {
+        println!("{}", tb::render_table6(&tb::table6(scale)));
+    }
+    if all || which == "fig8" {
+        println!(
+            "{}",
+            tb::render_runtime(
+                "Figure 8: Impact of RLE (percent of original running time)",
+                &tb::fig8(scale)
+            )
+        );
+    }
+    if all || which == "fig9" {
+        println!("{}", tb::render_fig9(&tb::fig9(scale)));
+    }
+    if all || which == "fig10" {
+        println!("{}", tb::render_fig10(&tb::fig10(scale)));
+    }
+    if all || which == "fig11" {
+        println!(
+            "{}",
+            tb::render_runtime(
+                "Figure 11: Cumulative Impact of Optimizations (percent of original time)",
+                &tb::fig11(scale)
+            )
+        );
+    }
+    if all || which == "fig12" {
+        println!(
+            "{}",
+            tb::render_runtime(
+                "Figure 12: Open and Closed World Assumptions (percent of original time)",
+                &tb::fig12(scale)
+            )
+        );
+        println!("Static open-world comparison (SMFieldTypeRefs):");
+        println!(
+            "{:<13} {:>16} {:>16}",
+            "Program", "Closed G-pairs", "Open G-pairs"
+        );
+        for (name, closed, open) in tb::open_world_pairs(scale) {
+            println!(
+                "{:<13} {:>16} {:>16}",
+                name, closed.global_pairs, open.global_pairs
+            );
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! # tbaa-bench — regenerating every table and figure of the paper
+//!
+//! Each public function computes the data behind one table or figure of
+//! *Type-Based Alias Analysis* over the `tbaa-benchsuite` programs:
+//!
+//! | Function | Paper artifact |
+//! |---|---|
+//! | [`table4`] | Table 4 — benchmark description (lines, instructions, load mix) |
+//! | [`table5`] | Table 5 — static alias pairs per analysis |
+//! | [`table6`] | Table 6 — redundant loads removed statically |
+//! | [`fig8`]   | Figure 8 — simulated run time of RLE per analysis |
+//! | [`fig9`]   | Figure 9 — dynamic redundancy before/after RLE |
+//! | [`fig10`]  | Figure 10 — sources of remaining redundancy |
+//! | [`fig11`]  | Figure 11 — cumulative RLE / Minv+Inlining impact |
+//! | [`fig12`]  | Figure 12 — open- vs closed-world RLE |
+//!
+//! The `paper-tables` binary prints them; the Criterion benches in
+//! `benches/` time the underlying analyses and regenerate the artifacts.
+
+use tbaa::analysis::{Level, Tbaa};
+use tbaa::{count_alias_pairs, AliasPairCounts, World};
+use tbaa_benchsuite::suite;
+use tbaa_opt::rle::run_rle;
+use tbaa_opt::{optimize, OptOptions};
+use tbaa_sim::interp::{run, NullHook, RunConfig};
+use tbaa_sim::{classify_remaining, simulate, Breakdown, LimitResult, RedundancyTrace};
+
+/// The default workload scale for the printed tables.
+pub const DEFAULT_SCALE: u32 = 2;
+
+fn run_config() -> RunConfig {
+    RunConfig::default()
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Non-comment, non-blank source lines.
+    pub lines: usize,
+    /// Executed instructions (`None` for the interactive programs).
+    pub instructions: Option<u64>,
+    /// Percent of instructions that are heap loads.
+    pub heap_load_pct: Option<f64>,
+    /// Percent of instructions that are other loads.
+    pub other_load_pct: Option<f64>,
+    /// Description.
+    pub about: &'static str,
+}
+
+/// Computes Table 4.
+pub fn table4(scale: u32) -> Vec<Table4Row> {
+    suite()
+        .iter()
+        .map(|b| {
+            let (instructions, heap, other) = if b.interactive {
+                (None, None, None)
+            } else {
+                let prog = b.compile(scale).expect("suite compiles");
+                let out = run(&prog, &mut NullHook, run_config()).expect("suite runs");
+                (
+                    Some(out.counts.instructions),
+                    Some(out.counts.heap_load_pct()),
+                    Some(out.counts.other_load_pct()),
+                )
+            };
+            Table4Row {
+                name: b.name,
+                lines: b.loc(),
+                instructions,
+                heap_load_pct: heap,
+                other_load_pct: other,
+                about: b.about,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Heap reference expressions in the program.
+    pub references: usize,
+    /// Pair counts for TypeDecl, FieldTypeDecl, SMFieldTypeRefs.
+    pub by_level: [AliasPairCounts; 3],
+}
+
+/// Computes Table 5 (static alias pairs; all ten programs).
+pub fn table5(scale: u32) -> Vec<Table5Row> {
+    suite()
+        .iter()
+        .map(|b| {
+            let prog = b.compile(scale).expect("suite compiles");
+            let mut by_level = [AliasPairCounts::default(); 3];
+            for (i, level) in Level::ALL.iter().enumerate() {
+                let analysis = Tbaa::build(&prog, *level, World::Closed);
+                by_level[i] = count_alias_pairs(&prog, &analysis);
+            }
+            Table5Row {
+                name: b.name,
+                references: by_level[0].references,
+                by_level,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 6.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Loads removed statically per analysis level.
+    pub removed: [usize; 3],
+}
+
+/// Computes Table 6 (redundant loads removed statically; the paper lists
+/// the seven non-interactive programs).
+pub fn table6(scale: u32) -> Vec<Table6Row> {
+    suite()
+        .iter()
+        .filter(|b| !b.interactive)
+        .map(|b| {
+            let mut removed = [0usize; 3];
+            for (i, level) in Level::ALL.iter().enumerate() {
+                let mut prog = b.compile(scale).expect("suite compiles");
+                let analysis = Tbaa::build(&prog, *level, World::Closed);
+                removed[i] = run_rle(&mut prog, &analysis).removed();
+            }
+            Table6Row {
+                name: b.name,
+                removed,
+            }
+        })
+        .collect()
+}
+
+/// One bar group of Figure 8 (or 12): percent of the original simulated
+/// running time.
+#[derive(Debug, Clone)]
+pub struct RuntimeRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Percent of base cycles per configuration.
+    pub pct: Vec<f64>,
+    /// Configuration labels, parallel to `pct`.
+    pub labels: Vec<&'static str>,
+}
+
+/// Computes Figure 8: simulated run time of RLE under each analysis,
+/// normalized to the unoptimized program (100).
+pub fn fig8(scale: u32) -> Vec<RuntimeRow> {
+    suite()
+        .iter()
+        .filter(|b| !b.interactive)
+        .map(|b| {
+            let base = b.compile(scale).expect("compiles");
+            let (_, _, base_cycles) = simulate(&base, run_config()).expect("runs");
+            let mut pct = Vec::new();
+            for level in Level::ALL {
+                let mut prog = b.compile(scale).expect("compiles");
+                let analysis = Tbaa::build(&prog, level, World::Closed);
+                run_rle(&mut prog, &analysis);
+                let (_, _, cycles) = simulate(&prog, run_config()).expect("runs");
+                pct.push(100.0 * cycles / base_cycles);
+            }
+            RuntimeRow {
+                name: b.name,
+                pct,
+                labels: vec![
+                    "Types only",
+                    "Types and fields",
+                    "Types, fields, and merges",
+                ],
+            }
+        })
+        .collect()
+}
+
+/// One pair of bars in Figure 9.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The limit-study counters.
+    pub limit: LimitResult,
+}
+
+fn trace_run(prog: &tbaa_ir::Program) -> RedundancyTrace {
+    let mut t = RedundancyTrace::new();
+    run(prog, &mut t, run_config()).expect("suite runs");
+    t
+}
+
+/// Computes Figure 9: the fraction of heap references that are
+/// dynamically redundant, originally and after TBAA+RLE.
+pub fn fig9(scale: u32) -> Vec<Fig9Row> {
+    suite()
+        .iter()
+        .filter(|b| !b.interactive)
+        .map(|b| {
+            let base = b.compile(scale).expect("compiles");
+            let t_base = trace_run(&base);
+            let mut opt = b.compile(scale).expect("compiles");
+            let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+            run_rle(&mut opt, &analysis);
+            let t_opt = trace_run(&opt);
+            Fig9Row {
+                name: b.name,
+                limit: LimitResult {
+                    original_heap_loads: t_base.heap_loads,
+                    redundant_original: t_base.redundant,
+                    optimized_heap_loads: t_opt.heap_loads,
+                    redundant_after: t_opt.redundant,
+                },
+            }
+        })
+        .collect()
+}
+
+/// One stacked bar of Figure 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Dynamic redundant-load counts by category.
+    pub breakdown: Breakdown,
+    /// Heap loads of the *original* program (the figure's denominator).
+    pub original_heap_loads: u64,
+}
+
+/// Computes Figure 10: where the redundancy remaining after RLE comes
+/// from.
+pub fn fig10(scale: u32) -> Vec<Fig10Row> {
+    suite()
+        .iter()
+        .filter(|b| !b.interactive)
+        .map(|b| {
+            let base = b.compile(scale).expect("compiles");
+            let t_base = trace_run(&base);
+            let mut opt = b.compile(scale).expect("compiles");
+            let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+            run_rle(&mut opt, &analysis);
+            let trace = trace_run(&opt);
+            let breakdown = classify_remaining(&mut opt, &analysis, &trace);
+            Fig10Row {
+                name: b.name,
+                breakdown,
+                original_heap_loads: t_base.heap_loads,
+            }
+        })
+        .collect()
+}
+
+/// Computes Figure 11: cumulative impact of RLE, Minv+Inlining, and both.
+pub fn fig11(scale: u32) -> Vec<RuntimeRow> {
+    suite()
+        .iter()
+        .filter(|b| !b.interactive)
+        .map(|b| {
+            let base = b.compile(scale).expect("compiles");
+            let (_, _, base_cycles) = simulate(&base, run_config()).expect("runs");
+            let mut pct = Vec::new();
+            // RLE only.
+            {
+                let mut prog = b.compile(scale).expect("compiles");
+                optimize(&mut prog, &OptOptions::rle_only(Level::SmFieldTypeRefs));
+                let (_, _, c) = simulate(&prog, run_config()).expect("runs");
+                pct.push(100.0 * c / base_cycles);
+            }
+            // Minv + inlining only.
+            {
+                let mut prog = b.compile(scale).expect("compiles");
+                let mut opts = OptOptions::full(Level::SmFieldTypeRefs);
+                opts.rle = false;
+                optimize(&mut prog, &opts);
+                let (_, _, c) = simulate(&prog, run_config()).expect("runs");
+                pct.push(100.0 * c / base_cycles);
+            }
+            // RLE + Minv + inlining.
+            {
+                let mut prog = b.compile(scale).expect("compiles");
+                optimize(&mut prog, &OptOptions::full(Level::SmFieldTypeRefs));
+                let (_, _, c) = simulate(&prog, run_config()).expect("runs");
+                pct.push(100.0 * c / base_cycles);
+            }
+            RuntimeRow {
+                name: b.name,
+                pct,
+                labels: vec!["RLE", "Minv+Inlining", "RLE+Minv+Inlining"],
+            }
+        })
+        .collect()
+}
+
+/// Computes Figure 12: RLE under the closed- vs open-world assumption.
+pub fn fig12(scale: u32) -> Vec<RuntimeRow> {
+    suite()
+        .iter()
+        .filter(|b| !b.interactive)
+        .map(|b| {
+            let base = b.compile(scale).expect("compiles");
+            let (_, _, base_cycles) = simulate(&base, run_config()).expect("runs");
+            let mut pct = Vec::new();
+            for world in [World::Closed, World::Open] {
+                let mut prog = b.compile(scale).expect("compiles");
+                let analysis = Tbaa::build(&prog, Level::SmFieldTypeRefs, world);
+                run_rle(&mut prog, &analysis);
+                let (_, _, c) = simulate(&prog, run_config()).expect("runs");
+                pct.push(100.0 * c / base_cycles);
+            }
+            RuntimeRow {
+                name: b.name,
+                pct,
+                labels: vec!["RLE", "RLE Open"],
+            }
+        })
+        .collect()
+}
+
+/// Static alias-pair counts for the open-world variant (the §4 static
+/// comparison around Figure 12).
+pub fn open_world_pairs(scale: u32) -> Vec<(String, AliasPairCounts, AliasPairCounts)> {
+    suite()
+        .iter()
+        .map(|b| {
+            let prog = b.compile(scale).expect("compiles");
+            let closed = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+            let open = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Open);
+            (
+                b.name.to_string(),
+                count_alias_pairs(&prog, &closed),
+                count_alias_pairs(&prog, &open),
+            )
+        })
+        .collect()
+}
+
+// ---- rendering -------------------------------------------------------------
+
+/// Renders Table 4 as aligned text.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut s = String::from(
+        "Table 4: Description of Benchmark Programs\n\
+         Name          Lines  Instructions  %Heap loads  %Other loads  Description\n",
+    );
+    for r in rows {
+        let (i, h, o) = match (r.instructions, r.heap_load_pct, r.other_load_pct) {
+            (Some(i), Some(h), Some(o)) => (i.to_string(), format!("{h:.0}"), format!("{o:.0}")),
+            _ => ("-".into(), "-".into(), "-".into()),
+        };
+        s.push_str(&format!(
+            "{:<13} {:>5}  {:>12}  {:>11}  {:>12}  {}\n",
+            r.name, r.lines, i, h, o, r.about
+        ));
+    }
+    s
+}
+
+/// Renders Table 5.
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let mut s = String::from(
+        "Table 5: Alias Pairs\n                        \
+         TypeDecl          FieldTypeDecl     SMFieldTypeRefs\n\
+         Program       Refs   L Alias  G Alias   L Alias  G Alias   L Alias  G Alias\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<13} {:>5}  {:>8} {:>8}  {:>8} {:>8}  {:>8} {:>8}\n",
+            r.name,
+            r.references,
+            r.by_level[0].local_pairs,
+            r.by_level[0].global_pairs,
+            r.by_level[1].local_pairs,
+            r.by_level[1].global_pairs,
+            r.by_level[2].local_pairs,
+            r.by_level[2].global_pairs,
+        ));
+    }
+    s
+}
+
+/// Renders Table 6.
+pub fn render_table6(rows: &[Table6Row]) -> String {
+    let mut s = String::from(
+        "Table 6: Number of Redundant Loads Removed Statically\n\
+         Program       TypeDecl  FieldTypeDecl  SMFieldTypeRefs\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<13} {:>8}  {:>13}  {:>15}\n",
+            r.name, r.removed[0], r.removed[1], r.removed[2]
+        ));
+    }
+    s
+}
+
+/// Renders a runtime figure (8, 11, or 12).
+pub fn render_runtime(title: &str, rows: &[RuntimeRow]) -> String {
+    let mut s = format!("{title}\n");
+    if let Some(first) = rows.first() {
+        s.push_str(&format!("{:<13} {:>6}", "Program", "Base"));
+        for l in &first.labels {
+            s.push_str(&format!("  {l:>26}"));
+        }
+        s.push('\n');
+    }
+    for r in rows {
+        s.push_str(&format!("{:<13} {:>6.0}", r.name, 100.0));
+        for p in &r.pct {
+            s.push_str(&format!("  {p:>26.1}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders Figure 9.
+pub fn render_fig9(rows: &[Fig9Row]) -> String {
+    let mut s = String::from(
+        "Figure 9: Comparing TBAA to an Upper Bound\n\
+         Program       Redundant originally  Redundant after opt.  Removed%\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<13} {:>20.3}  {:>20.3}  {:>7.0}%\n",
+            r.name,
+            r.limit.fraction_original(),
+            r.limit.fraction_after(),
+            r.limit.removed_pct()
+        ));
+    }
+    s
+}
+
+/// Renders Figure 10.
+pub fn render_fig10(rows: &[Fig10Row]) -> String {
+    let mut s = String::from(
+        "Figure 10: Source of Redundant Loads after Optimizations\n\
+         (fractions of original heap references)\n\
+         Program       Encapsulated  Conditional  Breakup  AliasFail  Rest\n",
+    );
+    for r in rows {
+        let d = r.original_heap_loads.max(1) as f64;
+        let b = &r.breakdown;
+        s.push_str(&format!(
+            "{:<13} {:>12.3}  {:>11.3}  {:>7.3}  {:>9.3}  {:>4.3}\n",
+            r.name,
+            b.encapsulated as f64 / d,
+            b.conditional as f64 / d,
+            b.breakup as f64 / d,
+            b.alias_failure as f64 / d,
+            b.rest as f64 / d,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_is_monotone_per_level() {
+        for row in table5(1) {
+            assert!(row.by_level[0].global_pairs >= row.by_level[1].global_pairs);
+            assert!(row.by_level[1].global_pairs >= row.by_level[2].global_pairs);
+        }
+    }
+
+    #[test]
+    fn table6_is_monotone_per_level() {
+        for row in table6(1) {
+            assert!(
+                row.removed[1] >= row.removed[0],
+                "{}: FieldTypeDecl finds at least TypeDecl's loads: {:?}",
+                row.name,
+                row.removed
+            );
+            assert!(
+                row.removed[2] >= row.removed[1],
+                "{}: {:?}",
+                row.name,
+                row.removed
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_improves_or_matches_base() {
+        for row in fig8(1) {
+            for (p, l) in row.pct.iter().zip(row.labels.iter()) {
+                assert!(
+                    *p <= 101.0,
+                    "{} under {l} should not slow down: {p:.1}%",
+                    row.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_fractions_are_sane() {
+        for row in fig9(1) {
+            let f0 = row.limit.fraction_original();
+            let f1 = row.limit.fraction_after();
+            assert!((0.0..=1.0).contains(&f0), "{}: {f0}", row.name);
+            assert!(
+                f1 <= f0 + 1e-9,
+                "{}: optimization reduces redundancy",
+                row.name
+            );
+        }
+    }
+}

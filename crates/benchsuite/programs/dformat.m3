@@ -1,0 +1,153 @@
+(* dformat — a document formatter over a tree of sections, paragraphs,
+   and rules, after the paper's `dformat` benchmark. The node hierarchy
+   uses method dispatch (render), which the Minv+Inlining configuration
+   of Figure 11 can resolve where the tree is monomorphic. *)
+MODULE DFormat;
+
+CONST
+  Scale = 4;
+  PageWidth = 30;
+
+TYPE
+  Node = OBJECT
+    next: Node;        (* sibling chain *)
+    METHODS
+      width (): INTEGER := NodeWidth;
+      render (indent: INTEGER): INTEGER := NodeRender;
+  END;
+  Text = Node OBJECT
+    len: INTEGER;
+  OVERRIDES
+    width := TextWidth;
+    render := TextRender;
+  END;
+  Rule = Node OBJECT
+    thickness: INTEGER;
+  OVERRIDES
+    width := RuleWidth;
+    render := RuleRender;
+  END;
+  Section = Node OBJECT
+    first: Node;
+    title: INTEGER;
+  OVERRIDES
+    width := SectionWidth;
+    render := SectionRender;
+  END;
+  Counter = OBJECT emitted, maxw: INTEGER; END;
+
+VAR
+  seed: INTEGER;
+  out: Counter;
+  root: Section;
+  check: INTEGER;
+
+PROCEDURE Rand (): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed;
+END Rand;
+
+PROCEDURE NodeWidth (self: Node): INTEGER =
+BEGIN
+  RETURN 0;
+END NodeWidth;
+
+PROCEDURE NodeRender (self: Node; indent: INTEGER): INTEGER =
+BEGIN
+  RETURN indent;
+END NodeRender;
+
+PROCEDURE TextWidth (self: Text): INTEGER =
+BEGIN
+  RETURN self.len;
+END TextWidth;
+
+PROCEDURE TextRender (self: Text; indent: INTEGER): INTEGER =
+VAR lines: INTEGER;
+BEGIN
+  lines := (indent + self.len) DIV PageWidth + 1;
+  out.emitted := out.emitted + self.len;
+  IF self.len > out.maxw THEN out.maxw := self.len END;
+  RETURN lines;
+END TextRender;
+
+PROCEDURE RuleWidth (self: Rule): INTEGER =
+BEGIN
+  RETURN PageWidth - self.thickness;
+END RuleWidth;
+
+PROCEDURE RuleRender (self: Rule; indent: INTEGER): INTEGER =
+BEGIN
+  out.emitted := out.emitted + PageWidth - indent;
+  RETURN self.thickness;
+END RuleRender;
+
+PROCEDURE SectionWidth (self: Section): INTEGER =
+VAR n: Node; w, best: INTEGER;
+BEGIN
+  best := 0;
+  n := self.first;
+  WHILE n # NIL DO
+    w := n.width();
+    IF w > best THEN best := w END;
+    n := n.next;
+  END;
+  RETURN best;
+END SectionWidth;
+
+PROCEDURE SectionRender (self: Section; indent: INTEGER): INTEGER =
+VAR n: Node; lines: INTEGER;
+BEGIN
+  lines := 1;
+  out.emitted := out.emitted + self.title;
+  n := self.first;
+  WHILE n # NIL DO
+    lines := lines + n.render(indent + 2);
+    n := n.next;
+  END;
+  RETURN lines;
+END SectionRender;
+
+PROCEDURE BuildSection (depth: INTEGER): Section =
+VAR s: Section; t: Text; r: Rule; sub: Section; tail, n: Node; kids: INTEGER;
+BEGIN
+  s := NEW(Section);
+  s.title := 1 + Rand() MOD 9;
+  tail := NIL;
+  kids := 3 + Rand() MOD 4;
+  FOR i := 1 TO kids DO
+    IF (depth > 0) AND (Rand() MOD 3 = 0) THEN
+      sub := BuildSection(depth - 1);
+      n := sub;
+    ELSIF Rand() MOD 4 = 0 THEN
+      r := NEW(Rule);
+      r.thickness := 1 + Rand() MOD 2;
+      n := r;
+    ELSE
+      t := NEW(Text);
+      t.len := 2 + Rand() MOD 17;
+      n := t;
+    END;
+    IF tail = NIL THEN s.first := n ELSE tail.next := n END;
+    tail := n;
+  END;
+  RETURN s;
+END BuildSection;
+
+BEGIN
+  seed := 4242;
+  check := 0;
+  out := NEW(Counter);
+  FOR pass := 1 TO Scale DO
+    root := BuildSection(4);
+    check := check + root.width();
+    FOR rep := 1 TO 6 DO
+      check := (check + root.render(rep MOD 3)) MOD 100000007;
+    END;
+  END;
+  PRINT("dformat check=");
+  PRINTI(check);
+  PRINT(" emitted=");
+  PRINTI(out.emitted);
+END DFormat.

@@ -1,0 +1,181 @@
+(* dom — a stand-in for the paper's `dom` benchmark (Nayeri et al.'s
+   system for building distributed applications). Like the original it
+   is evaluated statically only: the type structure — proxies, stubs,
+   transports, dispatchers with deep object hierarchies — is what the
+   alias analyses see. The main body only touches representative paths. *)
+MODULE Dom;
+
+TYPE
+  ObjId = OBJECT
+    node, seq: INTEGER;
+  END;
+  Message = OBJECT
+    target: ObjId;
+    method: INTEGER;
+    args: Message;          (* chained argument frames *)
+    next: Message;
+  END;
+  Transport = OBJECT
+    queued: Message;
+    sent, dropped: INTEGER;
+    METHODS
+      send (m: Message): INTEGER := TransportSend;
+  END;
+  TcpTransport = Transport OBJECT
+    port: INTEGER;
+  OVERRIDES
+    send := TcpSend;
+  END;
+  LocalTransport = Transport OBJECT
+    deliveries: INTEGER;
+  OVERRIDES
+    send := LocalSend;
+  END;
+  Dispatcher = OBJECT
+    transport: Transport;
+    table: DispatchEntry;
+    served: INTEGER;
+    METHODS
+      dispatch (m: Message): INTEGER := Dispatch;
+  END;
+  DispatchEntry = OBJECT
+    method: INTEGER;
+    handler: Handler;
+    next: DispatchEntry;
+  END;
+  Handler = OBJECT
+    calls: INTEGER;
+    METHODS
+      invoke (m: Message): INTEGER := HandlerInvoke;
+  END;
+  EchoHandler = Handler OBJECT
+    echoed: INTEGER;
+  OVERRIDES
+    invoke := EchoInvoke;
+  END;
+  CounterHandler = Handler OBJECT
+    counter: INTEGER;
+  OVERRIDES
+    invoke := CounterInvoke;
+  END;
+  Proxy = OBJECT
+    remote: ObjId;
+    via: Transport;
+    calls: INTEGER;
+  END;
+  Registry = OBJECT
+    proxies: ProxyNode;
+    size: INTEGER;
+  END;
+  ProxyNode = OBJECT
+    proxy: Proxy;
+    next: ProxyNode;
+  END;
+
+VAR
+  disp: Dispatcher;
+  reg: Registry;
+  check: INTEGER;
+
+PROCEDURE TransportSend (self: Transport; m: Message): INTEGER =
+BEGIN
+  m.next := self.queued;
+  self.queued := m;
+  self.sent := self.sent + 1;
+  RETURN self.sent;
+END TransportSend;
+
+PROCEDURE TcpSend (self: TcpTransport; m: Message): INTEGER =
+BEGIN
+  self.sent := self.sent + 1;
+  RETURN self.port + m.method;
+END TcpSend;
+
+PROCEDURE LocalSend (self: LocalTransport; m: Message): INTEGER =
+BEGIN
+  self.deliveries := self.deliveries + 1;
+  RETURN m.method;
+END LocalSend;
+
+PROCEDURE HandlerInvoke (self: Handler; m: Message): INTEGER =
+BEGIN
+  self.calls := self.calls + 1;
+  RETURN m.method;
+END HandlerInvoke;
+
+PROCEDURE EchoInvoke (self: EchoHandler; m: Message): INTEGER =
+BEGIN
+  self.echoed := self.echoed + m.method;
+  RETURN self.echoed;
+END EchoInvoke;
+
+PROCEDURE CounterInvoke (self: CounterHandler; m: Message): INTEGER =
+BEGIN
+  self.counter := self.counter + 1;
+  RETURN self.counter;
+END CounterInvoke;
+
+PROCEDURE Dispatch (self: Dispatcher; m: Message): INTEGER =
+VAR e: DispatchEntry;
+BEGIN
+  self.served := self.served + 1;
+  e := self.table;
+  WHILE e # NIL DO
+    IF e.method = m.method THEN
+      RETURN e.handler.invoke(m);
+    END;
+    e := e.next;
+  END;
+  RETURN self.transport.send(m);
+END Dispatch;
+
+PROCEDURE AddEntry (d: Dispatcher; method: INTEGER; h: Handler) =
+VAR e: DispatchEntry;
+BEGIN
+  e := NEW(DispatchEntry);
+  e.method := method;
+  e.handler := h;
+  e.next := d.table;
+  d.table := e;
+END AddEntry;
+
+PROCEDURE RegisterProxy (r: Registry; p: Proxy) =
+VAR n: ProxyNode;
+BEGIN
+  n := NEW(ProxyNode);
+  n.proxy := p;
+  n.next := r.proxies;
+  r.proxies := n;
+  r.size := r.size + 1;
+END RegisterProxy;
+
+PROCEDURE MkMessage (node, seq, method: INTEGER): Message =
+VAR m: Message;
+BEGIN
+  m := NEW(Message);
+  m.target := NEW(ObjId);
+  m.target.node := node;
+  m.target.seq := seq;
+  m.method := method;
+  RETURN m;
+END MkMessage;
+
+BEGIN
+  check := 0;
+  disp := NEW(Dispatcher);
+  disp.transport := NEW(LocalTransport);
+  AddEntry(disp, 1, NEW(EchoHandler));
+  AddEntry(disp, 2, NEW(CounterHandler));
+  reg := NEW(Registry);
+  FOR i := 1 TO 8 DO
+    WITH p = NEW(Proxy) DO
+      p.remote := NEW(ObjId);
+      p.remote.node := i;
+      p.via := disp.transport;
+      RegisterProxy(reg, p);
+    END;
+    check := check + disp.dispatch(MkMessage(i, i * 3, i MOD 4));
+  END;
+  PRINT("dom check=");
+  PRINTI(check + reg.size);
+END Dom.

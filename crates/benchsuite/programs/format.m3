@@ -1,0 +1,129 @@
+(* format — a text formatter in the spirit of the paper's `format`
+   benchmark (Liskov & Guttag): builds a document of words, breaks it
+   into lines with a greedy algorithm, and measures the result.
+   Linked lists of objects give RLE loop-invariant header loads. *)
+MODULE Format;
+
+CONST
+  Scale = 4;
+  BaseWidth = 24;
+
+TYPE
+  Word = OBJECT
+    text: TEXT;
+    len: INTEGER;
+    next: Word;
+  END;
+  Line = OBJECT
+    nwords: INTEGER;
+    width: INTEGER;
+    next: Line;
+  END;
+  Doc = OBJECT
+    words: Word;
+    lines: Line;
+    nwords: INTEGER;
+  END;
+
+VAR
+  seed: INTEGER;
+  doc: Doc;
+  totalLines, checksum: INTEGER;
+
+PROCEDURE Rand (): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed;
+END Rand;
+
+PROCEDURE MakeWord (n: INTEGER): Word =
+VAR w: Word;
+BEGIN
+  w := NEW(Word);
+  w.len := 1 + n MOD 9;
+  w.text := "";
+  FOR i := 1 TO w.len DO
+    w.text := w.text & CTOT(CHR(97 + (n + i) MOD 26));
+  END;
+  w.next := NIL;
+  RETURN w;
+END MakeWord;
+
+PROCEDURE BuildDoc (n: INTEGER): Doc =
+VAR d: Doc; w, tail: Word;
+BEGIN
+  d := NEW(Doc);
+  d.nwords := n;
+  tail := NIL;
+  FOR i := 1 TO n DO
+    w := MakeWord(Rand());
+    IF tail = NIL THEN d.words := w ELSE tail.next := w END;
+    tail := w;
+  END;
+  RETURN d;
+END BuildDoc;
+
+PROCEDURE BreakLines (d: Doc; width: INTEGER): INTEGER =
+VAR w: Word; cur: Line; count: INTEGER;
+BEGIN
+  count := 0;
+  cur := NIL;
+  w := d.words;
+  WHILE w # NIL DO
+    IF (cur = NIL) OR (cur.width + 1 + w.len > width) THEN
+      cur := NEW(Line);
+      cur.width := w.len;
+      cur.nwords := 1;
+      cur.next := d.lines;
+      d.lines := cur;
+      count := count + 1;
+    ELSE
+      cur.width := cur.width + 1 + w.len;
+      cur.nwords := cur.nwords + 1;
+    END;
+    w := w.next;
+  END;
+  RETURN count;
+END BreakLines;
+
+PROCEDURE Measure (d: Doc): INTEGER =
+VAR l: Line; sum: INTEGER;
+BEGIN
+  sum := 0;
+  l := d.lines;
+  WHILE l # NIL DO
+    sum := sum + l.width * l.nwords;
+    l := l.next;
+  END;
+  RETURN sum;
+END Measure;
+
+PROCEDURE LongestWord (d: Doc): INTEGER =
+VAR w: Word; best: INTEGER;
+BEGIN
+  best := 0;
+  w := d.words;
+  WHILE w # NIL DO
+    (* d.nwords is loop invariant: RLE hoists it. *)
+    IF w.len * d.nwords > best * d.nwords THEN
+      best := w.len;
+    END;
+    w := w.next;
+  END;
+  RETURN best;
+END LongestWord;
+
+BEGIN
+  seed := 12345;
+  checksum := 0;
+  totalLines := 0;
+  FOR pass := 1 TO Scale DO
+    doc := BuildDoc(250);
+    totalLines := totalLines + BreakLines(doc, BaseWidth + pass MOD 7);
+    checksum := checksum + Measure(doc) + LongestWord(doc);
+  END;
+  PRINT("format lines=");
+  PRINTI(totalLines);
+  PRINT(" check=");
+  PRINTI(checksum);
+END Format.

@@ -1,0 +1,109 @@
+(* ktree — sequences managed with k-ary trees, after the paper's
+   `k-tree` benchmark (Bates). Nodes hold inline fixed arrays of keys and
+   children; queries navigate by repeated subscripting, which exercises
+   FieldTypeDecl's subscript cases and leaves dope-free indexed loads. *)
+MODULE KTree;
+
+CONST
+  Scale = 4;
+  K = 4;
+  Depth = 4;
+  Queries = 220;
+
+TYPE
+  Node = OBJECT
+    keys: ARRAY [0..3] OF INTEGER;
+    kids: ARRAY [0..3] OF Node;
+    nkeys: INTEGER;
+    leaf: BOOLEAN;
+  END;
+  Seq = OBJECT
+    root: Node;
+    size: INTEGER;
+    queries: INTEGER;
+  END;
+
+VAR
+  seed, checksum: INTEGER;
+  s: Seq;
+
+PROCEDURE Rand (): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed;
+END Rand;
+
+PROCEDURE MakeNode (depth, base: INTEGER): Node =
+VAR n: Node;
+BEGIN
+  n := NEW(Node);
+  n.nkeys := K;
+  FOR i := 0 TO K - 1 DO
+    n.keys[i] := base * 10 + i;
+  END;
+  IF depth <= 0 THEN
+    n.leaf := TRUE;
+  ELSE
+    n.leaf := FALSE;
+    FOR i := 0 TO K - 1 DO
+      n.kids[i] := MakeNode(depth - 1, base + i + 1);
+    END;
+  END;
+  RETURN n;
+END MakeNode;
+
+PROCEDURE Sum (n: Node): INTEGER =
+VAR acc: INTEGER;
+BEGIN
+  IF n = NIL THEN RETURN 0 END;
+  acc := 0;
+  FOR i := 0 TO n.nkeys - 1 DO
+    acc := acc + n.keys[i];
+  END;
+  IF NOT n.leaf THEN
+    FOR i := 0 TO K - 1 DO
+      acc := acc + Sum(n.kids[i]);
+    END;
+  END;
+  RETURN acc;
+END Sum;
+
+PROCEDURE Nth (n: Node; idx: INTEGER): INTEGER =
+BEGIN
+  IF n.leaf THEN
+    RETURN n.keys[idx MOD K];
+  END;
+  RETURN Nth(n.kids[idx MOD K], idx DIV K);
+END Nth;
+
+PROCEDURE CountLeaves (n: Node): INTEGER =
+VAR c: INTEGER;
+BEGIN
+  IF n.leaf THEN RETURN 1 END;
+  c := 0;
+  FOR i := 0 TO K - 1 DO
+    c := c + CountLeaves(n.kids[i]);
+  END;
+  RETURN c;
+END CountLeaves;
+
+BEGIN
+  seed := 7;
+  checksum := 0;
+  s := NEW(Seq);
+  s.queries := 0;
+  FOR pass := 1 TO Scale DO
+    s.root := MakeNode(Depth, pass);
+    s.size := Sum(s.root);
+    checksum := checksum + s.size + CountLeaves(s.root);
+    FOR q := 1 TO Queries DO
+      (* s.root is invariant across the query loop. *)
+      checksum := (checksum + Nth(s.root, Rand() MOD 4096)) MOD 1000000007;
+      s.queries := s.queries + 1;
+    END;
+  END;
+  PRINT("ktree check=");
+  PRINTI(checksum);
+  PRINT(" q=");
+  PRINTI(s.queries);
+END KTree.

@@ -1,0 +1,146 @@
+(* m2tom3 — a source-to-source converter, after the paper's `m2tom3`
+   benchmark (converts Modula-2 code to Modula-3). A synthetic Modula-2
+   token stream is rewritten through a keyword dictionary (a linked
+   structure) and an identifier renamer; the output stream and a string
+   table are built as the translation proceeds. *)
+MODULE M2toM3;
+
+CONST
+  Scale = 4;
+  NToks = 1800;
+  NKeywords = 12;
+
+TYPE
+  IntArr = ARRAY OF INTEGER;
+  Entry = OBJECT
+    from, dst: INTEGER;
+    hits: INTEGER;
+    next: Entry;
+  END;
+  Dict = OBJECT
+    first: Entry;
+    size: INTEGER;
+    misses: INTEGER;
+  END;
+  Stream = OBJECT
+    toks: IntArr;
+    n: INTEGER;
+  END;
+  Renamer = OBJECT
+    offset: INTEGER;
+    renamed: INTEGER;
+  END;
+
+VAR
+  seed, check: INTEGER;
+  dict: Dict;
+  input, output: Stream;
+  ren: Renamer;
+
+PROCEDURE Rand (): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed;
+END Rand;
+
+PROCEDURE AddRule (d: Dict; from, dst: INTEGER) =
+VAR e: Entry;
+BEGIN
+  e := NEW(Entry);
+  e.from := from;
+  e.dst := dst;
+  e.hits := 0;
+  e.next := d.first;
+  d.first := e;
+  d.size := d.size + 1;
+END AddRule;
+
+PROCEDURE Translate (d: Dict; tok: INTEGER): INTEGER =
+VAR e: Entry;
+BEGIN
+  e := d.first;
+  WHILE e # NIL DO
+    IF e.from = tok THEN
+      e.hits := e.hits + 1;
+      RETURN e.dst;
+    END;
+    e := e.next;
+  END;
+  d.misses := d.misses + 1;
+  RETURN tok;
+END Translate;
+
+PROCEDURE Rename (r: Renamer; tok: INTEGER): INTEGER =
+BEGIN
+  IF tok >= 1000 THEN
+    r.renamed := r.renamed + 1;
+    RETURN tok + r.offset;
+  END;
+  RETURN tok;
+END Rename;
+
+PROCEDURE Convert (inp, outp: Stream; d: Dict; r: Renamer) =
+VAR t: INTEGER;
+BEGIN
+  FOR i := 0 TO inp.n - 1 DO
+    t := inp.toks[i];
+    t := Translate(d, t);
+    t := Rename(r, t);
+    outp.toks[outp.n] := t;
+    outp.n := outp.n + 1;
+  END;
+END Convert;
+
+PROCEDURE Checksum (s: Stream): INTEGER =
+VAR acc: INTEGER;
+BEGIN
+  acc := 0;
+  FOR i := 0 TO s.n - 1 DO
+    acc := (acc * 31 + s.toks[i]) MOD 1000000007;
+  END;
+  RETURN acc;
+END Checksum;
+
+PROCEDURE HitTotal (d: Dict): INTEGER =
+VAR e: Entry; acc: INTEGER;
+BEGIN
+  acc := 0;
+  e := d.first;
+  WHILE e # NIL DO
+    acc := acc + e.hits * d.size;
+    e := e.next;
+  END;
+  RETURN acc;
+END HitTotal;
+
+BEGIN
+  seed := 777;
+  check := 0;
+  FOR pass := 1 TO Scale DO
+    dict := NEW(Dict);
+    FOR k := 1 TO NKeywords DO
+      AddRule(dict, k, 100 + k);
+    END;
+    input := NEW(Stream);
+    input.toks := NEW(IntArr, NToks);
+    input.n := 0;
+    FOR i := 1 TO NToks DO
+      IF Rand() MOD 3 = 0 THEN
+        input.toks[input.n] := 1 + Rand() MOD NKeywords;
+      ELSE
+        input.toks[input.n] := 1000 + Rand() MOD 300;
+      END;
+      input.n := input.n + 1;
+    END;
+    output := NEW(Stream);
+    output.toks := NEW(IntArr, NToks);
+    output.n := 0;
+    ren := NEW(Renamer);
+    ren.offset := 5000;
+    Convert(input, output, dict, ren);
+    check := (check + Checksum(output) + HitTotal(dict) + ren.renamed)
+             MOD 1000000007;
+  END;
+  PRINT("m2tom3 check=");
+  PRINTI(check);
+END M2toM3.

@@ -1,0 +1,309 @@
+(* m3cg — a code generator, after the paper's `m3cg` benchmark (the
+   Modula-3 v3.5.1 code generator plus extensions; the largest program
+   in the suite). A front half builds a linked intermediate
+   representation with an object hierarchy of operations; the back half
+   runs linear-scan register assignment over a fixed register file,
+   peephole-rewrites redundant moves, and "emits" instruction bytes. *)
+MODULE M3CG;
+
+CONST
+  Scale = 4;
+  NRegs = 8;
+  NTemps = 48;
+  BlocksPerPass = 14;
+
+TYPE
+  Op = OBJECT
+    next: Op;
+    temp: INTEGER;           (* destination temporary *)
+    reg: INTEGER;            (* assigned register, -1 if spilled *)
+    METHODS
+      size (): INTEGER := OpSize;
+  END;
+  LoadOp = Op OBJECT
+    addrTemp: INTEGER;
+  OVERRIDES
+    size := LoadSize;
+  END;
+  StoreOp = Op OBJECT
+    addrTemp, valTemp: INTEGER;
+  OVERRIDES
+    size := StoreSize;
+  END;
+  ArithOp = Op OBJECT
+    kind: INTEGER;           (* 0 add, 1 sub, 2 mul *)
+    lhsTemp, rhsTemp: INTEGER;
+  OVERRIDES
+    size := ArithSize;
+  END;
+  MoveOp = Op OBJECT
+    srcTemp: INTEGER;
+  OVERRIDES
+    size := MoveSize;
+  END;
+  BlockIR = OBJECT
+    first, last: Op;
+    nops: INTEGER;
+    next: BlockIR;
+  END;
+  Unit = OBJECT
+    blocks: BlockIR;
+    nblocks: INTEGER;
+  END;
+  IntArr = ARRAY OF INTEGER;
+  Allocator = OBJECT
+    owner: ARRAY [0..7] OF INTEGER;   (* temp held by each register *)
+    lru: ARRAY [0..7] OF INTEGER;
+    clock: INTEGER;
+    spills, hits: INTEGER;
+  END;
+  Emitter = OBJECT
+    bytes: INTEGER;
+    moves, removed: INTEGER;
+  END;
+
+VAR
+  seed, check: INTEGER;
+  unit: Unit;
+  alloc: Allocator;
+  emit: Emitter;
+
+PROCEDURE Rand (): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed;
+END Rand;
+
+PROCEDURE OpSize (self: Op): INTEGER =
+BEGIN
+  RETURN 4;
+END OpSize;
+
+PROCEDURE LoadSize (self: LoadOp): INTEGER =
+BEGIN
+  IF self.addrTemp > 32 THEN RETURN 8 END;
+  RETURN 4;
+END LoadSize;
+
+PROCEDURE StoreSize (self: StoreOp): INTEGER =
+BEGIN
+  IF self.addrTemp + self.valTemp > 64 THEN RETURN 8 END;
+  RETURN 4;
+END StoreSize;
+
+PROCEDURE ArithSize (self: ArithOp): INTEGER =
+BEGIN
+  IF self.kind = 2 THEN RETURN 8 END;
+  RETURN 4;
+END ArithSize;
+
+PROCEDURE MoveSize (self: MoveOp): INTEGER =
+BEGIN
+  RETURN 2 + self.srcTemp MOD 2;
+END MoveSize;
+
+PROCEDURE Append (b: BlockIR; o: Op) =
+BEGIN
+  IF b.last = NIL THEN
+    b.first := o;
+  ELSE
+    b.last.next := o;
+  END;
+  b.last := o;
+  b.nops := b.nops + 1;
+END Append;
+
+PROCEDURE GenBlock (): BlockIR =
+VAR b: BlockIR; l: LoadOp; st: StoreOp; a: ArithOp; m: MoveOp; n: INTEGER;
+BEGIN
+  b := NEW(BlockIR);
+  b.nops := 0;
+  n := 8 + Rand() MOD 16;
+  FOR i := 1 TO n DO
+    CASEKIND(b, Rand() MOD 4);
+  END;
+  (* a trailing store keeps the block live *)
+  st := NEW(StoreOp);
+  st.temp := Rand() MOD NTemps;
+  st.addrTemp := Rand() MOD NTemps;
+  st.valTemp := Rand() MOD NTemps;
+  Append(b, st);
+  RETURN b;
+END GenBlock;
+
+PROCEDURE CASEKIND (b: BlockIR; kind: INTEGER) =
+VAR l: LoadOp; st: StoreOp; a: ArithOp; m: MoveOp;
+BEGIN
+  IF kind = 0 THEN
+    l := NEW(LoadOp);
+    l.temp := Rand() MOD NTemps;
+    l.addrTemp := Rand() MOD NTemps;
+    Append(b, l);
+  ELSIF kind = 1 THEN
+    a := NEW(ArithOp);
+    a.temp := Rand() MOD NTemps;
+    a.kind := Rand() MOD 3;
+    a.lhsTemp := Rand() MOD NTemps;
+    a.rhsTemp := Rand() MOD NTemps;
+    Append(b, a);
+  ELSIF kind = 2 THEN
+    m := NEW(MoveOp);
+    m.temp := Rand() MOD NTemps;
+    m.srcTemp := Rand() MOD NTemps;
+    Append(b, m);
+  ELSE
+    st := NEW(StoreOp);
+    st.temp := Rand() MOD NTemps;
+    st.addrTemp := Rand() MOD NTemps;
+    st.valTemp := Rand() MOD NTemps;
+    Append(b, st);
+  END;
+END CASEKIND;
+
+PROCEDURE BuildUnit (): Unit =
+VAR u: Unit; b: BlockIR;
+BEGIN
+  u := NEW(Unit);
+  u.nblocks := 0;
+  FOR i := 1 TO BlocksPerPass DO
+    b := GenBlock();
+    b.next := u.blocks;
+    u.blocks := b;
+    u.nblocks := u.nblocks + 1;
+  END;
+  RETURN u;
+END BuildUnit;
+
+PROCEDURE ResetAlloc (al: Allocator) =
+BEGIN
+  FOR r := 0 TO NRegs - 1 DO
+    al.owner[r] := -1;
+    al.lru[r] := 0;
+  END;
+  al.clock := 0;
+END ResetAlloc;
+
+(* Returns the register holding temp, assigning (and possibly spilling)
+   if needed. *)
+PROCEDURE GetReg (al: Allocator; temp: INTEGER): INTEGER =
+VAR victim, oldest: INTEGER;
+BEGIN
+  al.clock := al.clock + 1;
+  FOR r := 0 TO NRegs - 1 DO
+    IF al.owner[r] = temp THEN
+      al.hits := al.hits + 1;
+      al.lru[r] := al.clock;
+      RETURN r;
+    END;
+  END;
+  victim := 0;
+  oldest := al.lru[0];
+  FOR r := 1 TO NRegs - 1 DO
+    IF al.lru[r] < oldest THEN
+      oldest := al.lru[r];
+      victim := r;
+    END;
+  END;
+  IF al.owner[victim] >= 0 THEN
+    al.spills := al.spills + 1;
+  END;
+  al.owner[victim] := temp;
+  al.lru[victim] := al.clock;
+  RETURN victim;
+END GetReg;
+
+PROCEDURE AssignBlock (al: Allocator; b: BlockIR) =
+VAR o: Op; a: ArithOp; st: StoreOp; l: LoadOp; m: MoveOp;
+BEGIN
+  o := b.first;
+  WHILE o # NIL DO
+    IF ISTYPE(o, ArithOp) THEN
+      a := NARROW(o, ArithOp);
+      EVAL GetReg(al, a.lhsTemp);
+      EVAL GetReg(al, a.rhsTemp);
+    ELSIF ISTYPE(o, StoreOp) THEN
+      st := NARROW(o, StoreOp);
+      EVAL GetReg(al, st.addrTemp);
+      EVAL GetReg(al, st.valTemp);
+    ELSIF ISTYPE(o, LoadOp) THEN
+      l := NARROW(o, LoadOp);
+      EVAL GetReg(al, l.addrTemp);
+    ELSE
+      m := NARROW(o, MoveOp);
+      EVAL GetReg(al, m.srcTemp);
+    END;
+    o.reg := GetReg(al, o.temp);
+    o := o.next;
+  END;
+END AssignBlock;
+
+(* Removes moves whose source and destination got the same register. *)
+PROCEDURE Peephole (em: Emitter; b: BlockIR) =
+VAR o, prev: Op; m: MoveOp;
+BEGIN
+  prev := NIL;
+  o := b.first;
+  WHILE o # NIL DO
+    IF ISTYPE(o, MoveOp) THEN
+      em.moves := em.moves + 1;
+      m := NARROW(o, MoveOp);
+      IF m.srcTemp = m.temp THEN
+        em.removed := em.removed + 1;
+        IF prev = NIL THEN
+          b.first := o.next;
+        ELSE
+          prev.next := o.next;
+        END;
+        b.nops := b.nops - 1;
+      ELSE
+        prev := o;
+      END;
+    ELSE
+      prev := o;
+    END;
+    o := o.next;
+  END;
+END Peephole;
+
+PROCEDURE EmitBlock (em: Emitter; b: BlockIR) =
+VAR o: Op;
+BEGIN
+  o := b.first;
+  WHILE o # NIL DO
+    em.bytes := em.bytes + o.size();
+    o := o.next;
+  END;
+END EmitBlock;
+
+PROCEDURE Compile (u: Unit; al: Allocator; em: Emitter): INTEGER =
+VAR b: BlockIR;
+BEGIN
+  b := u.blocks;
+  WHILE b # NIL DO
+    ResetAlloc(al);
+    AssignBlock(al, b);
+    Peephole(em, b);
+    EmitBlock(em, b);
+    b := b.next;
+  END;
+  RETURN em.bytes + al.spills * 3 + al.hits;
+END Compile;
+
+BEGIN
+  seed := 31337;
+  check := 0;
+  alloc := NEW(Allocator);
+  alloc.spills := 0;
+  alloc.hits := 0;
+  emit := NEW(Emitter);
+  FOR pass := 1 TO Scale DO
+    unit := BuildUnit();
+    check := (check + Compile(unit, alloc, emit)) MOD 1000000007;
+  END;
+  PRINT("m3cg check=");
+  PRINTI(check);
+  PRINT(" spills=");
+  PRINTI(alloc.spills);
+  PRINT(" removed=");
+  PRINTI(emit.removed);
+END M3CG.

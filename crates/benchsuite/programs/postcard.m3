@@ -1,0 +1,189 @@
+(* postcard — a stand-in for the paper's `postcard` benchmark (a
+   graphical mail reader). Like the original it is evaluated statically
+   only: folders, messages, headers, filters, and view widgets give the
+   analyses a realistic interactive-application type structure. *)
+MODULE Postcard;
+
+TYPE
+  Header = OBJECT
+    sender, subjectLen, date: INTEGER;
+    next: Header;
+  END;
+  Body = OBJECT
+    paragraphs: Paragraph;
+    bytes: INTEGER;
+  END;
+  Paragraph = OBJECT
+    len: INTEGER;
+    next: Paragraph;
+  END;
+  MessageM = OBJECT
+    hdr: Header;
+    body: Body;
+    flags: INTEGER;
+    next: MessageM;
+  END;
+  Folder = OBJECT
+    name: INTEGER;
+    msgs: MessageM;
+    count, unread: INTEGER;
+    next: Folder;
+  END;
+  Mailbox = OBJECT
+    folders: Folder;
+    total: INTEGER;
+  END;
+  Filter = OBJECT
+    matched: INTEGER;
+    METHODS
+      accept (m: MessageM): BOOLEAN := FilterAccept;
+  END;
+  SenderFilter = Filter OBJECT
+    wanted: INTEGER;
+  OVERRIDES
+    accept := SenderAccept;
+  END;
+  SizeFilter = Filter OBJECT
+    minBytes: INTEGER;
+  OVERRIDES
+    accept := SizeAccept;
+  END;
+  Widget = OBJECT
+    x, y, w, h: INTEGER;
+    next: Widget;
+    METHODS
+      layout (width: INTEGER): INTEGER := WidgetLayout;
+  END;
+  ListView = Widget OBJECT
+    rows: INTEGER;
+  OVERRIDES
+    layout := ListLayout;
+  END;
+  TextView = Widget OBJECT
+    scroll: INTEGER;
+  OVERRIDES
+    layout := TextLayout;
+  END;
+
+VAR
+  box: Mailbox;
+  ui: Widget;
+  check: INTEGER;
+
+PROCEDURE FilterAccept (self: Filter; m: MessageM): BOOLEAN =
+BEGIN
+  self.matched := self.matched + 1;
+  RETURN m.flags MOD 2 = 0;
+END FilterAccept;
+
+PROCEDURE SenderAccept (self: SenderFilter; m: MessageM): BOOLEAN =
+BEGIN
+  IF m.hdr.sender = self.wanted THEN
+    self.matched := self.matched + 1;
+    RETURN TRUE;
+  END;
+  RETURN FALSE;
+END SenderAccept;
+
+PROCEDURE SizeAccept (self: SizeFilter; m: MessageM): BOOLEAN =
+BEGIN
+  RETURN m.body.bytes >= self.minBytes;
+END SizeAccept;
+
+PROCEDURE WidgetLayout (self: Widget; width: INTEGER): INTEGER =
+BEGIN
+  self.w := width;
+  self.h := 1;
+  RETURN self.h;
+END WidgetLayout;
+
+PROCEDURE ListLayout (self: ListView; width: INTEGER): INTEGER =
+BEGIN
+  self.w := width;
+  self.h := self.rows * 2;
+  RETURN self.h;
+END ListLayout;
+
+PROCEDURE TextLayout (self: TextView; width: INTEGER): INTEGER =
+BEGIN
+  self.w := width - 2;
+  self.h := 10 + self.scroll;
+  RETURN self.h;
+END TextLayout;
+
+PROCEDURE MkMessage (sender, nbytes: INTEGER): MessageM =
+VAR m: MessageM; p: Paragraph;
+BEGIN
+  m := NEW(MessageM);
+  m.hdr := NEW(Header);
+  m.hdr.sender := sender;
+  m.hdr.subjectLen := 8 + sender MOD 9;
+  m.body := NEW(Body);
+  m.body.bytes := nbytes;
+  p := NEW(Paragraph);
+  p.len := nbytes DIV 2;
+  m.body.paragraphs := p;
+  RETURN m;
+END MkMessage;
+
+PROCEDURE AddMessage (f: Folder; m: MessageM) =
+BEGIN
+  m.next := f.msgs;
+  f.msgs := m;
+  f.count := f.count + 1;
+  IF m.flags MOD 2 = 0 THEN
+    f.unread := f.unread + 1;
+  END;
+END AddMessage;
+
+PROCEDURE CountMatches (f: Folder; flt: Filter): INTEGER =
+VAR m: MessageM; n: INTEGER;
+BEGIN
+  n := 0;
+  m := f.msgs;
+  WHILE m # NIL DO
+    IF flt.accept(m) THEN n := n + 1 END;
+    m := m.next;
+  END;
+  RETURN n;
+END CountMatches;
+
+PROCEDURE LayoutAll (first: Widget; width: INTEGER): INTEGER =
+VAR w: Widget; total: INTEGER;
+BEGIN
+  total := 0;
+  w := first;
+  WHILE w # NIL DO
+    total := total + w.layout(width);
+    w := w.next;
+  END;
+  RETURN total;
+END LayoutAll;
+
+BEGIN
+  check := 0;
+  box := NEW(Mailbox);
+  WITH inbox = NEW(Folder) DO
+    inbox.name := 1;
+    box.folders := inbox;
+    FOR i := 1 TO 10 DO
+      AddMessage(inbox, MkMessage(i MOD 3, 100 + i * 7));
+    END;
+    WITH sf = NEW(SenderFilter) DO
+      sf.wanted := 1;
+      check := check + CountMatches(inbox, sf);
+    END;
+    WITH zf = NEW(SizeFilter) DO
+      zf.minBytes := 130;
+      check := check + CountMatches(inbox, zf);
+    END;
+  END;
+  WITH lv = NEW(ListView), tv = NEW(TextView) DO
+    lv.rows := 10;
+    lv.next := tv;
+    ui := lv;
+    check := check + LayoutAll(ui, 80);
+  END;
+  PRINT("postcard check=");
+  PRINTI(check);
+END Postcard.

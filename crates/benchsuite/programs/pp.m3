@@ -1,0 +1,181 @@
+(* pp — a pretty printer for token streams of a block-structured
+   language, after the paper's `pp` benchmark (a Modula-3 pretty
+   printer). A generator emits a nested-token program into an open
+   array; the printer replays it with an indentation stack, producing
+   layout statistics. *)
+MODULE PP;
+
+CONST
+  Scale = 4;
+  (* token codes *)
+  TokProc = 1;
+  TokBegin = 2;
+  TokEnd = 3;
+  TokIf = 4;
+  TokThen = 5;
+  TokAssign = 6;
+  TokSemi = 7;
+  TokId = 8;
+  TokNum = 9;
+  TokCall = 10;
+  MaxToks = 6000;
+  Width = 40;
+
+TYPE
+  IntArr = ARRAY OF INTEGER;
+  Stream = OBJECT
+    toks: IntArr;
+    n: INTEGER;
+  END;
+  Printer = OBJECT
+    indents: IntArr;
+    depth: INTEGER;
+    col: INTEGER;
+    lines: INTEGER;
+    chars: INTEGER;
+    maxdepth: INTEGER;
+  END;
+
+VAR
+  seed, check: INTEGER;
+  stream: Stream;
+  printer: Printer;
+
+PROCEDURE Rand (): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed;
+END Rand;
+
+PROCEDURE Emit (s: Stream; tok: INTEGER) =
+BEGIN
+  IF s.n < NUMBER(s.toks) THEN
+    s.toks[s.n] := tok;
+    s.n := s.n + 1;
+  END;
+END Emit;
+
+PROCEDURE GenStmt (s: Stream; depth: INTEGER) =
+VAR kind: INTEGER;
+BEGIN
+  kind := Rand() MOD 4;
+  IF (kind = 0) AND (depth > 0) THEN
+    Emit(s, TokIf);
+    Emit(s, TokId);
+    Emit(s, TokThen);
+    GenBlock(s, depth - 1, 1 + Rand() MOD 3);
+    Emit(s, TokEnd);
+  ELSIF kind = 1 THEN
+    Emit(s, TokCall);
+    Emit(s, TokId);
+    Emit(s, TokSemi);
+  ELSE
+    Emit(s, TokId);
+    Emit(s, TokAssign);
+    Emit(s, TokNum);
+    Emit(s, TokSemi);
+  END;
+END GenStmt;
+
+PROCEDURE GenBlock (s: Stream; depth, stmts: INTEGER) =
+BEGIN
+  Emit(s, TokBegin);
+  FOR i := 1 TO stmts DO
+    GenStmt(s, depth);
+  END;
+  Emit(s, TokEnd);
+END GenBlock;
+
+PROCEDURE GenProc (s: Stream; depth: INTEGER) =
+BEGIN
+  Emit(s, TokProc);
+  Emit(s, TokId);
+  GenBlock(s, depth, 2 + Rand() MOD 5);
+END GenProc;
+
+PROCEDURE TokWidth (tok: INTEGER): INTEGER =
+BEGIN
+  IF tok = TokProc THEN RETURN 9 END;
+  IF (tok = TokBegin) OR (tok = TokEnd) THEN RETURN 5 END;
+  IF tok = TokIf THEN RETURN 2 END;
+  IF tok = TokThen THEN RETURN 4 END;
+  IF tok = TokAssign THEN RETURN 2 END;
+  IF tok = TokSemi THEN RETURN 1 END;
+  IF tok = TokCall THEN RETURN 6 END;
+  RETURN 3;
+END TokWidth;
+
+PROCEDURE NewLine (p: Printer) =
+BEGIN
+  p.lines := p.lines + 1;
+  IF p.depth > 0 THEN
+    p.col := p.indents[p.depth - 1];
+  ELSE
+    p.col := 0;
+  END;
+END NewLine;
+
+PROCEDURE Push (p: Printer) =
+BEGIN
+  IF p.depth < NUMBER(p.indents) THEN
+    p.indents[p.depth] := p.col + 2;
+    p.depth := p.depth + 1;
+    IF p.depth > p.maxdepth THEN p.maxdepth := p.depth END;
+  END;
+END Push;
+
+PROCEDURE Pop (p: Printer) =
+BEGIN
+  IF p.depth > 0 THEN
+    p.depth := p.depth - 1;
+  END;
+END Pop;
+
+PROCEDURE Print1 (p: Printer; tok: INTEGER) =
+VAR w: INTEGER;
+BEGIN
+  w := TokWidth(tok);
+  IF p.col + w + 1 > Width THEN
+    NewLine(p);
+  END;
+  p.col := p.col + w + 1;
+  p.chars := p.chars + w;
+  IF tok = TokBegin THEN
+    Push(p);
+    NewLine(p);
+  ELSIF tok = TokEnd THEN
+    Pop(p);
+    NewLine(p);
+  ELSIF tok = TokSemi THEN
+    NewLine(p);
+  END;
+END Print1;
+
+PROCEDURE Render (p: Printer; s: Stream): INTEGER =
+BEGIN
+  FOR i := 0 TO s.n - 1 DO
+    Print1(p, s.toks[i]);
+  END;
+  RETURN p.lines * 1000 + p.maxdepth;
+END Render;
+
+BEGIN
+  seed := 20260705;
+  check := 0;
+  FOR pass := 1 TO Scale DO
+    stream := NEW(Stream);
+    stream.toks := NEW(IntArr, MaxToks);
+    stream.n := 0;
+    FOR procs := 1 TO 6 DO
+      GenProc(stream, 3);
+    END;
+    printer := NEW(Printer);
+    printer.indents := NEW(IntArr, 64);
+    printer.depth := 0;
+    printer.col := 0;
+    check := (check + Render(printer, stream)) MOD 1000000007;
+    check := check + printer.chars MOD 97;
+  END;
+  PRINT("pp check=");
+  PRINTI(check);
+END PP.

@@ -1,0 +1,378 @@
+(* slisp — a small Lisp interpreter, after the paper's `slisp`
+   benchmark. Cons cells, boxed numbers, closures, and an association-
+   list environment give the heap-heavy load mix (the paper reports 27%
+   heap loads for slisp); the runtime type dispatch uses ISTYPE/NARROW. *)
+MODULE SLisp;
+
+CONST
+  Scale = 4;
+  (* special-form symbol ids *)
+  SIf = 1;
+  SLe = 2;
+  SAdd = 3;
+  SSub = 4;
+  SMul = 5;
+  SLambda = 6;
+  (* variable symbol ids *)
+  VFib = 100;
+  VN = 101;
+  VTak = 102;
+  VX = 103;
+
+TYPE
+  Obj = OBJECT END;
+  Num = Obj OBJECT val: INTEGER; END;
+  Sym = Obj OBJECT id: INTEGER; END;
+  Pair = Obj OBJECT car, cdr: Obj; END;
+  Clos = Obj OBJECT param: INTEGER; body: Obj; env: Obj; END;
+  Stats = OBJECT evals, applies, lookups: INTEGER; END;
+
+VAR
+  stats: Stats;
+  check: INTEGER;
+
+PROCEDURE Cons (a, d: Obj): Obj =
+VAR p: Pair;
+BEGIN
+  p := NEW(Pair);
+  p.car := a;
+  p.cdr := d;
+  RETURN p;
+END Cons;
+
+PROCEDURE MkNum (v: INTEGER): Obj =
+VAR n: Num;
+BEGIN
+  n := NEW(Num);
+  n.val := v;
+  RETURN n;
+END MkNum;
+
+PROCEDURE MkSym (id: INTEGER): Obj =
+VAR s: Sym;
+BEGIN
+  s := NEW(Sym);
+  s.id := id;
+  RETURN s;
+END MkSym;
+
+PROCEDURE List2 (a, b: Obj): Obj =
+BEGIN
+  RETURN Cons(a, Cons(b, NIL));
+END List2;
+
+PROCEDURE List3 (a, b, c: Obj): Obj =
+BEGIN
+  RETURN Cons(a, Cons(b, Cons(c, NIL)));
+END List3;
+
+PROCEDURE List4 (a, b, c, d: Obj): Obj =
+BEGIN
+  RETURN Cons(a, Cons(b, Cons(c, Cons(d, NIL))));
+END List4;
+
+(* The i-th element of list p (0-based). *)
+PROCEDURE Arg (p: Pair; i: INTEGER): Obj =
+VAR cur: Obj;
+BEGIN
+  cur := p;
+  WHILE i > 0 DO
+    cur := NARROW(cur, Pair).cdr;
+    i := i - 1;
+  END;
+  RETURN NARROW(cur, Pair).car;
+END Arg;
+
+PROCEDURE Lookup (env: Obj; id: INTEGER): Obj =
+VAR e: Obj; entry: Pair;
+BEGIN
+  stats.lookups := stats.lookups + 1;
+  e := env;
+  WHILE e # NIL DO
+    entry := NARROW(NARROW(e, Pair).car, Pair);
+    IF NARROW(entry.car, Sym).id = id THEN
+      RETURN entry.cdr;
+    END;
+    e := NARROW(e, Pair).cdr;
+  END;
+  RETURN NIL;
+END Lookup;
+
+PROCEDURE Bind (id: INTEGER; v: Obj; env: Obj): Obj =
+BEGIN
+  RETURN Cons(Cons(MkSym(id), v), env);
+END Bind;
+
+PROCEDURE NumVal (x: Obj): INTEGER =
+BEGIN
+  RETURN NARROW(x, Num).val;
+END NumVal;
+
+PROCEDURE Eval (x: Obj; env: Obj): Obj =
+VAR p: Pair; headId: INTEGER; f, a: Obj; cl: Clos;
+BEGIN
+  stats.evals := stats.evals + 1;
+  IF ISTYPE(x, Num) THEN RETURN x END;
+  IF ISTYPE(x, Sym) THEN
+    RETURN Lookup(env, NARROW(x, Sym).id);
+  END;
+  p := NARROW(x, Pair);
+  IF ISTYPE(p.car, Sym) THEN
+    headId := NARROW(p.car, Sym).id;
+    IF headId = SIf THEN
+      IF NumVal(Eval(Arg(p, 1), env)) # 0 THEN
+        RETURN Eval(Arg(p, 2), env);
+      ELSE
+        RETURN Eval(Arg(p, 3), env);
+      END;
+    ELSIF headId = SLe THEN
+      IF NumVal(Eval(Arg(p, 1), env)) <= NumVal(Eval(Arg(p, 2), env)) THEN
+        RETURN MkNum(1);
+      ELSE
+        RETURN MkNum(0);
+      END;
+    ELSIF headId = SAdd THEN
+      RETURN MkNum(NumVal(Eval(Arg(p, 1), env)) + NumVal(Eval(Arg(p, 2), env)));
+    ELSIF headId = SSub THEN
+      RETURN MkNum(NumVal(Eval(Arg(p, 1), env)) - NumVal(Eval(Arg(p, 2), env)));
+    ELSIF headId = SMul THEN
+      RETURN MkNum(NumVal(Eval(Arg(p, 1), env)) * NumVal(Eval(Arg(p, 2), env)));
+    ELSIF headId = SLambda THEN
+      cl := NEW(Clos);
+      cl.param := NARROW(Arg(p, 1), Sym).id;
+      cl.body := Arg(p, 2);
+      cl.env := env;
+      RETURN cl;
+    END;
+  END;
+  (* application: (f arg) *)
+  stats.applies := stats.applies + 1;
+  f := Eval(p.car, env);
+  a := Eval(Arg(p, 1), env);
+  cl := NARROW(f, Clos);
+  RETURN Eval(cl.body, Bind(cl.param, a, cl.env));
+END Eval;
+
+(* (lambda n (if (le n 2) 1 (add (fib (sub n 1)) (fib (sub n 2))))) *)
+PROCEDURE FibBody (): Obj =
+BEGIN
+  RETURN List4(
+    MkSym(SIf),
+    List3(MkSym(SLe), MkSym(VN), MkNum(2)),
+    MkNum(1),
+    List3(
+      MkSym(SAdd),
+      List2(MkSym(VFib), List3(MkSym(SSub), MkSym(VN), MkNum(1))),
+      List2(MkSym(VFib), List3(MkSym(SSub), MkSym(VN), MkNum(2)))));
+END FibBody;
+
+(* (lambda x (mul x x)) used under a driver loop *)
+PROCEDURE SquareBody (): Obj =
+BEGIN
+  RETURN List3(MkSym(SMul), MkSym(VX), MkSym(VX));
+END SquareBody;
+
+PROCEDURE RunFib (n: INTEGER): INTEGER =
+VAR entry: Pair; node: Pair; cl: Clos; r: Obj;
+BEGIN
+  (* letrec fib via mutation of its own env entry *)
+  entry := NEW(Pair);
+  entry.car := MkSym(VFib);
+  entry.cdr := NIL;
+  node := NEW(Pair);
+  node.car := entry;
+  node.cdr := NIL;
+  cl := NEW(Clos);
+  cl.param := VN;
+  cl.body := FibBody();
+  cl.env := node;
+  entry.cdr := cl;
+  r := Eval(List2(MkSym(VFib), MkNum(n)), node);
+  RETURN NumVal(r);
+END RunFib;
+
+PROCEDURE RunSquares (k: INTEGER): INTEGER =
+VAR cl: Clos; acc: INTEGER; r: Obj;
+BEGIN
+  cl := NEW(Clos);
+  cl.param := VX;
+  cl.body := SquareBody();
+  cl.env := NIL;
+  acc := 0;
+  FOR i := 1 TO k DO
+    r := Eval(cl.body, Bind(VX, MkNum(i), NIL));
+    acc := (acc + NumVal(r)) MOD 1000003;
+  END;
+  RETURN acc;
+END RunSquares;
+
+(* ---- the reader: parse textual s-expressions --------------------- *)
+
+TYPE
+  SymTab = OBJECT name: TEXT; id: INTEGER; next: SymTab; END;
+  Reader = OBJECT
+    src: TEXT;
+    pos, len: INTEGER;
+    syms: SymTab;
+    nextId: INTEGER;
+  END;
+
+PROCEDURE TextEq (a, b: TEXT): BOOLEAN =
+BEGIN
+  IF TEXTLEN(a) # TEXTLEN(b) THEN RETURN FALSE END;
+  FOR i := 0 TO TEXTLEN(a) - 1 DO
+    IF TEXTCHAR(a, i) # TEXTCHAR(b, i) THEN RETURN FALSE END;
+  END;
+  RETURN TRUE;
+END TextEq;
+
+PROCEDURE NewReader (src: TEXT): Reader =
+VAR r: Reader;
+BEGIN
+  r := NEW(Reader);
+  r.src := src;
+  r.pos := 0;
+  r.len := TEXTLEN(src);
+  r.nextId := 500;
+  (* pre-seed the special forms and known variables *)
+  Seed(r, "if", SIf);
+  Seed(r, "le", SLe);
+  Seed(r, "add", SAdd);
+  Seed(r, "sub", SSub);
+  Seed(r, "mul", SMul);
+  Seed(r, "lambda", SLambda);
+  Seed(r, "fib", VFib);
+  Seed(r, "n", VN);
+  Seed(r, "tak", VTak);
+  Seed(r, "x", VX);
+  RETURN r;
+END NewReader;
+
+PROCEDURE Seed (r: Reader; name: TEXT; id: INTEGER) =
+VAR e: SymTab;
+BEGIN
+  e := NEW(SymTab);
+  e.name := name;
+  e.id := id;
+  e.next := r.syms;
+  r.syms := e;
+END Seed;
+
+PROCEDURE Intern (r: Reader; name: TEXT): INTEGER =
+VAR e: SymTab;
+BEGIN
+  e := r.syms;
+  WHILE e # NIL DO
+    IF TextEq(e.name, name) THEN RETURN e.id END;
+    e := e.next;
+  END;
+  Seed(r, name, r.nextId);
+  r.nextId := r.nextId + 1;
+  RETURN r.nextId - 1;
+END Intern;
+
+PROCEDURE Peek (r: Reader): CHAR =
+BEGIN
+  IF r.pos >= r.len THEN RETURN '$' END;
+  RETURN TEXTCHAR(r.src, r.pos);
+END Peek;
+
+PROCEDURE SkipSpaces (r: Reader) =
+BEGIN
+  WHILE (r.pos < r.len) AND (Peek(r) = ' ') DO
+    r.pos := r.pos + 1;
+  END;
+END SkipSpaces;
+
+PROCEDURE IsDigit (c: CHAR): BOOLEAN =
+BEGIN
+  RETURN (c >= '0') AND (c <= '9');
+END IsDigit;
+
+PROCEDURE IsLetter (c: CHAR): BOOLEAN =
+BEGIN
+  RETURN (c >= 'a') AND (c <= 'z');
+END IsLetter;
+
+(* Reads one s-expression. *)
+PROCEDURE ReadObj (r: Reader): Obj =
+VAR head, tail, node: Pair; item: Obj; v: INTEGER; word: TEXT;
+BEGIN
+  SkipSpaces(r);
+  IF Peek(r) = '(' THEN
+    r.pos := r.pos + 1;
+    head := NIL;
+    tail := NIL;
+    LOOP
+      SkipSpaces(r);
+      IF Peek(r) = ')' THEN
+        r.pos := r.pos + 1;
+        EXIT;
+      END;
+      item := ReadObj(r);
+      node := NEW(Pair);
+      node.car := item;
+      IF tail = NIL THEN head := node ELSE tail.cdr := node END;
+      tail := node;
+    END;
+    RETURN head;
+  ELSIF IsDigit(Peek(r)) THEN
+    v := 0;
+    WHILE IsDigit(Peek(r)) DO
+      v := v * 10 + ORD(Peek(r)) - ORD('0');
+      r.pos := r.pos + 1;
+    END;
+    RETURN MkNum(v);
+  ELSE
+    word := "";
+    WHILE IsLetter(Peek(r)) DO
+      word := word & CTOT(Peek(r));
+      r.pos := r.pos + 1;
+    END;
+    RETURN MkSym(Intern(r, word));
+  END;
+END ReadObj;
+
+(* Parses the fib program from source text, builds the recursive
+   environment, and evaluates (fib n). *)
+PROCEDURE RunFibParsed (n: INTEGER): INTEGER =
+VAR
+  r: Reader; bodySrc, callSrc: TEXT;
+  entry, node: Pair; cl: Clos; res: Obj; lam: Pair;
+BEGIN
+  bodySrc := "(lambda n (if (le n 2) 1 (add (fib (sub n 1)) (fib (sub n 2)))))";
+  callSrc := "(fib " & ITOT(n) & ")";
+  r := NewReader(bodySrc);
+  lam := NARROW(ReadObj(r), Pair);
+  entry := NEW(Pair);
+  entry.car := MkSym(VFib);
+  entry.cdr := NIL;
+  node := NEW(Pair);
+  node.car := entry;
+  node.cdr := NIL;
+  cl := NEW(Clos);
+  cl.param := NARROW(Arg(lam, 1), Sym).id;
+  cl.body := Arg(lam, 2);
+  cl.env := node;
+  entry.cdr := cl;
+  r := NewReader(callSrc);
+  res := Eval(ReadObj(r), node);
+  RETURN NumVal(res);
+END RunFibParsed;
+
+BEGIN
+  stats := NEW(Stats);
+  check := 0;
+  FOR pass := 1 TO Scale DO
+    check := check + RunFib(11 + pass MOD 2);
+    check := (check + RunSquares(60)) MOD 1000000007;
+    (* the parsed program must agree with the constructed one *)
+    IF RunFibParsed(10) # RunFib(10) THEN
+      PRINT("READER MISMATCH ");
+    END;
+  END;
+  PRINT("slisp check=");
+  PRINTI(check);
+  PRINT(" evals=");
+  PRINTI(stats.evals);
+END SLisp.

@@ -1,0 +1,134 @@
+(* write-pickle — builds an AST, serializes ("pickles") it into an open
+   integer array, reads it back, and evaluates both copies; modeled on
+   the paper's `write-pickle` benchmark (reads and writes an AST). Open
+   arrays exercise the hidden dope-vector loads of the Encapsulation
+   category. *)
+MODULE WritePickle;
+
+CONST
+  Scale = 4;
+  GenDepth = 8;
+  BufCap = 4096;
+
+TYPE
+  Expr = OBJECT END;
+  Num = Expr OBJECT val: INTEGER; END;
+  Bin = Expr OBJECT op: INTEGER; l, r: Expr; END;
+  IntArr = ARRAY OF INTEGER;
+  Buf = OBJECT
+    data: IntArr;
+    pos: INTEGER;
+  END;
+
+VAR
+  seed, check: INTEGER;
+  e, e2: Expr;
+  buf: Buf;
+
+PROCEDURE Rand (): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  RETURN seed;
+END Rand;
+
+PROCEDURE Gen (depth: INTEGER): Expr =
+VAR b: Bin; n: Num;
+BEGIN
+  IF depth <= 0 THEN
+    n := NEW(Num);
+    n.val := Rand() MOD 100;
+    RETURN n;
+  END;
+  b := NEW(Bin);
+  b.op := Rand() MOD 3;
+  b.l := Gen(depth - 1);
+  b.r := Gen(depth - 1 - Rand() MOD 2);
+  RETURN b;
+END Gen;
+
+PROCEDURE Put (b: Buf; v: INTEGER) =
+BEGIN
+  b.data[b.pos] := v;
+  b.pos := b.pos + 1;
+END Put;
+
+PROCEDURE Pickle (x: Expr; b: Buf) =
+VAR bb: Bin;
+BEGIN
+  IF ISTYPE(x, Num) THEN
+    Put(b, 0);
+    Put(b, NARROW(x, Num).val);
+  ELSE
+    bb := NARROW(x, Bin);
+    Put(b, 1 + bb.op);
+    Pickle(bb.l, b);
+    Pickle(bb.r, b);
+  END;
+END Pickle;
+
+PROCEDURE Get (b: Buf): INTEGER =
+VAR v: INTEGER;
+BEGIN
+  v := b.data[b.pos];
+  b.pos := b.pos + 1;
+  RETURN v;
+END Get;
+
+PROCEDURE Unpickle (b: Buf): Expr =
+VAR tag: INTEGER; n: Num; bb: Bin;
+BEGIN
+  tag := Get(b);
+  IF tag = 0 THEN
+    n := NEW(Num);
+    n.val := Get(b);
+    RETURN n;
+  END;
+  bb := NEW(Bin);
+  bb.op := tag - 1;
+  bb.l := Unpickle(b);
+  bb.r := Unpickle(b);
+  RETURN bb;
+END Unpickle;
+
+PROCEDURE Eval (x: Expr): INTEGER =
+VAR b: Bin; l, r: INTEGER;
+BEGIN
+  IF ISTYPE(x, Num) THEN
+    RETURN NARROW(x, Num).val;
+  END;
+  b := NARROW(x, Bin);
+  l := Eval(b.l);
+  r := Eval(b.r);
+  IF b.op = 0 THEN RETURN (l + r) MOD 10007 END;
+  IF b.op = 1 THEN RETURN (l * r) MOD 10007 END;
+  RETURN l - r;
+END Eval;
+
+PROCEDURE Size (x: Expr): INTEGER =
+VAR b: Bin;
+BEGIN
+  IF ISTYPE(x, Num) THEN RETURN 1 END;
+  b := NARROW(x, Bin);
+  RETURN 1 + Size(b.l) + Size(b.r);
+END Size;
+
+BEGIN
+  seed := 99;
+  check := 0;
+  FOR pass := 1 TO Scale DO
+    e := Gen(GenDepth);
+    buf := NEW(Buf);
+    buf.data := NEW(IntArr, BufCap);
+    buf.pos := 0;
+    Pickle(e, buf);
+    check := check + buf.pos;
+    buf.pos := 0;
+    e2 := Unpickle(buf);
+    check := (check + Eval(e) + Eval(e2) + Size(e2)) MOD 1000000;
+    IF Eval(e) # Eval(e2) THEN
+      PRINT("PICKLE MISMATCH ");
+    END;
+  END;
+  PRINT("write-pickle check=");
+  PRINTI(check);
+END WritePickle.

@@ -1,0 +1,270 @@
+//! # tbaa-benchsuite — the ten benchmark programs of the TBAA evaluation
+//!
+//! The paper evaluates on ten Modula-3 programs (Table 4): `format`,
+//! `dformat`, `write-pickle`, `k-tree`, `slisp`, `pp`, `dom`, `postcard`,
+//! `m2tom3`, and `m3cg`. The originals are not distributable, so this
+//! crate ships MiniM3 programs with the same names performing the same
+//! *kind* of computation — a text formatter, a document formatter, an
+//! AST pickler, k-ary-tree sequences, a small Lisp interpreter, a pretty
+//! printer, a distributed-object substrate, a mail reader, a language
+//! converter, and a code generator. Like in the paper, `dom` and
+//! `postcard` (interactive programs there) are evaluated statically only.
+//!
+//! Every program is deterministic (seeded LCG written in MiniM3) and
+//! takes a `Scale` constant so the harness can trade run time for
+//! precision.
+//!
+//! ## Example
+//!
+//! ```
+//! use tbaa_benchsuite::{suite, Benchmark};
+//! let b = Benchmark::by_name("ktree").expect("exists");
+//! let prog = b.compile(1).expect("the suite always compiles");
+//! assert!(prog.funcs.len() > 3);
+//! assert_eq!(suite().len(), 10);
+//! ```
+
+use tbaa_ir::Program;
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// The paper's name for it.
+    pub name: &'static str,
+    /// MiniM3 source text (with the default `Scale`).
+    pub source: &'static str,
+    /// Whether the paper treats it as interactive (static metrics only).
+    pub interactive: bool,
+    /// Short description.
+    pub about: &'static str,
+}
+
+const PROGRAMS: [Benchmark; 10] = [
+    Benchmark {
+        name: "format",
+        source: include_str!("../programs/format.m3"),
+        interactive: false,
+        about: "text formatter",
+    },
+    Benchmark {
+        name: "dformat",
+        source: include_str!("../programs/dformat.m3"),
+        interactive: false,
+        about: "document formatter",
+    },
+    Benchmark {
+        name: "write-pickle",
+        source: include_str!("../programs/writepickle.m3"),
+        interactive: false,
+        about: "reads and writes an AST",
+    },
+    Benchmark {
+        name: "ktree",
+        source: include_str!("../programs/ktree.m3"),
+        interactive: false,
+        about: "manages sequences using trees",
+    },
+    Benchmark {
+        name: "slisp",
+        source: include_str!("../programs/slisp.m3"),
+        interactive: false,
+        about: "small lisp interpreter",
+    },
+    Benchmark {
+        name: "pp",
+        source: include_str!("../programs/pp.m3"),
+        interactive: false,
+        about: "pretty printer",
+    },
+    Benchmark {
+        name: "dom",
+        source: include_str!("../programs/dom.m3"),
+        interactive: true,
+        about: "system for building distributed applications",
+    },
+    Benchmark {
+        name: "postcard",
+        source: include_str!("../programs/postcard.m3"),
+        interactive: true,
+        about: "graphical mail reader",
+    },
+    Benchmark {
+        name: "m2tom3",
+        source: include_str!("../programs/m2tom3.m3"),
+        interactive: false,
+        about: "converts Modula-2 code to Modula-3",
+    },
+    Benchmark {
+        name: "m3cg",
+        source: include_str!("../programs/m3cg.m3"),
+        interactive: false,
+        about: "code generator",
+    },
+];
+
+/// The whole suite, in the paper's Table 4 order (by size).
+pub fn suite() -> &'static [Benchmark] {
+    &PROGRAMS
+}
+
+impl Benchmark {
+    /// Finds a benchmark by name.
+    pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+        PROGRAMS.iter().find(|b| b.name == name)
+    }
+
+    /// The source with `Scale` rewritten to `scale`.
+    pub fn source_at_scale(&self, scale: u32) -> String {
+        self.source
+            .replace("Scale = 4;", &format!("Scale = {scale};"))
+    }
+
+    /// Compiles the program to IR at the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns front-end diagnostics (the shipped suite always compiles).
+    pub fn compile(&self, scale: u32) -> Result<Program, mini_m3::Diagnostics> {
+        tbaa_ir::compile_to_ir(&self.source_at_scale(scale))
+    }
+
+    /// Non-comment, non-blank source lines — the "Lines" column of
+    /// Table 4.
+    pub fn loc(&self) -> usize {
+        let mut depth = 0usize;
+        let mut count = 0usize;
+        for line in self.source.lines() {
+            let mut significant = false;
+            let bytes = line.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                if i + 1 < bytes.len() && bytes[i] == b'(' && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i] == b'*' && bytes[i + 1] == b')' {
+                    depth = depth.saturating_sub(1);
+                    i += 2;
+                } else {
+                    if depth == 0 && !bytes[i].is_ascii_whitespace() {
+                        significant = true;
+                    }
+                    i += 1;
+                }
+            }
+            if significant {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbaa::analysis::{Level, Tbaa};
+    use tbaa::World;
+    use tbaa_sim::interp::{run, NullHook, RunConfig};
+
+    #[test]
+    fn all_programs_compile() {
+        for b in suite() {
+            match b.compile(1) {
+                Ok(p) => assert!(p.funcs.len() >= 2, "{} has procedures", b.name),
+                Err(e) => panic!("{} failed to compile:\n{e}", b.name),
+            }
+        }
+    }
+
+    #[test]
+    fn non_interactive_programs_run() {
+        for b in suite().iter().filter(|b| !b.interactive) {
+            let prog = b.compile(1).unwrap();
+            let out = run(&prog, &mut NullHook, RunConfig::default())
+                .unwrap_or_else(|e| panic!("{} trapped: {e}", b.name));
+            assert!(
+                out.output.contains(b.name.trim_end_matches("-pickle"))
+                    || out.output.contains("check="),
+                "{} produced output: {}",
+                b.name,
+                out.output
+            );
+            assert!(out.counts.heap_loads > 0, "{} exercises the heap", b.name);
+        }
+    }
+
+    #[test]
+    fn outputs_are_deterministic() {
+        let b = Benchmark::by_name("slisp").unwrap();
+        let p1 = b.compile(1).unwrap();
+        let p2 = b.compile(1).unwrap();
+        let o1 = run(&p1, &mut NullHook, RunConfig::default()).unwrap();
+        let o2 = run(&p2, &mut NullHook, RunConfig::default()).unwrap();
+        assert_eq!(o1.output, o2.output);
+        assert_eq!(o1.counts, o2.counts);
+    }
+
+    #[test]
+    fn rle_preserves_every_benchmark_output() {
+        for b in suite().iter().filter(|bb| !bb.interactive) {
+            let base = b.compile(1).unwrap();
+            let base_out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+            for level in Level::ALL {
+                let mut opt = b.compile(1).unwrap();
+                let analysis = Tbaa::build(&opt, level, World::Closed);
+                tbaa_opt::rle::run_rle(&mut opt, &analysis);
+                let opt_out = run(&opt, &mut NullHook, RunConfig::default())
+                    .unwrap_or_else(|e| panic!("{} @ {level} trapped: {e}", b.name));
+                assert_eq!(
+                    base_out.output, opt_out.output,
+                    "{} output changed under RLE with {level}",
+                    b.name
+                );
+                assert!(
+                    opt_out.counts.heap_loads <= base_out.counts.heap_loads,
+                    "{} heap loads must not increase under {level}",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_pipeline_preserves_every_benchmark_output() {
+        for b in suite().iter().filter(|bb| !bb.interactive) {
+            let base = b.compile(1).unwrap();
+            let base_out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+            let mut opt = b.compile(1).unwrap();
+            let report = tbaa_opt::optimize(
+                &mut opt,
+                &tbaa_opt::OptOptions::full(Level::SmFieldTypeRefs),
+            );
+            let opt_out = run(&opt, &mut NullHook, RunConfig::default())
+                .unwrap_or_else(|e| panic!("{} trapped after full pipeline: {e}", b.name));
+            assert_eq!(
+                base_out.output, opt_out.output,
+                "{} output changed under devirt+inline+RLE ({report:?})",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn scale_changes_work() {
+        let b = Benchmark::by_name("format").unwrap();
+        let p1 = b.compile(1).unwrap();
+        let p2 = b.compile(2).unwrap();
+        let o1 = run(&p1, &mut NullHook, RunConfig::default()).unwrap();
+        let o2 = run(&p2, &mut NullHook, RunConfig::default()).unwrap();
+        assert!(o2.counts.instructions > o1.counts.instructions);
+    }
+
+    #[test]
+    fn loc_counts_are_sane() {
+        for b in suite() {
+            let loc = b.loc();
+            assert!(loc > 50, "{} has {loc} lines", b.name);
+            assert!(loc < 400, "{} has {loc} lines", b.name);
+        }
+    }
+}

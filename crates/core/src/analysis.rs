@@ -1,0 +1,537 @@
+//! The three type-based alias analyses (§2 of the paper) behind one
+//! query interface.
+//!
+//! * [`Level::TypeDecl`] — two access paths may alias iff the subtype
+//!   closures of their declared types intersect (§2.2).
+//! * [`Level::FieldTypeDecl`] — the seven-case refinement of Table 2,
+//!   using field names, the access shape, and `AddressTaken` (§2.3).
+//! * [`Level::SmFieldTypeRefs`] — FieldTypeDecl with the selective-merge
+//!   `TypeRefsTable` substituted for the subtype test (§2.4).
+//!
+//! A [`Tbaa`] is built once per program (O(instructions · types) — §2.5)
+//! and then answers `may_alias` queries. The [`AliasAnalysis`] trait is
+//! what optimization clients (RLE, mod-ref) consume; [`NoAlias`] and
+//! [`AlwaysAlias`] provide the optimistic and trivial oracles used by the
+//! upper-bound study and the baseline.
+
+use crate::merge::{TypeRefsTable, World};
+use crate::subtypes::SubtypeSets;
+use mini_m3::types::{TypeId, TypeKind};
+use std::collections::HashSet;
+use tbaa_ir::ir::Program;
+use tbaa_ir::path::{AccessPath, ApId, ApStep, ApTable};
+
+/// Which of the paper's three analyses to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Type compatibility only (§2.2).
+    TypeDecl,
+    /// Types plus field/shape rules (§2.3, Table 2).
+    FieldTypeDecl,
+    /// FieldTypeDecl plus selective type merging (§2.4).
+    SmFieldTypeRefs,
+}
+
+impl Level {
+    /// All three levels, weakest first.
+    pub const ALL: [Level; 3] = [
+        Level::TypeDecl,
+        Level::FieldTypeDecl,
+        Level::SmFieldTypeRefs,
+    ];
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::TypeDecl => "TypeDecl",
+            Level::FieldTypeDecl => "FieldTypeDecl",
+            Level::SmFieldTypeRefs => "SMFieldTypeRefs",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The query interface optimization clients use.
+pub trait AliasAnalysis {
+    /// A short name for reports.
+    fn name(&self) -> &str;
+
+    /// May the two access paths refer to the same memory location?
+    fn may_alias(&self, aps: &ApTable, a: ApId, b: ApId) -> bool;
+
+    /// May a *wild* indirect store (a `StoreInd` through a VAR-parameter
+    /// location somewhere in the program) modify this path? Only locations
+    /// whose address can be taken are reachable that way.
+    fn wild_may_modify(&self, aps: &ApTable, ap: ApId) -> bool {
+        let _ = (aps, ap);
+        true
+    }
+}
+
+/// A built type-based alias analysis for one program.
+#[derive(Debug, Clone)]
+pub struct Tbaa {
+    level: Level,
+    world: World,
+    subtypes: SubtypeSets,
+    typerefs: TypeRefsTable,
+    /// `(declared base type, field)` pairs whose address is taken.
+    taken_fields: HashSet<(TypeId, String)>,
+    /// Array types with a taken element address.
+    taken_elements: HashSet<TypeId>,
+    /// Types of VAR formals (open-world AddressTaken clause 2).
+    var_formal_types: HashSet<TypeId>,
+    integer: TypeId,
+}
+
+impl Tbaa {
+    /// Builds the analysis for `prog` at the given level and world
+    /// assumption. Cost: one pass over the recorded merges plus the
+    /// subtype closure — the O(instructions · types) bound of §2.5.
+    pub fn build(prog: &Program, level: Level, world: World) -> Self {
+        let subtypes = SubtypeSets::new(&prog.types);
+        let typerefs = TypeRefsTable::build(&prog.types, &subtypes, &prog.merges, world);
+        let mut var_formal_types = HashSet::new();
+        if world == World::Open {
+            for f in &prog.funcs {
+                for (i, mode) in f.param_modes.iter().enumerate() {
+                    if *mode == mini_m3::types::ParamMode::Var {
+                        var_formal_types.insert(f.vars[i].ty);
+                    }
+                }
+            }
+        }
+        Tbaa {
+            level,
+            world,
+            subtypes,
+            typerefs,
+            taken_fields: prog.address_taken.fields.clone(),
+            taken_elements: prog.address_taken.elements.clone(),
+            var_formal_types,
+            integer: prog.types.integer(),
+        }
+    }
+
+    /// The analysis level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// The world assumption.
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// The underlying type-compatibility test: TypeDecl's subtype
+    /// intersection, or the TypeRefsTable intersection at the
+    /// SMFieldTypeRefs level.
+    pub fn type_compatible(&self, a: TypeId, b: TypeId) -> bool {
+        match self.level {
+            Level::SmFieldTypeRefs => self.typerefs.compatible(a, b),
+            _ => self.subtypes.compatible(a, b),
+        }
+    }
+
+    /// The paper's `AddressTaken(p.f)` for a path ending in a field of
+    /// `base_ty`: true iff the program takes the address of field `f` on a
+    /// type-compatible base — plus, in the open world, iff unavailable
+    /// code could (the field's type equals some VAR formal type).
+    fn address_taken_field(&self, base_ty: TypeId, field: &str, field_ty: TypeId) -> bool {
+        if self.world == World::Open && self.var_formal_types.contains(&field_ty) {
+            return true;
+        }
+        self.taken_fields
+            .iter()
+            .any(|(t, f)| f == field && self.subtypes.compatible(*t, base_ty))
+    }
+
+    /// `AddressTaken(q[i])` for an element of array type `arr_ty`.
+    fn address_taken_element(&self, arr_ty: TypeId, elem_ty: TypeId) -> bool {
+        if self.world == World::Open && self.var_formal_types.contains(&elem_ty) {
+            return true;
+        }
+        self.taken_elements
+            .iter()
+            .any(|t| self.subtypes.compatible(*t, arr_ty))
+    }
+
+    /// The set of types a reference of declared type `t` may actually
+    /// point at: `TypeRefsTable(t)` at the SMFieldTypeRefs level,
+    /// `Subtypes(t)` otherwise. Method resolution (the paper's Minv
+    /// client, §3.7) intersects this with the allocated types.
+    pub fn possible_types(&self, t: TypeId) -> Vec<TypeId> {
+        match self.level {
+            Level::SmFieldTypeRefs => self.typerefs.row(t).iter().collect(),
+            _ => self.subtypes.set(t).iter().collect(),
+        }
+    }
+
+    /// `may_alias` on raw paths (Table 2, all seven cases; TypeDecl level
+    /// short-circuits to case 7 for every pair).
+    pub fn may_alias_paths(&self, p: &AccessPath, q: &AccessPath) -> bool {
+        if self.level == Level::TypeDecl {
+            return self.type_compatible(p.ty(self.integer), q.ty(self.integer));
+        }
+        self.ftd(p, q)
+    }
+
+    fn ftd(&self, p: &AccessPath, q: &AccessPath) -> bool {
+        // Case 1: identical access paths always alias.
+        if p == q && !matches!(p.root, tbaa_ir::path::ApRoot::Temp(_)) {
+            return true;
+        }
+        match (p.steps.last(), q.steps.last()) {
+            // Case 2: p.f vs q.g — alias iff same field on possibly the
+            // same object.
+            (Some(ApStep::Field { name: f, .. }), Some(ApStep::Field { name: g, .. })) => {
+                f == g && self.ftd_parents(p, q)
+            }
+            // Case 3: p.f vs q^ — only if the field's address is taken and
+            // the types are compatible.
+            (
+                Some(ApStep::Field {
+                    name,
+                    base_ty,
+                    ty: fty,
+                }),
+                Some(ApStep::Deref { .. }),
+            ) => {
+                self.address_taken_field(*base_ty, name, *fty)
+                    && self.type_compatible(p.ty(self.integer), q.ty(self.integer))
+            }
+            (
+                Some(ApStep::Deref { .. }),
+                Some(ApStep::Field {
+                    name,
+                    base_ty,
+                    ty: fty,
+                }),
+            ) => {
+                self.address_taken_field(*base_ty, name, *fty)
+                    && self.type_compatible(p.ty(self.integer), q.ty(self.integer))
+            }
+            // Case 4: p^ vs q[i] — only if some element address is taken
+            // and the types are compatible.
+            (Some(ApStep::Deref { .. }), Some(ApStep::Index { base_ty, ty, .. }))
+            | (Some(ApStep::Index { base_ty, ty, .. }), Some(ApStep::Deref { .. })) => {
+                self.address_taken_element(*base_ty, *ty)
+                    && self.type_compatible(p.ty(self.integer), q.ty(self.integer))
+            }
+            // Case 5: a subscript can never alias a qualification.
+            (Some(ApStep::Field { .. }), Some(ApStep::Index { .. }))
+            | (Some(ApStep::Index { .. }), Some(ApStep::Field { .. })) => false,
+            // Case 6: two subscripts alias iff they may subscript the same
+            // array — the actual subscripts are ignored.
+            (Some(ApStep::Index { .. }), Some(ApStep::Index { .. })) => self.ftd_parents(p, q),
+            // Dope slots are hidden fields: they alias only each other.
+            (Some(ApStep::DopeLen { .. }), Some(ApStep::DopeLen { .. })) => self.ftd_parents(p, q),
+            (Some(ApStep::DopeLen { .. }), _) | (_, Some(ApStep::DopeLen { .. })) => false,
+            // Case 7: everything else (including two dereferences) falls
+            // back to type compatibility.
+            _ => self.type_compatible(p.ty(self.integer), q.ty(self.integer)),
+        }
+    }
+
+    fn ftd_parents(&self, p: &AccessPath, q: &AccessPath) -> bool {
+        let pp = p.parent().expect("caller matched a step");
+        let qp = q.parent().expect("caller matched a step");
+        self.ftd(&pp, &qp)
+    }
+}
+
+impl AliasAnalysis for Tbaa {
+    fn name(&self) -> &str {
+        self.level.name()
+    }
+
+    fn may_alias(&self, aps: &ApTable, a: ApId, b: ApId) -> bool {
+        self.may_alias_paths(aps.path(a), aps.path(b))
+    }
+
+    fn wild_may_modify(&self, aps: &ApTable, ap: ApId) -> bool {
+        let p = aps.path(ap);
+        match p.steps.last() {
+            Some(ApStep::Field {
+                name,
+                base_ty,
+                ty: fty,
+            }) => self.address_taken_field(*base_ty, name, *fty),
+            Some(ApStep::Index { base_ty, ty, .. }) => self.address_taken_element(*base_ty, *ty),
+            Some(ApStep::DopeLen { .. }) => false,
+            // A dereference target's address is trivially reachable through
+            // the pointer, so a wild store may modify it.
+            Some(ApStep::Deref { .. }) | None => true,
+        }
+    }
+}
+
+/// The optimistic oracle: only textually identical canonical paths alias.
+/// Unsound as a compiler analysis; used by the limit study's shadow RLE
+/// pass to bound what a *perfect* alias analysis could enable (§3.5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAlias;
+
+impl AliasAnalysis for NoAlias {
+    fn name(&self) -> &str {
+        "NoAlias(oracle)"
+    }
+
+    fn may_alias(&self, aps: &ApTable, a: ApId, b: ApId) -> bool {
+        a == b && aps.path(a).is_canonical()
+    }
+
+    fn wild_may_modify(&self, _aps: &ApTable, _ap: ApId) -> bool {
+        false
+    }
+}
+
+/// The trivial analysis: every pair of heap references may alias. This is
+/// the "no alias analysis" baseline a compiler like the paper's GCC back
+/// end effectively uses across memory operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysAlias;
+
+impl AliasAnalysis for AlwaysAlias {
+    fn name(&self) -> &str {
+        "AlwaysAlias(trivial)"
+    }
+
+    fn may_alias(&self, _aps: &ApTable, _a: ApId, _b: ApId) -> bool {
+        true
+    }
+}
+
+/// Convenience: is `t` an object/array/ref type in `prog` (useful when
+/// enumerating reference sites).
+pub fn is_pointerish(prog: &Program, t: TypeId) -> bool {
+    !matches!(
+        prog.types.kind(t),
+        TypeKind::Integer | TypeKind::Boolean | TypeKind::Char
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbaa_ir::compile_to_ir;
+    use tbaa_ir::path::ApRoot;
+
+    /// Finds the AP for the given rendered form.
+    fn find_ap(prog: &Program, rendered: &str) -> ApId {
+        for (id, _) in prog.aps.iter() {
+            if tbaa_ir::pretty::access_path(prog, id) == rendered {
+                return id;
+            }
+        }
+        panic!(
+            "no access path rendered as {rendered}; have: {:?}",
+            prog.aps
+                .iter()
+                .map(|(id, _)| tbaaa_render(prog, id))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    fn tbaaa_render(prog: &Program, id: ApId) -> String {
+        tbaa_ir::pretty::access_path(prog, id)
+    }
+
+    fn prog_fields() -> Program {
+        compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f, g: INTEGER; END;
+             VAR t, u: T; x: INTEGER;
+             BEGIN
+               t := NEW(T); u := NEW(T);
+               t.f := 1; t.g := 2; u.f := 3;
+               x := t.f + t.g + u.f;
+             END M.",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn typedecl_is_coarse_fieldtypedecl_distinguishes_fields() {
+        let prog = prog_fields();
+        let td = Tbaa::build(&prog, Level::TypeDecl, World::Closed);
+        let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
+        let tf = find_ap(&prog, "t.f");
+        let tg = find_ap(&prog, "t.g");
+        let uf = find_ap(&prog, "u.f");
+        // TypeDecl: both INTEGER-typed — everything aliases.
+        assert!(td.may_alias(&prog.aps, tf, tg));
+        // FieldTypeDecl case 2: t.f vs t.g differ in field name.
+        assert!(!ftd.may_alias(&prog.aps, tf, tg));
+        // t.f vs u.f: same field, compatible bases.
+        assert!(ftd.may_alias(&prog.aps, tf, uf));
+        // Identity.
+        assert!(ftd.may_alias(&prog.aps, tf, tf));
+    }
+
+    #[test]
+    fn case_5_subscript_never_aliases_qualify() {
+        let prog = compile_to_ir(
+            "MODULE M;
+             TYPE A = ARRAY OF INTEGER; T = OBJECT f: INTEGER; END;
+             VAR a: A; t: T; x: INTEGER;
+             BEGIN
+               a := NEW(A, 3); t := NEW(T);
+               a[0] := 1; t.f := 2;
+               x := a[1] + t.f;
+             END M.",
+        )
+        .unwrap();
+        let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
+        let a0 = find_ap(&prog, "a[0]");
+        let tf = find_ap(&prog, "t.f");
+        assert!(!ftd.may_alias(&prog.aps, a0, tf));
+        // Case 6: a[0] vs a[1] may alias (subscripts ignored).
+        let a1 = find_ap(&prog, "a[1]");
+        assert!(ftd.may_alias(&prog.aps, a0, a1));
+    }
+
+    #[test]
+    fn case_3_respects_address_taken() {
+        // Without any VAR/WITH use of t.f, a REF INTEGER deref cannot
+        // alias it.
+        let no_taken = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END; P = REF INTEGER;
+             VAR t: T; p: P; x: INTEGER;
+             BEGIN
+               t := NEW(T); p := NEW(P);
+               t.f := 1; p^ := 2;
+               x := t.f + p^;
+             END M.",
+        )
+        .unwrap();
+        let ftd = Tbaa::build(&no_taken, Level::FieldTypeDecl, World::Closed);
+        let tf = find_ap(&no_taken, "t.f");
+        let pd = find_ap(&no_taken, "p^");
+        assert!(!ftd.may_alias(&no_taken.aps, tf, pd));
+
+        // Taking the address of t.f (VAR actual) makes case 3 fire.
+        let taken = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END; P = REF INTEGER;
+             PROCEDURE Touch (VAR v: INTEGER) = BEGIN v := v + 1 END Touch;
+             VAR t: T; p: P; x: INTEGER;
+             BEGIN
+               t := NEW(T); p := NEW(P);
+               Touch(t.f);
+               t.f := 1; p^ := 2;
+               x := t.f + p^;
+             END M.",
+        )
+        .unwrap();
+        let ftd = Tbaa::build(&taken, Level::FieldTypeDecl, World::Closed);
+        let tf = find_ap(&taken, "t.f");
+        let pd = find_ap(&taken, "p^");
+        assert!(ftd.may_alias(&taken.aps, tf, pd));
+    }
+
+    #[test]
+    fn sm_level_uses_merges() {
+        // T-typed and S1-typed field bases never connected by assignment:
+        // SMFieldTypeRefs separates t.f from s.f even though the field
+        // names match; FieldTypeDecl cannot.
+        let prog = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END; S1 = T OBJECT END;
+             VAR t: T; s: S1; x: INTEGER;
+             BEGIN
+               t := NEW(T); s := NEW(S1);
+               t.f := 1; s.f := 2;
+               x := t.f + s.f;
+             END M.",
+        )
+        .unwrap();
+        let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
+        let sm = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+        let tf = find_ap(&prog, "t.f");
+        let sf = find_ap(&prog, "s.f");
+        assert!(ftd.may_alias(&prog.aps, tf, sf), "FieldTypeDecl merges");
+        assert!(!sm.may_alias(&prog.aps, tf, sf), "SMTypeRefs separates");
+    }
+
+    #[test]
+    fn dope_slots_alias_only_dope_slots() {
+        let prog = compile_to_ir(
+            "MODULE M;
+             TYPE A = ARRAY OF INTEGER;
+             VAR a: A; n, x: INTEGER;
+             BEGIN
+               a := NEW(A, 3);
+               a[0] := 1;
+               n := NUMBER(a);
+               x := a[0];
+             END M.",
+        )
+        .unwrap();
+        let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
+        let len = find_ap(&prog, "a.#len");
+        let a0 = find_ap(&prog, "a[0]");
+        assert!(!ftd.may_alias(&prog.aps, len, a0));
+        assert!(ftd.may_alias(&prog.aps, len, len));
+    }
+
+    #[test]
+    fn no_alias_oracle_and_trivial() {
+        let prog = prog_fields();
+        let tf = find_ap(&prog, "t.f");
+        let tg = find_ap(&prog, "t.g");
+        let no = NoAlias;
+        let all = AlwaysAlias;
+        assert!(no.may_alias(&prog.aps, tf, tf));
+        assert!(!no.may_alias(&prog.aps, tf, tg));
+        assert!(all.may_alias(&prog.aps, tf, tg));
+    }
+
+    #[test]
+    fn temp_rooted_paths_never_case_1() {
+        let prog = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END;
+             PROCEDURE Get (): T = BEGIN RETURN NEW(T) END Get;
+             VAR x: INTEGER;
+             BEGIN x := Get().f; END M.",
+        )
+        .unwrap();
+        // The temp-rooted AP still participates in type-based aliasing.
+        let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
+        let temp_ap = prog
+            .aps
+            .iter()
+            .find(|(_, p)| matches!(p.root, ApRoot::Temp(_)))
+            .map(|(id, _)| id)
+            .expect("temp-rooted path exists");
+        assert!(ftd.may_alias(&prog.aps, temp_ap, temp_ap.to_owned()));
+    }
+
+    #[test]
+    fn levels_are_monotonically_precise() {
+        // Any pair SMFieldTypeRefs reports must also be reported by
+        // FieldTypeDecl, and any FieldTypeDecl pair by TypeDecl.
+        let prog = prog_fields();
+        let td = Tbaa::build(&prog, Level::TypeDecl, World::Closed);
+        let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
+        let sm = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+        let ids: Vec<ApId> = prog.aps.iter().map(|(id, _)| id).collect();
+        for &a in &ids {
+            for &b in &ids {
+                if sm.may_alias(&prog.aps, a, b) {
+                    assert!(ftd.may_alias(&prog.aps, a, b));
+                }
+                if ftd.may_alias(&prog.aps, a, b) {
+                    assert!(td.may_alias(&prog.aps, a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A small dense bitset keyed by [`TypeId`], used for `Subtypes(T)` sets
+//! and `TypeRefsTable` rows. The paper's complexity argument (§2.5) counts
+//! "bit-vector steps"; these are those bit vectors.
+
+use mini_m3::types::TypeId;
+
+/// A fixed-universe bitset over type ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeSet {
+    words: Vec<u64>,
+}
+
+impl TypeSet {
+    /// An empty set sized for a universe of `n` types.
+    pub fn new(n: usize) -> Self {
+        TypeSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts a type. Returns whether it was newly inserted.
+    pub fn insert(&mut self, t: TypeId) -> bool {
+        let (w, b) = (t.0 as usize / 64, t.0 as usize % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Whether the set contains `t`.
+    pub fn contains(&self, t: TypeId) -> bool {
+        let (w, b) = (t.0 as usize / 64, t.0 as usize % 64);
+        self.words.get(w).is_some_and(|x| x & (1 << b) != 0)
+    }
+
+    /// Whether the two sets share an element — the `Subtypes(p) ∩
+    /// Subtypes(q) ≠ ∅` test at the heart of TypeDecl.
+    pub fn intersects(&self, other: &TypeSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &TypeSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &TypeSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| TypeId((wi * 64 + b) as u32))
+        })
+    }
+}
+
+impl FromIterator<TypeId> for TypeSet {
+    fn from_iter<I: IntoIterator<Item = TypeId>>(iter: I) -> Self {
+        let items: Vec<TypeId> = iter.into_iter().collect();
+        let max = items.iter().map(|t| t.0 as usize + 1).max().unwrap_or(0);
+        let mut s = TypeSet::new(max);
+        for t in items {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains() {
+        let mut s = TypeSet::new(130);
+        assert!(s.insert(TypeId(0)));
+        assert!(s.insert(TypeId(129)));
+        assert!(!s.insert(TypeId(129)), "double insert reports false");
+        assert!(s.contains(TypeId(0)));
+        assert!(s.contains(TypeId(129)));
+        assert!(!s.contains(TypeId(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn intersects_and_union() {
+        let mut a = TypeSet::new(100);
+        let mut b = TypeSet::new(100);
+        a.insert(TypeId(3));
+        b.insert(TypeId(70));
+        assert!(!a.intersects(&b));
+        b.insert(TypeId(3));
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains(TypeId(70)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn intersect_with_filters() {
+        let mut a: TypeSet = [TypeId(1), TypeId(2), TypeId(3)].into_iter().collect();
+        let b: TypeSet = [TypeId(2), TypeId(9)].into_iter().collect();
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![TypeId(2)]);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: TypeSet = [TypeId(65), TypeId(2)].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![TypeId(2), TypeId(65)]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let s = TypeSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(TypeId(3)));
+    }
+}

@@ -1,0 +1,273 @@
+//! Selective type merging — the SMTypeRefs algorithm of §2.4 (Figure 2).
+//!
+//! TypeDecl is conservative: it assumes a reference of type `T` may point
+//! at *any* subtype of `T`. SMTypeRefs sharpens this with a flow-insensitive
+//! pass over all explicit and implicit pointer assignments (similar to
+//! Steensgaard's algorithm, but over programming-language types): types are
+//! only merged when some assignment actually connects them, and the final
+//! `TypeRefsTable(T) = Group(T) ∩ Subtypes(T)` filters out infeasible
+//! targets, giving the asymmetry of Table 3 in the paper.
+
+use crate::bitset::TypeSet;
+use crate::subtypes::SubtypeSets;
+use mini_m3::types::{TypeId, TypeKind, TypeTable};
+use tbaa_ir::ir::Merge;
+
+/// Whether analysis assumes the whole program is visible.
+///
+/// Under [`World::Open`] (§4 of the paper), unavailable code may perform
+/// additional merges between structurally reconstructible (unbranded)
+/// types related by subtyping, and may take addresses through VAR formals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum World {
+    /// Whole program available (closed-world assumption).
+    #[default]
+    Closed,
+    /// Unavailable code may exist (open-world assumption).
+    Open,
+}
+
+/// A union-find over type ids.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+    }
+}
+
+/// The `TypeRefsTable` produced by selective merging: for each declared
+/// type `T`, the set of types an access path of declared type `T` may
+/// actually reference.
+#[derive(Debug, Clone)]
+pub struct TypeRefsTable {
+    rows: Vec<TypeSet>,
+}
+
+impl TypeRefsTable {
+    /// Runs Figure 2 of the paper over the recorded merges.
+    ///
+    /// * Step 1 puts every pointer type in its own group.
+    /// * Step 2 unions groups at every pointer assignment `a := b` with
+    ///   `Type(a) ≠ Type(b)` (the `merges` list collected during lowering).
+    ///   Under [`World::Open`], subtype-related unbranded types are also
+    ///   merged, since unavailable code can reconstruct structural types
+    ///   and assign them (§4).
+    /// * Step 3 filters each group by `Subtypes(T)`.
+    pub fn build(
+        types: &TypeTable,
+        subtypes: &SubtypeSets,
+        merges: &[Merge],
+        world: World,
+    ) -> Self {
+        let n = types.len();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in merges {
+            uf.union(a.0, b.0);
+        }
+        if world == World::Open {
+            for t in types.iter() {
+                if let TypeKind::Object {
+                    super_ty: Some(s), ..
+                } = types.kind(t)
+                {
+                    if !types.is_branded(t) && !types.is_branded(*s) {
+                        uf.union(t.0, s.0);
+                    }
+                }
+            }
+        }
+        // Materialize groups.
+        let mut group_sets: Vec<TypeSet> = vec![TypeSet::new(n); n];
+        for t in types.iter() {
+            let root = uf.find(t.0);
+            group_sets[root as usize].insert(t);
+        }
+        // Step 3: TypeRefsTable(t) = Group(t) ∩ Subtypes(t).
+        let mut rows = Vec::with_capacity(n);
+        for t in types.iter() {
+            let root = uf.find(t.0);
+            let mut row = group_sets[root as usize].clone();
+            row.intersect_with(subtypes.set(t));
+            // Every type may reference itself.
+            row.insert(t);
+            rows.push(row);
+        }
+        TypeRefsTable { rows }
+    }
+
+    /// `TypeRefsTable(t)`.
+    pub fn row(&self, t: TypeId) -> &TypeSet {
+        &self.rows[t.0 as usize]
+    }
+
+    /// The SMTypeRefs compatibility test:
+    /// `TypeRefsTable(a) ∩ TypeRefsTable(b) ≠ ∅`.
+    pub fn compatible(&self, a: TypeId, b: TypeId) -> bool {
+        self.rows[a.0 as usize].intersects(&self.rows[b.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbaa_ir::lower::lower;
+
+    /// The program of Figure 3 in the paper, whose expected TypeRefsTable
+    /// is Table 3.
+    fn figure3() -> tbaa_ir::Program {
+        let checked = mini_m3::compile(
+            "MODULE Fig3;
+             TYPE
+               T = OBJECT f, g: T; END;
+               S1 = T OBJECT END;
+               S2 = T OBJECT END;
+               S3 = T OBJECT END;
+             VAR
+               s1: S1; s2: S2; s3: S3; t: T;
+             BEGIN
+               s1 := NEW(S1);
+               s2 := NEW(S2);
+               s3 := NEW(S3);
+               t := s1; (* Statement 1 *)
+               t := s2; (* Statement 2 *)
+             END Fig3.",
+        )
+        .unwrap();
+        lower(checked).unwrap()
+    }
+
+    #[test]
+    fn table_3_typerefs() {
+        let prog = figure3();
+        let subs = SubtypeSets::new(&prog.types);
+        let table = TypeRefsTable::build(&prog.types, &subs, &prog.merges, World::Closed);
+        let t = prog.types.by_name("T").unwrap();
+        let s1 = prog.types.by_name("S1").unwrap();
+        let s2 = prog.types.by_name("S2").unwrap();
+        let s3 = prog.types.by_name("S3").unwrap();
+        // Table 3: T -> {T, S1, S2}; S1 -> {S1}; S2 -> {S2}; S3 -> {S3}.
+        let row_t = table.row(t);
+        assert!(row_t.contains(t) && row_t.contains(s1) && row_t.contains(s2));
+        assert!(!row_t.contains(s3), "S3 never assigned into T");
+        assert_eq!(table.row(s1).iter().collect::<Vec<_>>(), vec![s1]);
+        assert_eq!(table.row(s2).iter().collect::<Vec<_>>(), vec![s2]);
+        assert_eq!(table.row(s3).iter().collect::<Vec<_>>(), vec![s3]);
+    }
+
+    #[test]
+    fn asymmetry_of_step_3() {
+        let prog = figure3();
+        let subs = SubtypeSets::new(&prog.types);
+        let table = TypeRefsTable::build(&prog.types, &subs, &prog.merges, World::Closed);
+        let t = prog.types.by_name("T").unwrap();
+        let s1 = prog.types.by_name("S1").unwrap();
+        // T may reference S1 objects, but S1 may not reference T objects.
+        assert!(table.row(t).contains(s1));
+        assert!(!table.row(s1).contains(t));
+        // Still compatible as a pair (they share S1).
+        assert!(table.compatible(t, s1));
+    }
+
+    #[test]
+    fn no_assignment_no_merge() {
+        // TypeDecl would say t and s may alias; SMTypeRefs proves otherwise
+        // when there is no assignment between them (§2.4's motivating
+        // example).
+        let checked = mini_m3::compile(
+            "MODULE M;
+             TYPE T = OBJECT END; S1 = T OBJECT END;
+             VAR t: T; s: S1;
+             BEGIN
+               t := NEW(T);
+               s := NEW(S1);
+             END M.",
+        )
+        .unwrap();
+        let prog = lower(checked).unwrap();
+        let subs = SubtypeSets::new(&prog.types);
+        let table = TypeRefsTable::build(&prog.types, &subs, &prog.merges, World::Closed);
+        let t = prog.types.by_name("T").unwrap();
+        let s1 = prog.types.by_name("S1").unwrap();
+        assert!(
+            !table.compatible(t, s1),
+            "no assignment between T and S1, so no aliasing"
+        );
+        // TypeDecl, by contrast, is compatible.
+        assert!(subs.compatible(t, s1));
+    }
+
+    #[test]
+    fn open_world_merges_unbranded_hierarchy() {
+        let checked = mini_m3::compile(
+            "MODULE M;
+             TYPE T = OBJECT END; S1 = T OBJECT END;
+                  B = BRANDED \"b\" OBJECT END; BS = B OBJECT END;
+             VAR t: T; s: S1; b: B;
+             BEGIN
+               t := NEW(T); s := NEW(S1); b := NEW(B);
+             END M.",
+        )
+        .unwrap();
+        let prog = lower(checked).unwrap();
+        let subs = SubtypeSets::new(&prog.types);
+        let open = TypeRefsTable::build(&prog.types, &subs, &prog.merges, World::Open);
+        let closed = TypeRefsTable::build(&prog.types, &subs, &prog.merges, World::Closed);
+        let t = prog.types.by_name("T").unwrap();
+        let s1 = prog.types.by_name("S1").unwrap();
+        let b = prog.types.by_name("B").unwrap();
+        let bs = prog.types.by_name("BS").unwrap();
+        // Closed world: no merges at all.
+        assert!(!closed.compatible(t, s1));
+        // Open world: unavailable code may assign an S1 to a T.
+        assert!(open.compatible(t, s1));
+        // But the branded root stays unmerged with its subtype.
+        assert!(!open.row(b).contains(bs));
+    }
+
+    #[test]
+    fn scalar_rows_are_singletons() {
+        let prog = figure3();
+        let subs = SubtypeSets::new(&prog.types);
+        let table = TypeRefsTable::build(&prog.types, &subs, &prog.merges, World::Closed);
+        let int = prog.types.integer();
+        assert_eq!(table.row(int).iter().collect::<Vec<_>>(), vec![int]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Precomputed `Subtypes(T)` closures (§2.1).
+//!
+//! `Subtypes(T)` is the set of subtypes of `T`, including `T` itself. An
+//! access path of declared type `T` may legally refer to any object whose
+//! allocated type is in `Subtypes(T)`; TypeDecl declares two paths aliased
+//! exactly when their subtype sets intersect.
+
+use crate::bitset::TypeSet;
+use mini_m3::types::{TypeId, TypeTable};
+
+/// One `Subtypes(T)` bitset per type, indexed by [`TypeId`].
+#[derive(Debug, Clone)]
+pub struct SubtypeSets {
+    sets: Vec<TypeSet>,
+}
+
+impl SubtypeSets {
+    /// Computes the subtype closure for every type in the table.
+    pub fn new(types: &TypeTable) -> Self {
+        let n = types.len();
+        let mut sets = Vec::with_capacity(n);
+        for t in types.iter() {
+            let mut s = TypeSet::new(n);
+            for sub in types.subtypes(t) {
+                s.insert(sub);
+            }
+            sets.push(s);
+        }
+        SubtypeSets { sets }
+    }
+
+    /// The `Subtypes(T)` set.
+    pub fn set(&self, t: TypeId) -> &TypeSet {
+        &self.sets[t.0 as usize]
+    }
+
+    /// `Subtypes(a) ∩ Subtypes(b) ≠ ∅` — the TypeDecl compatibility test.
+    pub fn compatible(&self, a: TypeId, b: TypeId) -> bool {
+        self.set(a).intersects(self.set(b))
+    }
+
+    /// Number of types covered.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hierarchy of Figure 1 in the paper.
+    fn figure1() -> (TypeTable, TypeId, TypeId, TypeId) {
+        let checked = mini_m3::compile(
+            "MODULE Fig1;
+             TYPE
+               T = OBJECT f, g: T; END;
+               S1 = T OBJECT END;
+               S2 = T OBJECT END;
+               S3 = T OBJECT END;
+             BEGIN END Fig1.",
+        )
+        .unwrap();
+        let t = checked.types.by_name("T").unwrap();
+        let s1 = checked.types.by_name("S1").unwrap();
+        let s2 = checked.types.by_name("S2").unwrap();
+        (checked.types, t, s1, s2)
+    }
+
+    #[test]
+    fn figure_1_compatibility() {
+        let (types, t, s1, s2) = figure1();
+        let subs = SubtypeSets::new(&types);
+        // t and s may reference the same location, t and u may, s and u not.
+        assert!(subs.compatible(t, s1));
+        assert!(subs.compatible(t, s2));
+        assert!(!subs.compatible(s1, s2));
+        // Reflexive.
+        assert!(subs.compatible(t, t));
+    }
+
+    #[test]
+    fn scalar_types_self_compatible_only() {
+        let (types, t, ..) = figure1();
+        let subs = SubtypeSets::new(&types);
+        let int = types.integer();
+        let boolean = types.boolean();
+        assert!(subs.compatible(int, int));
+        assert!(!subs.compatible(int, boolean));
+        assert!(!subs.compatible(int, t));
+    }
+
+    #[test]
+    fn subtype_set_contents() {
+        let (types, t, s1, _) = figure1();
+        let subs = SubtypeSets::new(&types);
+        assert_eq!(subs.set(t).len(), 4);
+        assert!(subs.set(t).contains(s1));
+        assert_eq!(subs.set(s1).len(), 1);
+    }
+}

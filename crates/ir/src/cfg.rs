@@ -1,0 +1,518 @@
+//! Control-flow graph utilities: predecessors, reverse postorder,
+//! dominators (Cooper–Harvey–Kennedy), natural loops, and preheader
+//! insertion for loop-invariant code motion.
+
+use crate::ir::{Block, BlockId, Function, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// Analysis view of one function's CFG.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors of each block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry (unreachable blocks are
+    /// excluded).
+    pub rpo: Vec<BlockId>,
+    /// Immediate dominator of each block (entry's idom is itself);
+    /// `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+    /// Position of each block in `rpo` (usize::MAX if unreachable).
+    rpo_pos: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for a function.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, b) in func.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                succs[i].push(s);
+                preds[s.0 as usize].push(BlockId(i as u32));
+            }
+        }
+        // Reverse postorder via iterative DFS.
+        let mut visited = vec![false; n];
+        let mut post = Vec::new();
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.0 as usize];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b.0 as usize] = i;
+        }
+        let mut cfg = Cfg {
+            succs,
+            preds,
+            rpo,
+            idom: vec![None; n],
+            rpo_pos,
+        };
+        cfg.compute_dominators();
+        cfg
+    }
+
+    fn compute_dominators(&mut self) {
+        // Cooper, Harvey & Kennedy, "A simple, fast dominance algorithm".
+        let entry = BlockId(0);
+        self.idom[0] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in self.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &self.preds[b.0 as usize] {
+                    if self.idom[p.0 as usize].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => self.intersect(p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if self.idom[b.0 as usize] != Some(ni) {
+                        self.idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn intersect(&self, a: BlockId, b: BlockId) -> BlockId {
+        let mut f1 = a;
+        let mut f2 = b;
+        while f1 != f2 {
+            while self.rpo_pos[f1.0 as usize] > self.rpo_pos[f2.0 as usize] {
+                f1 = self.idom[f1.0 as usize].expect("reachable");
+            }
+            while self.rpo_pos[f2.0 as usize] > self.rpo_pos[f1.0 as usize] {
+                f2 = self.idom[f2.0 as usize].expect("reachable");
+            }
+        }
+        f1
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[b.0 as usize] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let id = self.idom[cur.0 as usize].expect("reachable");
+            if id == cur {
+                return false; // reached the entry
+            }
+            cur = id;
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.0 as usize] != usize::MAX
+    }
+
+    /// Finds all natural loops: back edges `latch -> header` where the
+    /// header dominates the latch, with bodies merged per header.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let mut by_header: HashMap<BlockId, NaturalLoop> = HashMap::new();
+        for (i, ss) in self.succs.iter().enumerate() {
+            let latch = BlockId(i as u32);
+            if !self.reachable(latch) {
+                continue;
+            }
+            for &header in ss {
+                if self.dominates(header, latch) {
+                    let l = by_header.entry(header).or_insert_with(|| NaturalLoop {
+                        header,
+                        latches: Vec::new(),
+                        body: HashSet::new(),
+                    });
+                    l.latches.push(latch);
+                    // Body: header plus everything that reaches the latch
+                    // without passing through the header.
+                    l.body.insert(header);
+                    let mut stack = vec![latch];
+                    while let Some(b) = stack.pop() {
+                        if l.body.insert(b) {
+                            for &p in &self.preds[b.0 as usize] {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut loops: Vec<NaturalLoop> = by_header.into_values().collect();
+        // Inner loops first (smaller bodies), stable for determinism.
+        loops.sort_by_key(|l| (l.body.len(), l.header));
+        loops
+    }
+}
+
+/// Post-dominance information: `a` post-dominates `b` when every path
+/// from `b` to function exit passes through `a`. Computed over the
+/// reversed CFG with a virtual exit joining all `Return` blocks.
+#[derive(Debug, Clone)]
+pub struct PostDoms {
+    /// Immediate post-dominator per block (`None` if the block cannot
+    /// reach an exit, e.g. an infinite loop).
+    ipdom: Vec<Option<u32>>,
+    rpo_pos: Vec<usize>,
+    /// Id of the virtual exit (== number of real blocks).
+    exit: u32,
+}
+
+impl PostDoms {
+    /// Computes post-dominators from a CFG.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.succs.len();
+        let exit = n as u32;
+        // Reverse graph over n+1 nodes: edges succ->pred, plus exit->returns.
+        let mut rsuccs: Vec<Vec<u32>> = vec![Vec::new(); n + 1]; // preds in reverse graph = succs in original
+        let mut rpreds: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        for (i, ss) in cfg.succs.iter().enumerate() {
+            if ss.is_empty() {
+                // Return block: edge block -> exit in the original sense,
+                // i.e. exit -> block in the reverse graph.
+                rsuccs[exit as usize].push(i as u32);
+                rpreds[i].push(exit);
+            }
+            for s in ss {
+                // original edge i -> s becomes reverse edge s -> i
+                rsuccs[s.0 as usize].push(i as u32);
+                rpreds[i].push(s.0);
+            }
+        }
+        // RPO over the reverse graph from the virtual exit.
+        let mut visited = vec![false; n + 1];
+        let mut post = Vec::new();
+        let mut stack: Vec<(u32, usize)> = vec![(exit, 0)];
+        visited[exit as usize] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &rsuccs[b as usize];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s as usize] {
+                    visited[s as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<u32> = post.into_iter().rev().collect();
+        let mut rpo_pos = vec![usize::MAX; n + 1];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b as usize] = i;
+        }
+        let mut ipdom: Vec<Option<u32>> = vec![None; n + 1];
+        ipdom[exit as usize] = Some(exit);
+        let intersect = |ipdom: &[Option<u32>], rpo_pos: &[usize], a: u32, b: u32| -> u32 {
+            let (mut f1, mut f2) = (a, b);
+            while f1 != f2 {
+                while rpo_pos[f1 as usize] > rpo_pos[f2 as usize] {
+                    f1 = ipdom[f1 as usize].expect("reachable");
+                }
+                while rpo_pos[f2 as usize] > rpo_pos[f1 as usize] {
+                    f2 = ipdom[f2 as usize].expect("reachable");
+                }
+            }
+            f1
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_ip: Option<u32> = None;
+                for &p in &rpreds[b as usize] {
+                    if ipdom[p as usize].is_none() {
+                        continue;
+                    }
+                    new_ip = Some(match new_ip {
+                        None => p,
+                        Some(cur) => intersect(&ipdom, &rpo_pos, p, cur),
+                    });
+                }
+                if let Some(ni) = new_ip {
+                    if ipdom[b as usize] != Some(ni) {
+                        ipdom[b as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        PostDoms {
+            ipdom,
+            rpo_pos,
+            exit,
+        }
+    }
+
+    /// Whether `a` post-dominates `b`.
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[b.0 as usize] == usize::MAX {
+            return false;
+        }
+        let mut cur = b.0;
+        loop {
+            if cur == a.0 {
+                return true;
+            }
+            match self.ipdom[cur as usize] {
+                Some(ip) if ip != cur => cur = ip,
+                _ => return false,
+            }
+            if cur == self.exit {
+                return a.0 == self.exit;
+            }
+        }
+    }
+}
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (dominates the whole body).
+    pub header: BlockId,
+    /// The latch blocks (sources of back edges).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub body: HashSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether the loop contains a block.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// Inserts (or finds) a preheader for the loop headed at `header`: a block
+/// that is the unique non-loop predecessor of the header. Returns the
+/// preheader id. The function's CFG must be rebuilt afterwards.
+pub fn ensure_preheader(func: &mut Function, cfg: &Cfg, lp: &NaturalLoop) -> BlockId {
+    let header = lp.header;
+    let outside_preds: Vec<BlockId> = cfg.preds[header.0 as usize]
+        .iter()
+        .copied()
+        .filter(|p| !lp.contains(*p))
+        .collect();
+    if outside_preds.len() == 1 {
+        let p = outside_preds[0];
+        // Usable as a preheader only if its sole successor is the header.
+        if cfg.succs[p.0 as usize].len() == 1 {
+            return p;
+        }
+    }
+    // Create a fresh preheader.
+    let ph = BlockId(func.blocks.len() as u32);
+    func.blocks.push(Block {
+        instrs: Vec::new(),
+        term: Terminator::Jump(header),
+    });
+    for &p in &outside_preds {
+        let term = &mut func.blocks[p.0 as usize].term;
+        match term {
+            Terminator::Jump(t) => {
+                if *t == header {
+                    *t = ph;
+                }
+            }
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                if *then_bb == header {
+                    *then_bb = ph;
+                }
+                if *else_bb == header {
+                    *else_bb = ph;
+                }
+            }
+            Terminator::Return(_) => {}
+        }
+    }
+    ph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Operand, VarClass, VarDecl};
+    use mini_m3::types::TypeId;
+
+    /// Builds a function with the given edges (blocks have no instructions).
+    fn make_func(n: usize, edges: &[(u32, u32)]) -> Function {
+        let mut blocks: Vec<Block> = (0..n).map(|_| Block::new()).collect();
+        // Group edges by source.
+        let mut by_src: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(a, b) in edges {
+            by_src.entry(a).or_default().push(b);
+        }
+        for (src, dsts) in by_src {
+            let term = match dsts.len() {
+                1 => Terminator::Jump(BlockId(dsts[0])),
+                2 => Terminator::Branch {
+                    cond: Operand::ImmBool(true),
+                    then_bb: BlockId(dsts[0]),
+                    else_bb: BlockId(dsts[1]),
+                },
+                _ => panic!("at most two successors"),
+            };
+            blocks[src as usize].term = term;
+        }
+        Function {
+            name: "t".into(),
+            n_params: 0,
+            param_modes: vec![],
+            ret: None,
+            vars: vec![VarDecl {
+                name: "x".into(),
+                ty: TypeId(0),
+                size: 1,
+                class: VarClass::Register,
+            }],
+            blocks,
+            n_regs: 0,
+        }
+    }
+
+    #[test]
+    fn straight_line_dominators() {
+        // 0 -> 1 -> 2
+        let f = make_func(3, &[(0, 1), (1, 2)]);
+        let cfg = Cfg::new(&f);
+        assert!(cfg.dominates(BlockId(0), BlockId(2)));
+        assert!(cfg.dominates(BlockId(1), BlockId(2)));
+        assert!(!cfg.dominates(BlockId(2), BlockId(1)));
+        assert_eq!(cfg.idom[2], Some(BlockId(1)));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // 0 -> {1,2} -> 3
+        let f = make_func(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.idom[3], Some(BlockId(0)));
+        assert!(!cfg.dominates(BlockId(1), BlockId(3)));
+        assert!(cfg.dominates(BlockId(0), BlockId(3)));
+    }
+
+    #[test]
+    fn simple_loop_detected() {
+        // 0 -> 1(header) -> {2(body), 3(exit)}, 2 -> 1
+        let f = make_func(4, &[(0, 1), (1, 2), (1, 3), (2, 1)]);
+        let cfg = Cfg::new(&f);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert!(l.contains(BlockId(1)) && l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(3)));
+    }
+
+    #[test]
+    fn nested_loops_sorted_inner_first() {
+        // outer: 1..4, inner: 2..3
+        // 0->1, 1->2, 2->3, 3->2 (inner back), 3->4, 4->1 (outer back), 1->5
+        let f = make_func(6, &[(0, 1), (1, 2), (1, 5), (2, 3), (3, 2), (3, 4), (4, 1)]);
+        let cfg = Cfg::new(&f);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2);
+        assert!(loops[0].body.len() < loops[1].body.len());
+        assert_eq!(loops[0].header, BlockId(2));
+        assert_eq!(loops[1].header, BlockId(1));
+        assert!(loops[1].body.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let f = make_func(3, &[(0, 1)]); // block 2 unreachable
+        let cfg = Cfg::new(&f);
+        assert!(cfg.reachable(BlockId(1)));
+        assert!(!cfg.reachable(BlockId(2)));
+        assert!(!cfg.dominates(BlockId(0), BlockId(2)));
+    }
+
+    #[test]
+    fn post_dominators_diamond() {
+        // 0 -> {1,2} -> 3 (return)
+        let f = make_func(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::new(&f);
+        let pd = PostDoms::new(&cfg);
+        assert!(pd.post_dominates(BlockId(3), BlockId(0)));
+        assert!(pd.post_dominates(BlockId(3), BlockId(1)));
+        assert!(!pd.post_dominates(BlockId(1), BlockId(0)));
+        assert!(pd.post_dominates(BlockId(0), BlockId(0)));
+    }
+
+    #[test]
+    fn post_dominators_with_loop() {
+        // 0 -> 1 -> 2 -> {1, 3}; 3 returns.
+        let f = make_func(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let cfg = Cfg::new(&f);
+        let pd = PostDoms::new(&cfg);
+        assert!(pd.post_dominates(BlockId(3), BlockId(0)));
+        assert!(pd.post_dominates(BlockId(2), BlockId(1)));
+        assert!(!pd.post_dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn infinite_loop_has_no_postdominators() {
+        // 0 -> 1 -> 1 (never returns); block 2 unreachable return.
+        let f = make_func(3, &[(0, 1), (1, 1)]);
+        let cfg = Cfg::new(&f);
+        let pd = PostDoms::new(&cfg);
+        assert!(!pd.post_dominates(BlockId(2), BlockId(0)));
+    }
+
+    #[test]
+    fn preheader_created_when_needed() {
+        // 0 -> {1, 3}; 1(header) -> 2, 2 -> 1; 1 -> 3 would complicate; use:
+        // 0 -> 1, 1 -> 2, 2 -> {1, 3}; entry branches so 0 is jump-only: ok.
+        let mut f = make_func(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let cfg = Cfg::new(&f);
+        let loops = cfg.natural_loops();
+        let ph = ensure_preheader(&mut f, &cfg, &loops[0]);
+        // Block 0 jumps straight to the header, so it serves as preheader.
+        assert_eq!(ph, BlockId(0));
+
+        // Now a case where the outside predecessor branches.
+        let mut g = make_func(4, &[(0, 1), (0, 3), (1, 2), (2, 1)]);
+        let cfg = Cfg::new(&g);
+        let loops = cfg.natural_loops();
+        let before = g.blocks.len();
+        let ph = ensure_preheader(&mut g, &cfg, &loops[0]);
+        assert_eq!(ph.0 as usize, before, "fresh block appended");
+        // The branch edge was redirected.
+        match &g.blocks[0].term {
+            Terminator::Branch { then_bb, .. } => assert_eq!(*then_bb, ph),
+            other => panic!("unexpected terminator {other:?}"),
+        }
+    }
+}

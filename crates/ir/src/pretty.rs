@@ -1,0 +1,190 @@
+//! Human-readable IR dumps, mainly for debugging and golden tests.
+
+use crate::ir::*;
+use crate::path::{ApRoot, FuncId};
+use std::fmt::Write as _;
+
+/// Renders one function.
+pub fn function(prog: &Program, fid: FuncId) -> String {
+    let f = prog.func(fid);
+    let mut out = String::new();
+    let _ = writeln!(out, "func {} ({} params) {{", f.name, f.n_params);
+    for (i, v) in f.vars.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  var v{i}: {} size={} {:?} ; {}",
+            prog.types.display(v.ty),
+            v.size,
+            v.class,
+            v.name
+        );
+    }
+    for b in f.block_ids() {
+        let _ = writeln!(out, "{b}:");
+        for instr in &f.block(b).instrs {
+            let _ = writeln!(out, "  {}", render_instr(prog, fid, instr));
+        }
+        let _ = writeln!(out, "  {}", render_term(&f.block(b).term));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the whole program.
+pub fn program(prog: &Program) -> String {
+    let mut out = String::new();
+    for fid in prog.func_ids() {
+        out.push_str(&function(prog, fid));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an access path with variable names.
+pub fn access_path(prog: &Program, ap: crate::path::ApId) -> String {
+    prog.aps.display(ap, |root| match root {
+        ApRoot::Local { func, var } => prog
+            .func(*func)
+            .vars
+            .get(var.0 as usize)
+            .map(|v| v.name.clone())
+            .unwrap_or_else(|| format!("{var}")),
+        ApRoot::Global(g) => prog
+            .globals
+            .get(g.0 as usize)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("g{}", g.0)),
+        ApRoot::Temp(t) => format!("$t{t}"),
+    })
+}
+
+fn render_slot(addr: &SlotAddr) -> String {
+    let base = match addr.base {
+        SlotBase::Local(v) => format!("{v}"),
+        SlotBase::Global(g) => format!("g{}", g.0),
+    };
+    let mut s = base;
+    if addr.offset != 0 {
+        let _ = write!(s, "+{}", addr.offset);
+    }
+    for (op, lo, scale) in &addr.indices {
+        let _ = write!(s, "[({op}-{lo})*{scale}]");
+    }
+    s
+}
+
+fn render_mem(addr: &MemAddr) -> String {
+    let mut s = format!("[{}+{}", addr.base, addr.offset);
+    for (op, lo, scale) in &addr.indices {
+        let _ = write!(s, "+({op}-{lo})*{scale}");
+    }
+    s.push(']');
+    s
+}
+
+fn render_instr(prog: &Program, _fid: FuncId, instr: &Instr) -> String {
+    match instr {
+        Instr::ConstText { dst, text } => {
+            format!("{dst} := text {:?}", prog.texts[*text as usize])
+        }
+        Instr::Copy { dst, src } => format!("{dst} := {src}"),
+        Instr::Un { dst, op, src } => format!("{dst} := {op:?} {src}"),
+        Instr::Bin { dst, op, lhs, rhs } => format!("{dst} := {lhs} {op} {rhs}"),
+        Instr::LoadSlot { dst, addr } => format!("{dst} := slot {}", render_slot(addr)),
+        Instr::StoreSlot { addr, src } => format!("slot {} := {src}", render_slot(addr)),
+        Instr::LoadMem {
+            dst,
+            addr,
+            ap,
+            hidden,
+        } => format!(
+            "{dst} := load{} {} ; {}",
+            if *hidden { "(hidden)" } else { "" },
+            render_mem(addr),
+            access_path(prog, *ap)
+        ),
+        Instr::StoreMem { addr, src, ap } => format!(
+            "store {} := {src} ; {}",
+            render_mem(addr),
+            access_path(prog, *ap)
+        ),
+        Instr::LoadInd { dst, loc } => format!("{dst} := ind *{loc}"),
+        Instr::StoreInd { loc, src } => format!("ind *{loc} := {src}"),
+        Instr::TakeAddrSlot { dst, addr } => format!("{dst} := &slot {}", render_slot(addr)),
+        Instr::TakeAddrMem { dst, addr, ap } => format!(
+            "{dst} := &mem {} ; {}",
+            render_mem(addr),
+            access_path(prog, *ap)
+        ),
+        Instr::New { dst, ty } => format!("{dst} := new {}", prog.types.display(*ty)),
+        Instr::NewArray { dst, ty, len } => {
+            format!("{dst} := newarray {} len={len}", prog.types.display(*ty))
+        }
+        Instr::Call {
+            dst, func, args, ..
+        } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            let callee = &prog.func(*func).name;
+            match dst {
+                Some(d) => format!("{d} := call {callee}({})", args.join(", ")),
+                None => format!("call {callee}({})", args.join(", ")),
+            }
+        }
+        Instr::CallMethod {
+            dst, method, args, ..
+        } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("{d} := callm .{method}({})", args.join(", ")),
+                None => format!("callm .{method}({})", args.join(", ")),
+            }
+        }
+        Instr::Intrinsic { dst, op, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            match dst {
+                Some(d) => format!("{d} := {op:?}({})", args.join(", ")),
+                None => format!("{op:?}({})", args.join(", ")),
+            }
+        }
+        Instr::TypeTest { dst, src, ty } => {
+            format!("{dst} := istype {src} {}", prog.types.display(*ty))
+        }
+        Instr::NarrowTo { dst, src, ty } => {
+            format!("{dst} := narrow {src} {}", prog.types.display(*ty))
+        }
+    }
+}
+
+fn render_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("branch {cond} ? {then_bb} : {else_bb}"),
+        Terminator::Return(None) => "ret".to_string(),
+        Terminator::Return(Some(v)) => format!("ret {v}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lower::lower;
+
+    #[test]
+    fn renders_program() {
+        let checked = mini_m3::compile(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END;
+             VAR t: T; x: INTEGER;
+             BEGIN t := NEW(T); x := t.f; END M.",
+        )
+        .unwrap();
+        let prog = lower(checked).unwrap();
+        let s = super::program(&prog);
+        assert!(s.contains("func <main>"));
+        assert!(s.contains("new T"));
+        assert!(s.contains("t.f"), "load annotated with access path: {s}");
+    }
+}

@@ -1,0 +1,503 @@
+//! Abstract syntax tree for MiniM3.
+//!
+//! The AST is arena-based: expressions and statements live in flat vectors
+//! inside [`Module`] and are referenced by [`ExprId`] / [`StmtId`]. Later
+//! phases (the type checker, the lowering pass) attach information to nodes
+//! through side tables indexed by these ids.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Index of an expression in a module's expression arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// Index of a statement in a module's statement arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A parsed MiniM3 module (one whole program).
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Module name from the header.
+    pub name: String,
+    /// Type declarations in source order.
+    pub types: Vec<TypeDecl>,
+    /// Constant declarations.
+    pub consts: Vec<ConstDecl>,
+    /// Module-level (global) variables.
+    pub globals: Vec<VarDecl>,
+    /// Procedure declarations.
+    pub procs: Vec<ProcDecl>,
+    /// Statements of the main body.
+    pub body: Vec<StmtId>,
+    /// Expression arena.
+    pub exprs: Vec<Expr>,
+    /// Span of each expression, parallel to `exprs`.
+    pub expr_spans: Vec<Span>,
+    /// Statement arena.
+    pub stmts: Vec<Stmt>,
+    /// Span of each statement, parallel to `stmts`.
+    pub stmt_spans: Vec<Span>,
+}
+
+impl Module {
+    /// Allocates an expression, returning its id.
+    pub fn alloc_expr(&mut self, expr: Expr, span: Span) -> ExprId {
+        let id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(expr);
+        self.expr_spans.push(span);
+        id
+    }
+
+    /// Allocates a statement, returning its id.
+    pub fn alloc_stmt(&mut self, stmt: Stmt, span: Span) -> StmtId {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(stmt);
+        self.stmt_spans.push(span);
+        id
+    }
+
+    /// The expression for an id.
+    pub fn expr(&self, id: ExprId) -> &Expr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// The span of an expression.
+    pub fn expr_span(&self, id: ExprId) -> Span {
+        self.expr_spans[id.0 as usize]
+    }
+
+    /// The statement for an id.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        &self.stmts[id.0 as usize]
+    }
+
+    /// The span of a statement.
+    pub fn stmt_span(&self, id: StmtId) -> Span {
+        self.stmt_spans[id.0 as usize]
+    }
+
+    /// Looks up a procedure declaration by name.
+    pub fn proc(&self, name: &str) -> Option<&ProcDecl> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+}
+
+/// `TYPE Name = <type expression>;`
+#[derive(Debug, Clone)]
+pub struct TypeDecl {
+    /// Declared type name.
+    pub name: String,
+    /// The right-hand side type expression.
+    pub expr: TypeExpr,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// `CONST Name = <expr>;`
+#[derive(Debug, Clone)]
+pub struct ConstDecl {
+    /// Declared constant name.
+    pub name: String,
+    /// The constant's value expression (must be compile-time evaluable).
+    pub value: ExprId,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// `VAR a, b: T := init;`
+#[derive(Debug, Clone)]
+pub struct VarDecl {
+    /// The declared names.
+    pub names: Vec<String>,
+    /// The declared type.
+    pub ty: TypeExpr,
+    /// Optional initializer, applied to every declared name.
+    pub init: Option<ExprId>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A type expression (the right-hand side of a TYPE declaration or an
+/// inline type in a VAR/field/parameter declaration).
+#[derive(Debug, Clone)]
+pub enum TypeExpr {
+    /// A reference to a named type, e.g. `INTEGER` or a declared name.
+    Name(String, Span),
+    /// `REF T`, optionally `BRANDED "b" REF T`.
+    Ref {
+        /// Brand text if the type is branded (`Some("")` for an anonymous brand).
+        brand: Option<String>,
+        /// The referent type.
+        target: Box<TypeExpr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `[Super] [BRANDED "b"] OBJECT fields [METHODS ...] [OVERRIDES ...] END`.
+    Object {
+        /// Supertype name, if any.
+        super_name: Option<String>,
+        /// Brand text if branded.
+        brand: Option<String>,
+        /// Field declarations.
+        fields: Vec<FieldDecl>,
+        /// Method declarations introduced by this type.
+        methods: Vec<MethodDecl>,
+        /// Overrides of inherited methods.
+        overrides: Vec<OverrideDecl>,
+        /// Source span.
+        span: Span,
+    },
+    /// `RECORD fields END`.
+    Record {
+        /// Field declarations.
+        fields: Vec<FieldDecl>,
+        /// Source span.
+        span: Span,
+    },
+    /// `ARRAY OF T` (open) or `ARRAY [lo..hi] OF T` (fixed).
+    Array {
+        /// `None` for an open array, `Some((lo, hi))` for a fixed range.
+        range: Option<(i64, i64)>,
+        /// Element type.
+        elem: Box<TypeExpr>,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl TypeExpr {
+    /// The source span of this type expression.
+    pub fn span(&self) -> Span {
+        match self {
+            TypeExpr::Name(_, s) => *s,
+            TypeExpr::Ref { span, .. }
+            | TypeExpr::Object { span, .. }
+            | TypeExpr::Record { span, .. }
+            | TypeExpr::Array { span, .. } => *span,
+        }
+    }
+}
+
+/// `a, b: T;` inside an OBJECT or RECORD.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// The declared field names.
+    pub names: Vec<String>,
+    /// Field type.
+    pub ty: TypeExpr,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `m (params): T := Proc;` inside METHODS.
+#[derive(Debug, Clone)]
+pub struct MethodDecl {
+    /// Method name.
+    pub name: String,
+    /// Declared parameters (not counting the implicit receiver).
+    pub params: Vec<Param>,
+    /// Return type, if any.
+    pub ret: Option<TypeExpr>,
+    /// Name of the implementing procedure, if a default is given.
+    pub impl_proc: Option<String>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `m := Proc;` inside OVERRIDES.
+#[derive(Debug, Clone)]
+pub struct OverrideDecl {
+    /// Name of the inherited method being overridden.
+    pub name: String,
+    /// Name of the implementing procedure.
+    pub impl_proc: String,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Parameter passing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Pass by value.
+    Value,
+    /// `VAR` — pass by reference. Taking a `VAR` actual of `p.f` or `p[i]`
+    /// is one of the two ways a MiniM3 program can take an address
+    /// (the other is `WITH`), which feeds TBAA's `AddressTaken` predicate.
+    Var,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Passing mode.
+    pub mode: Mode,
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Source span.
+    pub span: Span,
+}
+
+/// `PROCEDURE Name (params): T = VAR ... BEGIN ... END Name;`
+#[derive(Debug, Clone)]
+pub struct ProcDecl {
+    /// Procedure name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Return type, if any.
+    pub ret: Option<TypeExpr>,
+    /// Local variable declarations.
+    pub locals: Vec<VarDecl>,
+    /// Body statements.
+    pub body: Vec<StmtId>,
+    /// Source span of the header.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `lhs := rhs`.
+    Assign {
+        /// Target designator.
+        lhs: ExprId,
+        /// Source expression.
+        rhs: ExprId,
+    },
+    /// A call used as a statement.
+    Call(ExprId),
+    /// `IF c THEN ... ELSIF c THEN ... ELSE ... END`.
+    If {
+        /// `(condition, body)` pairs for IF and each ELSIF.
+        arms: Vec<(ExprId, Vec<StmtId>)>,
+        /// ELSE body (possibly empty).
+        else_body: Vec<StmtId>,
+    },
+    /// `WHILE c DO ... END`.
+    While {
+        /// Loop condition.
+        cond: ExprId,
+        /// Loop body.
+        body: Vec<StmtId>,
+    },
+    /// `REPEAT ... UNTIL c`.
+    Repeat {
+        /// Loop body.
+        body: Vec<StmtId>,
+        /// Exit condition (loop ends when it becomes true).
+        cond: ExprId,
+    },
+    /// `LOOP ... END` (exited with EXIT).
+    Loop {
+        /// Loop body.
+        body: Vec<StmtId>,
+    },
+    /// `EXIT` out of the innermost loop.
+    Exit,
+    /// `FOR i := a TO b BY s DO ... END`.
+    For {
+        /// Loop variable (implicitly INTEGER, scoped to the loop).
+        var: String,
+        /// Start value.
+        from: ExprId,
+        /// End value (inclusive).
+        to: ExprId,
+        /// Step (defaults to 1).
+        by: Option<ExprId>,
+        /// Loop body.
+        body: Vec<StmtId>,
+    },
+    /// `RETURN [e]`.
+    Return(Option<ExprId>),
+    /// `WITH n1 = e1, n2 = e2 DO ... END`.
+    ///
+    /// When `e` is a designator, `n` is an *alias* for that location
+    /// (writable, and the location's address counts as taken).
+    With {
+        /// The bindings in order.
+        bindings: Vec<(String, ExprId)>,
+        /// Body statements.
+        body: Vec<StmtId>,
+    },
+    /// `EVAL e` — evaluate for effect.
+    Eval(ExprId),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean NOT.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `DIV` (truncating integer division)
+    Div,
+    /// `MOD`
+    Mod,
+    /// `&` text concatenation
+    Concat,
+    /// `=`
+    Eq,
+    /// `#`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND` (short-circuit)
+    And,
+    /// `OR` (short-circuit)
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "DIV",
+            BinOp::Mod => "MOD",
+            BinOp::Concat => "&",
+            BinOp::Eq => "=",
+            BinOp::Ne => "#",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Character literal.
+    Char(char),
+    /// Text literal.
+    Text(String),
+    /// TRUE or FALSE.
+    Bool(bool),
+    /// NIL.
+    Nil,
+    /// A name: variable, constant, parameter, procedure, or type
+    /// (types appear as the first argument of NEW / ISTYPE / NARROW).
+    Name(String),
+    /// `base.field` — the paper's *Qualify*.
+    Qualify {
+        /// The qualified expression.
+        base: ExprId,
+        /// The field name.
+        field: String,
+    },
+    /// `base^` — the paper's *Dereference*.
+    Deref(ExprId),
+    /// `base[index]` — the paper's *Subscript*.
+    Index {
+        /// The array expression.
+        base: ExprId,
+        /// The index expression.
+        index: ExprId,
+    },
+    /// `callee(args)` — procedure call, method call (callee is a Qualify),
+    /// or builtin (NEW, NUMBER, ...).
+    Call {
+        /// The callee expression.
+        callee: ExprId,
+        /// Argument expressions.
+        args: Vec<ExprId>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: ExprId,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: ExprId,
+        /// Right operand.
+        rhs: ExprId,
+    },
+}
+
+impl Expr {
+    /// Whether this expression form can denote a memory location
+    /// (a *designator* in Modula-3 terms). Name designators additionally
+    /// require the name to resolve to a variable, which only the checker
+    /// knows.
+    pub fn is_designator_shape(&self) -> bool {
+        matches!(
+            self,
+            Expr::Name(_) | Expr::Qualify { .. } | Expr::Deref(_) | Expr::Index { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_allocates_sequential_ids() {
+        let mut m = Module::default();
+        let a = m.alloc_expr(Expr::Int(1), Span::new(0, 1));
+        let b = m.alloc_expr(Expr::Int(2), Span::new(2, 3));
+        assert_eq!(a, ExprId(0));
+        assert_eq!(b, ExprId(1));
+        assert!(matches!(m.expr(b), Expr::Int(2)));
+        assert_eq!(m.expr_span(a), Span::new(0, 1));
+    }
+
+    #[test]
+    fn designator_shapes() {
+        assert!(Expr::Name("x".into()).is_designator_shape());
+        assert!(Expr::Deref(ExprId(0)).is_designator_shape());
+        assert!(!Expr::Int(3).is_designator_shape());
+        assert!(!Expr::Call {
+            callee: ExprId(0),
+            args: vec![]
+        }
+        .is_designator_shape());
+    }
+}

@@ -1,0 +1,1877 @@
+//! Name resolution and type checking for MiniM3.
+//!
+//! [`check`] consumes a parsed [`Module`] and produces a [`CheckedModule`]:
+//! the AST plus a [`TypeTable`], a type for every expression, a resolution
+//! for every name and call, and per-procedure symbol tables. Lowering and
+//! the alias analyses consume this structure.
+
+use crate::ast::*;
+use crate::error::{Diagnostics, Phase};
+use crate::span::Span;
+use crate::types::{Field, Method, ParamMode, TypeId, TypeKind, TypeTable};
+use std::collections::HashMap;
+
+/// Index of a procedure in [`CheckedModule::procs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+/// Index of a local variable within one procedure (parameters first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub u32);
+
+/// Index of a module-level (global) variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstVal {
+    /// Integer constant.
+    Int(i64),
+    /// Boolean constant.
+    Bool(bool),
+    /// Character constant.
+    Char(char),
+    /// Text constant.
+    Text(String),
+}
+
+impl ConstVal {
+    fn type_of(&self, types: &TypeTable) -> TypeId {
+        match self {
+            ConstVal::Int(_) => types.integer(),
+            ConstVal::Bool(_) => types.boolean(),
+            ConstVal::Char(_) => types.char(),
+            ConstVal::Text(_) => types.text(),
+        }
+    }
+}
+
+/// Builtin procedures and functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `NEW(T)` / `NEW(OpenArrayType, n)`.
+    New,
+    /// `NUMBER(openArray)` — element count (reads the dope slot).
+    Number,
+    /// `ORD(c)` — character code.
+    Ord,
+    /// `CHR(i)` — code to character.
+    Chr,
+    /// `ABS(i)`.
+    Abs,
+    /// `MIN(a, b)`.
+    Min,
+    /// `MAX(a, b)`.
+    Max,
+    /// `TEXTLEN(t)` — length of a text.
+    TextLen,
+    /// `TEXTCHAR(t, i)` — i-th character of a text.
+    TextChar,
+    /// `ITOT(i)` — integer to text.
+    IntToText,
+    /// `CTOT(c)` — char to text.
+    CharToText,
+    /// `PRINT(t)` — write a text to the output sink.
+    Print,
+    /// `PRINTI(i)` — write an integer to the output sink.
+    PrintInt,
+    /// `ISTYPE(x, T)` — runtime type test.
+    IsType,
+    /// `NARROW(x, T)` — checked downcast.
+    Narrow,
+}
+
+impl Builtin {
+    /// Looks up a builtin by source name.
+    pub fn by_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "NEW" => Builtin::New,
+            "NUMBER" => Builtin::Number,
+            "ORD" => Builtin::Ord,
+            "CHR" => Builtin::Chr,
+            "ABS" => Builtin::Abs,
+            "MIN" => Builtin::Min,
+            "MAX" => Builtin::Max,
+            "TEXTLEN" => Builtin::TextLen,
+            "TEXTCHAR" => Builtin::TextChar,
+            "ITOT" => Builtin::IntToText,
+            "CTOT" => Builtin::CharToText,
+            "PRINT" => Builtin::Print,
+            "PRINTI" => Builtin::PrintInt,
+            "ISTYPE" => Builtin::IsType,
+            "NARROW" => Builtin::Narrow,
+            _ => return None,
+        })
+    }
+}
+
+/// What a [`Expr::Name`] resolved to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NameRes {
+    /// A local variable / parameter / FOR or WITH binding of the enclosing
+    /// procedure.
+    Local(LocalId),
+    /// A module-level variable.
+    Global(GlobalId),
+    /// A named constant, with its value.
+    Const(ConstVal),
+    /// A procedure (legal only in callee position).
+    Proc(ProcId),
+    /// A type name (legal only as an argument of NEW / ISTYPE / NARROW).
+    TypeRef(TypeId),
+    /// A builtin (legal only in callee position).
+    Builtin(Builtin),
+}
+
+/// What a [`Expr::Call`] resolved to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallRes {
+    /// A direct call of a declared procedure.
+    Proc(ProcId),
+    /// A method invocation `recv.name(args)`.
+    Method {
+        /// Receiver expression.
+        recv: ExprId,
+        /// Method name.
+        name: String,
+        /// Static type of the receiver.
+        recv_ty: TypeId,
+    },
+    /// A builtin invocation.
+    Builtin(Builtin),
+}
+
+/// How a WITH binding behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WithKind {
+    /// The bound expression is a designator; the name is a writable alias
+    /// for that location (its address counts as taken when it is a heap
+    /// location).
+    Alias,
+    /// The bound expression is a value; the name is a read-only binding.
+    Value,
+}
+
+/// The kind of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Module-level variable.
+    Global,
+    /// Procedure parameter with its mode.
+    Param(ParamMode),
+    /// Declared local.
+    Local,
+    /// FOR loop index (read-only inside the loop).
+    For,
+    /// WITH alias binding.
+    WithAlias,
+    /// WITH value binding (read-only).
+    WithValue,
+}
+
+/// A variable (global or local).
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Source name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeId,
+    /// What kind of variable it is.
+    pub kind: VarKind,
+}
+
+/// A checked procedure.
+#[derive(Debug, Clone)]
+pub struct ProcInfo {
+    /// Procedure name (`"<main>"` for the module body).
+    pub name: String,
+    /// Number of leading entries of `locals` that are parameters.
+    pub n_params: u32,
+    /// Return type, if any.
+    pub ret: Option<TypeId>,
+    /// All locals: parameters first, then declared locals, then FOR/WITH
+    /// bindings in order of appearance.
+    pub locals: Vec<VarInfo>,
+    /// Body statements.
+    pub body: Vec<StmtId>,
+}
+
+impl ProcInfo {
+    /// Iterates over the parameter locals.
+    pub fn params(&self) -> impl Iterator<Item = (LocalId, &VarInfo)> {
+        self.locals
+            .iter()
+            .take(self.n_params as usize)
+            .enumerate()
+            .map(|(i, v)| (LocalId(i as u32), v))
+    }
+}
+
+/// The result of type checking: the AST plus everything later phases need.
+#[derive(Debug, Clone)]
+pub struct CheckedModule {
+    /// The original AST.
+    pub ast: Module,
+    /// All types.
+    pub types: TypeTable,
+    /// Type of each expression, indexed by [`ExprId`].
+    pub expr_ty: Vec<TypeId>,
+    /// Resolution of each name expression.
+    pub name_res: HashMap<ExprId, NameRes>,
+    /// Resolution of each call expression.
+    pub call_res: HashMap<ExprId, CallRes>,
+    /// Alias/value classification of each WITH binding, keyed by
+    /// `(statement, binding index)`.
+    pub with_kinds: HashMap<(StmtId, usize), WithKind>,
+    /// The locals introduced by each FOR (one: the index) and WITH (one per
+    /// binding) statement, in binding order. Lowering uses this to line up
+    /// frame slots with the checker's `LocalId` allocation.
+    pub stmt_locals: HashMap<StmtId, Vec<LocalId>>,
+    /// Checked procedures; the module body is the *last* entry.
+    pub procs: Vec<ProcInfo>,
+    /// Index of the module body in `procs`.
+    pub main: ProcId,
+    /// Module-level variables.
+    pub globals: Vec<VarInfo>,
+    /// For each global with an initializer, the initializing expression.
+    pub global_inits: Vec<(GlobalId, ExprId)>,
+    /// The method implementation procedure for `(object type, method)`;
+    /// resolved over the whole hierarchy.
+    pub method_impls: HashMap<(TypeId, String), ProcId>,
+}
+
+impl CheckedModule {
+    /// The type of an expression.
+    pub fn ty(&self, e: ExprId) -> TypeId {
+        self.expr_ty[e.0 as usize]
+    }
+
+    /// The procedure info for an id.
+    pub fn proc(&self, p: ProcId) -> &ProcInfo {
+        &self.procs[p.0 as usize]
+    }
+
+    /// Looks up a checked procedure by name.
+    pub fn proc_id(&self, name: &str) -> Option<ProcId> {
+        self.procs
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProcId(i as u32))
+    }
+}
+
+/// Type-checks a parsed module.
+///
+/// # Errors
+///
+/// Returns every diagnostic found; the module is only usable for lowering
+/// when this returns `Ok`.
+///
+/// # Examples
+///
+/// ```
+/// let src = "MODULE M; VAR x: INTEGER; BEGIN x := 1 END M.";
+/// let module = mini_m3::parser::parse(src)?;
+/// let checked = mini_m3::check::check(module)?;
+/// assert_eq!(checked.globals.len(), 1);
+/// # Ok::<(), mini_m3::error::Diagnostics>(())
+/// ```
+pub fn check(module: Module) -> Result<CheckedModule, Diagnostics> {
+    let mut checker = Checker::new(module);
+    checker.run();
+    if checker.diags.has_errors() {
+        Err(checker.diags)
+    } else {
+        Ok(CheckedModule {
+            ast: checker.ast,
+            types: checker.types,
+            expr_ty: checker.expr_ty,
+            name_res: checker.name_res,
+            call_res: checker.call_res,
+            with_kinds: checker.with_kinds,
+            stmt_locals: checker.stmt_locals,
+            procs: checker.procs,
+            main: checker.main,
+            globals: checker.globals,
+            global_inits: checker.global_inits,
+            method_impls: checker.method_impls,
+        })
+    }
+}
+
+struct Checker {
+    ast: Module,
+    types: TypeTable,
+    diags: Diagnostics,
+    expr_ty: Vec<TypeId>,
+    name_res: HashMap<ExprId, NameRes>,
+    call_res: HashMap<ExprId, CallRes>,
+    with_kinds: HashMap<(StmtId, usize), WithKind>,
+    stmt_locals: HashMap<StmtId, Vec<LocalId>>,
+    consts: HashMap<String, ConstVal>,
+    globals: Vec<VarInfo>,
+    global_inits: Vec<(GlobalId, ExprId)>,
+    global_by_name: HashMap<String, GlobalId>,
+    procs: Vec<ProcInfo>,
+    proc_by_name: HashMap<String, ProcId>,
+    method_impls: HashMap<(TypeId, String), ProcId>,
+    main: ProcId,
+    // state while checking one body:
+    cur_locals: Vec<VarInfo>,
+    scopes: Vec<HashMap<String, LocalId>>,
+    cur_ret: Option<TypeId>,
+    loop_depth: u32,
+}
+
+impl Checker {
+    fn new(ast: Module) -> Self {
+        let n = ast.exprs.len();
+        Checker {
+            ast,
+            types: TypeTable::new(),
+            diags: Diagnostics::new(),
+            expr_ty: vec![TypeId(0); n],
+            name_res: HashMap::new(),
+            call_res: HashMap::new(),
+            with_kinds: HashMap::new(),
+            stmt_locals: HashMap::new(),
+            consts: HashMap::new(),
+            globals: Vec::new(),
+            global_inits: Vec::new(),
+            global_by_name: HashMap::new(),
+            procs: Vec::new(),
+            proc_by_name: HashMap::new(),
+            method_impls: HashMap::new(),
+            main: ProcId(0),
+            cur_locals: Vec::new(),
+            scopes: Vec::new(),
+            cur_ret: None,
+            loop_depth: 0,
+        }
+    }
+
+    fn error(&mut self, span: Span, msg: impl Into<String>) {
+        self.diags.error(Phase::Check, span, msg);
+    }
+
+    fn run(&mut self) {
+        self.declare_types();
+        if self.diags.has_errors() {
+            return;
+        }
+        self.declare_consts();
+        self.declare_globals();
+        self.declare_proc_headers();
+        self.resolve_method_impls();
+        if self.diags.has_errors() {
+            return;
+        }
+        // Check procedure bodies.
+        for i in 0..self.ast.procs.len() {
+            self.check_proc_body(ProcId(i as u32));
+        }
+        // Check the module body as the final "procedure".
+        self.check_main_body();
+    }
+
+    // ---- type declarations ---------------------------------------------
+
+    fn declare_types(&mut self) {
+        // Pass 1: give every named OBJECT declaration its generative id.
+        let decls = self.ast.types.clone();
+        for d in &decls {
+            if let TypeExpr::Object { brand, .. } = &d.expr {
+                let id = self.types.declare_object(&d.name, brand.clone());
+                if !self.types.bind_name(&d.name, id) {
+                    self.error(d.span, format!("type `{}` declared twice", d.name));
+                }
+            }
+        }
+        // Pass 2: resolve the remaining named declarations iteratively so
+        // they may reference each other and object names in any order.
+        let mut pending: Vec<&TypeDecl> = decls
+            .iter()
+            .filter(|d| !matches!(d.expr, TypeExpr::Object { .. }))
+            .collect();
+        loop {
+            let before = pending.len();
+            let mut still = Vec::new();
+            for d in pending {
+                match self.try_resolve_type(&d.expr) {
+                    Some(id) => {
+                        if !self.types.bind_name(&d.name, id) {
+                            self.error(d.span, format!("type `{}` declared twice", d.name));
+                        }
+                    }
+                    None => still.push(d),
+                }
+            }
+            pending = still;
+            if pending.is_empty() {
+                break;
+            }
+            if pending.len() == before {
+                for d in &pending {
+                    self.error(
+                        d.span,
+                        format!(
+                            "cannot resolve type `{}` (undefined name or a recursive \
+                             cycle that does not pass through an OBJECT type)",
+                            d.name
+                        ),
+                    );
+                }
+                return;
+            }
+        }
+        // Pass 3: complete object bodies in supertype order.
+        let mut done: HashMap<String, bool> = HashMap::new();
+        let object_decls: Vec<TypeDecl> = decls
+            .iter()
+            .filter(|d| matches!(d.expr, TypeExpr::Object { .. }))
+            .cloned()
+            .collect();
+        let mut remaining = object_decls;
+        loop {
+            let before = remaining.len();
+            let mut still = Vec::new();
+            for d in remaining {
+                let TypeExpr::Object { super_name, .. } = &d.expr else {
+                    unreachable!()
+                };
+                let ready = match super_name {
+                    None => true,
+                    Some(s) => {
+                        // Ready if the supertype is a non-object builtin (error
+                        // reported below) or a completed object.
+                        match self.types.by_name(s) {
+                            Some(sid) => match self.types.kind(sid) {
+                                TypeKind::Object { .. } => *done.get(s.as_str()).unwrap_or(&false),
+                                _ => true,
+                            },
+                            None => true, // undefined: report in complete step
+                        }
+                    }
+                };
+                if ready {
+                    self.complete_object_decl(&d);
+                    done.insert(d.name.clone(), true);
+                } else {
+                    still.push(d);
+                }
+            }
+            remaining = still;
+            if remaining.is_empty() {
+                break;
+            }
+            if remaining.len() == before {
+                for d in &remaining {
+                    self.error(d.span, format!("cyclic supertype chain at `{}`", d.name));
+                }
+                return;
+            }
+        }
+    }
+
+    fn complete_object_decl(&mut self, d: &TypeDecl) {
+        let TypeExpr::Object {
+            super_name,
+            fields,
+            methods,
+            overrides,
+            ..
+        } = &d.expr
+        else {
+            unreachable!()
+        };
+        let id = self.types.by_name(&d.name).expect("declared in pass 1");
+        let super_ty = match super_name {
+            None => None,
+            Some(s) => match self.types.by_name(s) {
+                Some(sid) if matches!(self.types.kind(sid), TypeKind::Object { .. }) => Some(sid),
+                Some(_) => {
+                    self.error(d.span, format!("supertype `{s}` is not an object type"));
+                    None
+                }
+                None => {
+                    self.error(d.span, format!("undefined supertype `{s}`"));
+                    None
+                }
+            },
+        };
+        let mut offset = super_ty.map(|s| self.types.object_size(s)).unwrap_or(0);
+        let mut flds = Vec::new();
+        for fd in fields {
+            let fty = self.resolve_type(&fd.ty);
+            for name in &fd.names {
+                if super_ty.is_some_and(|s| self.types.field(s, name).is_some())
+                    || flds.iter().any(|f: &Field| &f.name == name)
+                {
+                    self.error(fd.span, format!("duplicate field `{name}`"));
+                }
+                flds.push(Field {
+                    name: name.clone(),
+                    ty: fty,
+                    offset,
+                });
+                offset += self.types.size_of(fty);
+            }
+        }
+        let mut meths = Vec::new();
+        for md in methods {
+            let params = md
+                .params
+                .iter()
+                .map(|p| {
+                    let mode = match p.mode {
+                        Mode::Value => ParamMode::Value,
+                        Mode::Var => ParamMode::Var,
+                    };
+                    (mode, self.resolve_type(&p.ty))
+                })
+                .collect();
+            let ret = md.ret.as_ref().map(|t| self.resolve_type(t));
+            meths.push(Method {
+                name: md.name.clone(),
+                params,
+                ret,
+                impl_proc: md.impl_proc.clone(),
+            });
+        }
+        // Overrides become method entries re-binding the inherited signature.
+        for od in overrides {
+            let Some(sup) = super_ty else {
+                self.error(od.span, "OVERRIDES on a type with no supertype");
+                continue;
+            };
+            let Some((intro, _)) = self.types.resolve_method(sup, &od.name) else {
+                self.error(od.span, format!("override of unknown method `{}`", od.name));
+                continue;
+            };
+            if meths.iter().any(|m: &Method| m.name == od.name) {
+                self.error(
+                    od.span,
+                    format!("method `{}` both declared and overridden", od.name),
+                );
+                continue;
+            }
+            meths.push(Method {
+                name: od.name.clone(),
+                params: intro.params.clone(),
+                ret: intro.ret,
+                impl_proc: Some(od.impl_proc.clone()),
+            });
+        }
+        self.types.complete_object(id, super_ty, flds, meths);
+    }
+
+    /// Resolves a type expression, reporting diagnostics on failure and
+    /// returning INTEGER as a recovery type.
+    fn resolve_type(&mut self, te: &TypeExpr) -> TypeId {
+        match self.try_resolve_type(te) {
+            Some(id) => id,
+            None => {
+                self.error(te.span(), "undefined type name");
+                self.types.integer()
+            }
+        }
+    }
+
+    /// Resolves a type expression, returning `None` if it mentions a name
+    /// that is not (yet) bound.
+    fn try_resolve_type(&mut self, te: &TypeExpr) -> Option<TypeId> {
+        match te {
+            TypeExpr::Name(n, _) => self.types.by_name(n),
+            TypeExpr::Ref { brand, target, .. } => {
+                let t = self.try_resolve_type(target)?;
+                Some(self.types.mk_ref(brand.clone(), t))
+            }
+            TypeExpr::Array { range, elem, .. } => {
+                let e = self.try_resolve_type(elem)?;
+                Some(match range {
+                    None => self.types.mk_open_array(e),
+                    Some((lo, hi)) => {
+                        if hi < lo {
+                            self.error(te.span(), "array range is empty");
+                        }
+                        self.types.mk_fixed_array(*lo, *hi, e)
+                    }
+                })
+            }
+            TypeExpr::Record { fields, .. } => {
+                let mut out = Vec::new();
+                let mut offset = 0;
+                for fd in fields {
+                    let fty = self.try_resolve_type(&fd.ty)?;
+                    for name in &fd.names {
+                        if out.iter().any(|f: &Field| &f.name == name) {
+                            self.error(fd.span, format!("duplicate field `{name}`"));
+                        }
+                        out.push(Field {
+                            name: name.clone(),
+                            ty: fty,
+                            offset,
+                        });
+                        offset += self.types.size_of(fty);
+                    }
+                }
+                Some(self.types.mk_record(out))
+            }
+            TypeExpr::Object { span, .. } => {
+                // Anonymous object types (not at the top of a TYPE decl).
+                self.error(
+                    *span,
+                    "OBJECT types must be declared at the top level of a TYPE declaration",
+                );
+                Some(self.types.integer())
+            }
+        }
+    }
+
+    // ---- other declarations ---------------------------------------------
+
+    fn declare_consts(&mut self) {
+        for c in self.ast.consts.clone() {
+            match self.const_eval(c.value) {
+                Some(v) => {
+                    if self.consts.insert(c.name.clone(), v).is_some() {
+                        self.error(c.span, format!("constant `{}` declared twice", c.name));
+                    }
+                }
+                None => self.error(
+                    c.span,
+                    "constant initializer is not a compile-time constant",
+                ),
+            }
+        }
+    }
+
+    fn const_eval(&mut self, e: ExprId) -> Option<ConstVal> {
+        match self.ast.expr(e).clone() {
+            Expr::Int(v) => Some(ConstVal::Int(v)),
+            Expr::Bool(b) => Some(ConstVal::Bool(b)),
+            Expr::Char(c) => Some(ConstVal::Char(c)),
+            Expr::Text(t) => Some(ConstVal::Text(t)),
+            Expr::Name(n) => self.consts.get(&n).cloned(),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => match self.const_eval(expr)? {
+                ConstVal::Int(v) => Some(ConstVal::Int(-v)),
+                _ => None,
+            },
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => match self.const_eval(expr)? {
+                ConstVal::Bool(b) => Some(ConstVal::Bool(!b)),
+                _ => None,
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.const_eval(lhs)?;
+                let r = self.const_eval(rhs)?;
+                match (l, r) {
+                    (ConstVal::Int(a), ConstVal::Int(b)) => Some(match op {
+                        BinOp::Add => ConstVal::Int(a + b),
+                        BinOp::Sub => ConstVal::Int(a - b),
+                        BinOp::Mul => ConstVal::Int(a * b),
+                        BinOp::Div if b != 0 => ConstVal::Int(a.div_euclid(b)),
+                        BinOp::Mod if b != 0 => ConstVal::Int(a.rem_euclid(b)),
+                        BinOp::Eq => ConstVal::Bool(a == b),
+                        BinOp::Ne => ConstVal::Bool(a != b),
+                        BinOp::Lt => ConstVal::Bool(a < b),
+                        BinOp::Le => ConstVal::Bool(a <= b),
+                        BinOp::Gt => ConstVal::Bool(a > b),
+                        BinOp::Ge => ConstVal::Bool(a >= b),
+                        _ => return None,
+                    }),
+                    (ConstVal::Text(a), ConstVal::Text(b)) if op == BinOp::Concat => {
+                        Some(ConstVal::Text(a + &b))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn declare_globals(&mut self) {
+        for g in self.ast.globals.clone() {
+            let ty = self.resolve_type(&g.ty);
+            for name in &g.names {
+                if self.global_by_name.contains_key(name) {
+                    self.error(g.span, format!("global `{name}` declared twice"));
+                    continue;
+                }
+                let id = GlobalId(self.globals.len() as u32);
+                self.globals.push(VarInfo {
+                    name: name.clone(),
+                    ty,
+                    kind: VarKind::Global,
+                });
+                self.global_by_name.insert(name.clone(), id);
+                if let Some(init) = g.init {
+                    self.global_inits.push((id, init));
+                }
+            }
+        }
+    }
+
+    fn declare_proc_headers(&mut self) {
+        for (i, p) in self.ast.procs.clone().iter().enumerate() {
+            if self.proc_by_name.contains_key(&p.name) {
+                self.error(p.span, format!("procedure `{}` declared twice", p.name));
+            }
+            let mut locals = Vec::new();
+            for param in &p.params {
+                let ty = self.resolve_type(&param.ty);
+                let mode = match param.mode {
+                    Mode::Value => ParamMode::Value,
+                    Mode::Var => ParamMode::Var,
+                };
+                if !self.types.is_scalar(ty) {
+                    self.error(
+                        param.span,
+                        "parameters must have scalar or reference type \
+                         (pass aggregates by reference type)",
+                    );
+                }
+                locals.push(VarInfo {
+                    name: param.name.clone(),
+                    ty,
+                    kind: VarKind::Param(mode),
+                });
+            }
+            let ret = p.ret.as_ref().map(|t| self.resolve_type(t));
+            if let Some(rt) = ret {
+                if !self.types.is_scalar(rt) {
+                    self.error(p.span, "return type must be scalar or a reference type");
+                }
+            }
+            self.procs.push(ProcInfo {
+                name: p.name.clone(),
+                n_params: p.params.len() as u32,
+                ret,
+                locals,
+                body: p.body.clone(),
+            });
+            self.proc_by_name.insert(p.name.clone(), ProcId(i as u32));
+        }
+        // The module body is the last "procedure".
+        self.main = ProcId(self.procs.len() as u32);
+        self.procs.push(ProcInfo {
+            name: "<main>".to_string(),
+            n_params: 0,
+            ret: None,
+            locals: Vec::new(),
+            body: self.ast.body.clone(),
+        });
+    }
+
+    /// Resolves every `(type, method) -> procedure` binding and checks
+    /// signature compatibility of the implementing procedures.
+    fn resolve_method_impls(&mut self) {
+        let type_ids: Vec<TypeId> = self.types.iter().collect();
+        for tid in type_ids {
+            let TypeKind::Object { .. } = self.types.kind(tid) else {
+                continue;
+            };
+            // Collect the full method set visible on tid.
+            let mut names: Vec<String> = Vec::new();
+            for t in self.types.ancestry(tid) {
+                if let TypeKind::Object { methods, .. } = self.types.kind(t) {
+                    for m in methods {
+                        if !names.contains(&m.name) {
+                            names.push(m.name.clone());
+                        }
+                    }
+                }
+            }
+            for name in names {
+                let Some((m, owner)) = self.types.resolve_method(tid, &name) else {
+                    continue;
+                };
+                let Some(proc_name) = m.impl_proc.clone() else {
+                    continue; // abstract at this type
+                };
+                let m_params = m.params.clone();
+                let m_ret = m.ret;
+                let Some(&pid) = self.proc_by_name.get(&proc_name) else {
+                    self.error(
+                        Span::default(),
+                        format!(
+                            "method `{}.{name}` bound to undefined procedure `{proc_name}`",
+                            self.types.display(owner)
+                        ),
+                    );
+                    continue;
+                };
+                // Check: first param is a supertype of tid; rest match.
+                let pinfo = &self.procs[pid.0 as usize];
+                let ok = pinfo.n_params as usize == m_params.len() + 1
+                    && pinfo
+                        .locals
+                        .first()
+                        .is_some_and(|recv| self.types.is_subtype(tid, recv.ty))
+                    && pinfo
+                        .locals
+                        .iter()
+                        .skip(1)
+                        .take(m_params.len())
+                        .zip(m_params.iter())
+                        .all(|(l, (mode, ty))| l.ty == *ty && l.kind == VarKind::Param(*mode))
+                    && pinfo.ret == m_ret;
+                if !ok {
+                    self.error(
+                        Span::default(),
+                        format!(
+                            "procedure `{proc_name}` does not match the signature of \
+                             method `{}.{name}`",
+                            self.types.display(owner)
+                        ),
+                    );
+                }
+                self.method_impls.insert((tid, name), pid);
+            }
+        }
+    }
+
+    // ---- bodies -----------------------------------------------------------
+
+    fn check_proc_body(&mut self, pid: ProcId) {
+        let pdecl = self.ast.procs[pid.0 as usize].clone();
+        let pinfo = self.procs[pid.0 as usize].clone();
+        self.cur_locals = pinfo.locals.clone();
+        self.scopes = vec![HashMap::new()];
+        for (i, l) in self.cur_locals.iter().enumerate() {
+            self.scopes[0].insert(l.name.clone(), LocalId(i as u32));
+        }
+        // Declared locals.
+        for vd in &pdecl.locals {
+            let ty = self.resolve_type(&vd.ty);
+            let mut init_ids = Vec::new();
+            for name in &vd.names {
+                if self.scopes[0].contains_key(name) {
+                    self.error(vd.span, format!("local `{name}` declared twice"));
+                }
+                let id = LocalId(self.cur_locals.len() as u32);
+                self.cur_locals.push(VarInfo {
+                    name: name.clone(),
+                    ty,
+                    kind: VarKind::Local,
+                });
+                self.scopes[0].insert(name.clone(), id);
+                init_ids.push(id);
+            }
+            if let Some(init) = vd.init {
+                let ity = self.check_expr(init);
+                if !self.assignable(ty, ity) {
+                    let span = self.ast.expr_span(init);
+                    self.error(span, "initializer type does not match declaration");
+                }
+            }
+        }
+        self.cur_ret = pinfo.ret;
+        self.loop_depth = 0;
+        for s in pinfo.body.clone() {
+            self.check_stmt(s);
+        }
+        self.procs[pid.0 as usize].locals = std::mem::take(&mut self.cur_locals);
+    }
+
+    fn check_main_body(&mut self) {
+        let main = self.main;
+        self.cur_locals = Vec::new();
+        self.scopes = vec![HashMap::new()];
+        self.cur_ret = None;
+        self.loop_depth = 0;
+        // Global initializers are checked in the module scope.
+        for (gid, init) in self.global_inits.clone() {
+            let gty = self.globals[gid.0 as usize].ty;
+            let ity = self.check_expr(init);
+            if !self.assignable(gty, ity) {
+                let span = self.ast.expr_span(init);
+                self.error(span, "initializer type does not match declaration");
+            }
+        }
+        for s in self.ast.body.clone() {
+            self.check_stmt(s);
+        }
+        self.procs[main.0 as usize].locals = std::mem::take(&mut self.cur_locals);
+    }
+
+    fn lookup(&self, name: &str) -> Option<NameRes> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&l) = scope.get(name) {
+                return Some(NameRes::Local(l));
+            }
+        }
+        if let Some(&g) = self.global_by_name.get(name) {
+            return Some(NameRes::Global(g));
+        }
+        if let Some(v) = self.consts.get(name) {
+            return Some(NameRes::Const(v.clone()));
+        }
+        if let Some(&p) = self.proc_by_name.get(name) {
+            return Some(NameRes::Proc(p));
+        }
+        if let Some(t) = self.types.by_name(name) {
+            return Some(NameRes::TypeRef(t));
+        }
+        Builtin::by_name(name).map(NameRes::Builtin)
+    }
+
+    fn define_local(&mut self, name: &str, ty: TypeId, kind: VarKind) -> LocalId {
+        let id = LocalId(self.cur_locals.len() as u32);
+        self.cur_locals.push(VarInfo {
+            name: name.to_string(),
+            ty,
+            kind,
+        });
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), id);
+        id
+    }
+
+    fn assignable(&self, dst: TypeId, src: TypeId) -> bool {
+        dst == src || self.types.is_subtype(src, dst)
+    }
+
+    fn set_ty(&mut self, e: ExprId, ty: TypeId) -> TypeId {
+        self.expr_ty[e.0 as usize] = ty;
+        ty
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn check_stmt(&mut self, s: StmtId) {
+        let stmt = self.ast.stmt(s).clone();
+        let span = self.ast.stmt_span(s);
+        match stmt {
+            Stmt::Assign { lhs, rhs } => {
+                let lty = self.check_expr(lhs);
+                let rty = self.check_expr(rhs);
+                self.check_designator(lhs, true);
+                if !self.assignable(lty, rty) {
+                    self.error(
+                        span,
+                        format!(
+                            "cannot assign {} to {}",
+                            self.types.display(rty),
+                            self.types.display(lty)
+                        ),
+                    );
+                }
+                if matches!(self.types.kind(lty), TypeKind::Array { range: Some(_), .. }) {
+                    self.error(span, "fixed arrays cannot be assigned as a whole");
+                }
+            }
+            Stmt::Call(e) => {
+                let Expr::Call { .. } = self.ast.expr(e) else {
+                    self.error(span, "statement is not a call");
+                    return;
+                };
+                let ty = self.check_expr(e);
+                let returns_value = match self.call_res.get(&e) {
+                    Some(CallRes::Proc(p)) => self.procs[p.0 as usize].ret.is_some(),
+                    Some(CallRes::Method { recv_ty, name, .. }) => self
+                        .types
+                        .resolve_method(*recv_ty, name)
+                        .is_some_and(|(m, _)| m.ret.is_some()),
+                    Some(CallRes::Builtin(b)) => !matches!(b, Builtin::Print | Builtin::PrintInt),
+                    None => false,
+                };
+                let _ = ty;
+                if returns_value {
+                    self.error(span, "result of call is discarded; use EVAL");
+                }
+            }
+            Stmt::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    self.check_cond(cond);
+                    self.check_block(&body);
+                }
+                self.check_block(&else_body);
+            }
+            Stmt::While { cond, body } => {
+                self.check_cond(cond);
+                self.loop_depth += 1;
+                self.check_block(&body);
+                self.loop_depth -= 1;
+            }
+            Stmt::Repeat { body, cond } => {
+                self.loop_depth += 1;
+                self.check_block(&body);
+                self.loop_depth -= 1;
+                self.check_cond(cond);
+            }
+            Stmt::Loop { body } => {
+                self.loop_depth += 1;
+                self.check_block(&body);
+                self.loop_depth -= 1;
+            }
+            Stmt::Exit => {
+                if self.loop_depth == 0 {
+                    self.error(span, "EXIT outside of a loop");
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                by,
+                body,
+            } => {
+                let int = self.types.integer();
+                for e in [Some(from), Some(to), by].into_iter().flatten() {
+                    let t = self.check_expr(e);
+                    if t != int {
+                        let espan = self.ast.expr_span(e);
+                        self.error(espan, "FOR bounds must be INTEGER");
+                    }
+                }
+                self.scopes.push(HashMap::new());
+                let lid = self.define_local(&var, int, VarKind::For);
+                self.stmt_locals.insert(s, vec![lid]);
+                self.loop_depth += 1;
+                self.check_block(&body);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+            }
+            Stmt::Return(value) => match (self.cur_ret, value) {
+                (None, None) => {}
+                (None, Some(v)) => {
+                    let vspan = self.ast.expr_span(v);
+                    self.check_expr(v);
+                    self.error(vspan, "RETURN with a value in a proper procedure");
+                }
+                (Some(rt), Some(v)) => {
+                    let vt = self.check_expr(v);
+                    if !self.assignable(rt, vt) {
+                        let vspan = self.ast.expr_span(v);
+                        self.error(vspan, "RETURN value has the wrong type");
+                    }
+                }
+                (Some(_), None) => {
+                    self.error(span, "RETURN without a value in a function procedure");
+                }
+            },
+            Stmt::With { bindings, body } => {
+                self.scopes.push(HashMap::new());
+                let mut lids = Vec::new();
+                for (i, (name, e)) in bindings.iter().enumerate() {
+                    let ty = self.check_expr(*e);
+                    let is_desig = self.is_designator(*e);
+                    let kind = if is_desig {
+                        WithKind::Alias
+                    } else {
+                        WithKind::Value
+                    };
+                    if kind == WithKind::Value && !self.types.is_scalar(ty) {
+                        let espan = self.ast.expr_span(*e);
+                        self.error(espan, "WITH of a non-designator aggregate value");
+                    }
+                    self.with_kinds.insert((s, i), kind);
+                    let vk = if kind == WithKind::Alias {
+                        VarKind::WithAlias
+                    } else {
+                        VarKind::WithValue
+                    };
+                    lids.push(self.define_local(name, ty, vk));
+                }
+                self.stmt_locals.insert(s, lids);
+                self.check_block(&body);
+                self.scopes.pop();
+            }
+            Stmt::Eval(e) => {
+                self.check_expr(e);
+            }
+        }
+    }
+
+    fn check_block(&mut self, body: &[StmtId]) {
+        self.scopes.push(HashMap::new());
+        for &s in body {
+            self.check_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn check_cond(&mut self, e: ExprId) {
+        let t = self.check_expr(e);
+        if t != self.types.boolean() {
+            let span = self.ast.expr_span(e);
+            self.error(span, "condition must be BOOLEAN");
+        }
+    }
+
+    /// Whether `e` denotes a memory location.
+    fn is_designator(&self, e: ExprId) -> bool {
+        match self.ast.expr(e) {
+            Expr::Name(_) => matches!(
+                self.name_res.get(&e),
+                Some(NameRes::Local(_) | NameRes::Global(_))
+            ),
+            Expr::Qualify { base, .. } => {
+                // A field selection is a designator if its base is one, or the
+                // base is a heap object (always a location).
+                self.is_designator(*base) || self.types.is_pointer(self.expr_ty[base.0 as usize])
+            }
+            Expr::Deref(_) => true,
+            Expr::Index { base, .. } => {
+                self.is_designator(*base) || self.types.is_pointer(self.expr_ty[base.0 as usize])
+            }
+            _ => false,
+        }
+    }
+
+    /// Checks that `e` is a (writable, if `for_write`) designator.
+    fn check_designator(&mut self, e: ExprId, for_write: bool) {
+        let span = self.ast.expr_span(e);
+        if !self.is_designator(e) {
+            self.error(span, "not a designator (does not denote a location)");
+            return;
+        }
+        if for_write {
+            if let Expr::Name(_) = self.ast.expr(e) {
+                if let Some(NameRes::Local(l)) = self.name_res.get(&e) {
+                    match self.cur_locals[l.0 as usize].kind {
+                        VarKind::For => self.error(span, "FOR index is read-only"),
+                        VarKind::WithValue => self.error(span, "WITH value binding is read-only"),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn check_expr(&mut self, e: ExprId) -> TypeId {
+        let expr = self.ast.expr(e).clone();
+        let span = self.ast.expr_span(e);
+        match expr {
+            Expr::Int(_) => self.set_ty(e, self.types.integer()),
+            Expr::Char(_) => self.set_ty(e, self.types.char()),
+            Expr::Text(_) => self.set_ty(e, self.types.text()),
+            Expr::Bool(_) => self.set_ty(e, self.types.boolean()),
+            Expr::Nil => self.set_ty(e, self.types.null()),
+            Expr::Name(name) => match self.lookup(&name) {
+                Some(res) => {
+                    let ty = match &res {
+                        NameRes::Local(l) => self.cur_locals[l.0 as usize].ty,
+                        NameRes::Global(g) => self.globals[g.0 as usize].ty,
+                        NameRes::Const(v) => v.type_of(&self.types),
+                        NameRes::TypeRef(t) => {
+                            let t = *t;
+                            self.error(
+                                span,
+                                "type name used as a value (only legal in NEW/ISTYPE/NARROW)",
+                            );
+                            t
+                        }
+                        NameRes::Proc(_) | NameRes::Builtin(_) => {
+                            self.error(span, "procedure used as a value");
+                            self.types.integer()
+                        }
+                    };
+                    self.name_res.insert(e, res);
+                    self.set_ty(e, ty)
+                }
+                None => {
+                    self.error(span, format!("undefined name `{name}`"));
+                    self.set_ty(e, self.types.integer())
+                }
+            },
+            Expr::Qualify { base, field } => {
+                let bty = self.check_expr(base);
+                match self.types.kind(bty) {
+                    TypeKind::Object { .. } | TypeKind::Record { .. } => {
+                        match self.types.field(bty, &field) {
+                            Some(f) => {
+                                let fty = f.ty;
+                                self.set_ty(e, fty)
+                            }
+                            None => {
+                                // Maybe a method reference used as a call;
+                                // `check_call` handles that case before
+                                // calling us, so this is an error here.
+                                self.error(
+                                    span,
+                                    format!(
+                                        "no field `{field}` on type {}",
+                                        self.types.display(bty)
+                                    ),
+                                );
+                                self.set_ty(e, self.types.integer())
+                            }
+                        }
+                    }
+                    TypeKind::Ref { .. } => {
+                        self.error(span, "use ^ to dereference before selecting a field");
+                        self.set_ty(e, self.types.integer())
+                    }
+                    _ => {
+                        self.error(
+                            span,
+                            format!("cannot select a field of {}", self.types.display(bty)),
+                        );
+                        self.set_ty(e, self.types.integer())
+                    }
+                }
+            }
+            Expr::Deref(base) => {
+                let bty = self.check_expr(base);
+                match self.types.kind(bty) {
+                    TypeKind::Ref { target, .. } => {
+                        let t = *target;
+                        self.set_ty(e, t)
+                    }
+                    _ => {
+                        self.error(
+                            span,
+                            format!("cannot dereference {}", self.types.display(bty)),
+                        );
+                        self.set_ty(e, self.types.integer())
+                    }
+                }
+            }
+            Expr::Index { base, index } => {
+                let bty = self.check_expr(base);
+                let ity = self.check_expr(index);
+                if ity != self.types.integer() {
+                    let ispan = self.ast.expr_span(index);
+                    self.error(ispan, "array index must be INTEGER");
+                }
+                match self.types.kind(bty) {
+                    TypeKind::Array { elem, .. } => {
+                        let t = *elem;
+                        self.set_ty(e, t)
+                    }
+                    _ => {
+                        self.error(span, format!("cannot index {}", self.types.display(bty)));
+                        self.set_ty(e, self.types.integer())
+                    }
+                }
+            }
+            Expr::Call { callee, args } => self.check_call(e, callee, &args),
+            Expr::Unary { op, expr } => {
+                let t = self.check_expr(expr);
+                let want = match op {
+                    UnOp::Neg => self.types.integer(),
+                    UnOp::Not => self.types.boolean(),
+                };
+                if t != want {
+                    self.error(span, "operand has the wrong type");
+                }
+                self.set_ty(e, want)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs);
+                let rt = self.check_expr(rhs);
+                let int = self.types.integer();
+                let boolean = self.types.boolean();
+                let text = self.types.text();
+                let ty = match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        if lt != int || rt != int {
+                            self.error(span, "arithmetic requires INTEGER operands");
+                        }
+                        int
+                    }
+                    BinOp::Concat => {
+                        if lt != text || rt != text {
+                            self.error(span, "& requires TEXT operands");
+                        }
+                        text
+                    }
+                    BinOp::And | BinOp::Or => {
+                        if lt != boolean || rt != boolean {
+                            self.error(span, "AND/OR require BOOLEAN operands");
+                        }
+                        boolean
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        let ok = lt == rt
+                            || self.types.is_subtype(lt, rt)
+                            || self.types.is_subtype(rt, lt);
+                        if !ok {
+                            self.error(span, "comparison of incompatible types");
+                        }
+                        boolean
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        let ok = (lt == int && rt == int)
+                            || (lt == self.types.char() && rt == self.types.char());
+                        if !ok {
+                            self.error(span, "ordering comparison requires INTEGER or CHAR");
+                        }
+                        boolean
+                    }
+                };
+                self.set_ty(e, ty)
+            }
+        }
+    }
+
+    fn check_call(&mut self, e: ExprId, callee: ExprId, args: &[ExprId]) -> TypeId {
+        let span = self.ast.expr_span(e);
+        match self.ast.expr(callee).clone() {
+            Expr::Name(name) => match self.lookup(&name) {
+                Some(NameRes::Proc(pid)) => {
+                    self.name_res.insert(callee, NameRes::Proc(pid));
+                    self.call_res.insert(e, CallRes::Proc(pid));
+                    let pinfo = self.procs[pid.0 as usize].clone();
+                    self.check_args(
+                        span,
+                        args,
+                        &pinfo
+                            .locals
+                            .iter()
+                            .take(pinfo.n_params as usize)
+                            .map(|l| {
+                                let mode = match l.kind {
+                                    VarKind::Param(m) => m,
+                                    _ => ParamMode::Value,
+                                };
+                                (mode, l.ty)
+                            })
+                            .collect::<Vec<_>>(),
+                    );
+                    let ret = pinfo.ret.unwrap_or(self.types.integer());
+                    // Expression type for statement calls is unused.
+                    self.set_ty(e, ret)
+                }
+                Some(NameRes::Builtin(b)) => {
+                    self.name_res.insert(callee, NameRes::Builtin(b));
+                    self.call_res.insert(e, CallRes::Builtin(b));
+                    self.check_builtin_call(e, b, args)
+                }
+                Some(other) => {
+                    let _ = other;
+                    self.error(span, format!("`{name}` is not callable"));
+                    self.set_ty(e, self.types.integer())
+                }
+                None => {
+                    self.error(span, format!("undefined name `{name}`"));
+                    self.set_ty(e, self.types.integer())
+                }
+            },
+            Expr::Qualify { base, field } => {
+                // Method call: recv.field(args).
+                let recv_ty = self.check_expr(base);
+                if !matches!(self.types.kind(recv_ty), TypeKind::Object { .. }) {
+                    self.error(span, "method call on a non-object value");
+                    return self.set_ty(e, self.types.integer());
+                }
+                let Some((m, _)) = self.types.resolve_method(recv_ty, &field) else {
+                    self.error(
+                        span,
+                        format!(
+                            "no method `{field}` on type {}",
+                            self.types.display(recv_ty)
+                        ),
+                    );
+                    return self.set_ty(e, self.types.integer());
+                };
+                let params = m.params.clone();
+                let ret = m.ret;
+                self.call_res.insert(
+                    e,
+                    CallRes::Method {
+                        recv: base,
+                        name: field.clone(),
+                        recv_ty,
+                    },
+                );
+                self.check_args(span, args, &params);
+                // Type the callee node as the receiver type (it is not a
+                // value by itself).
+                self.set_ty(callee, recv_ty);
+                self.set_ty(e, ret.unwrap_or(self.types.integer()))
+            }
+            _ => {
+                self.error(span, "expression is not callable");
+                self.set_ty(e, self.types.integer())
+            }
+        }
+    }
+
+    fn check_args(&mut self, span: Span, args: &[ExprId], params: &[(ParamMode, TypeId)]) {
+        if args.len() != params.len() {
+            self.error(
+                span,
+                format!("expected {} arguments, found {}", params.len(), args.len()),
+            );
+        }
+        for (a, (mode, ty)) in args.iter().zip(params.iter()) {
+            let at = self.check_expr(*a);
+            match mode {
+                ParamMode::Value => {
+                    if !self.assignable(*ty, at) {
+                        let aspan = self.ast.expr_span(*a);
+                        self.error(
+                            aspan,
+                            format!(
+                                "argument type {} is not assignable to parameter type {}",
+                                self.types.display(at),
+                                self.types.display(*ty)
+                            ),
+                        );
+                    }
+                }
+                ParamMode::Var => {
+                    // Modula-3 requires the VAR actual type to be *identical*
+                    // to the formal type (the open-world AddressTaken rule
+                    // of §4 relies on this).
+                    if at != *ty {
+                        let aspan = self.ast.expr_span(*a);
+                        self.error(
+                            aspan,
+                            "VAR argument type must be identical to the parameter type",
+                        );
+                    }
+                    self.check_designator(*a, true);
+                }
+            }
+        }
+    }
+
+    fn check_builtin_call(&mut self, e: ExprId, b: Builtin, args: &[ExprId]) -> TypeId {
+        let span = self.ast.expr_span(e);
+        let int = self.types.integer();
+        let ch = self.types.char();
+        let text = self.types.text();
+        let boolean = self.types.boolean();
+        match b {
+            Builtin::New => {
+                if args.is_empty() {
+                    self.error(span, "NEW requires a type argument");
+                    return self.set_ty(e, int);
+                }
+                let Some(ty) = self.type_arg(args[0]) else {
+                    return self.set_ty(e, int);
+                };
+                match self.types.kind(ty).clone() {
+                    TypeKind::Object { .. } | TypeKind::Ref { .. } => {
+                        if args.len() != 1 {
+                            self.error(span, "NEW of an object or REF takes no extra arguments");
+                        }
+                        self.set_ty(e, ty)
+                    }
+                    TypeKind::Array { range: None, .. } => {
+                        if args.len() != 2 {
+                            self.error(span, "NEW of an open array takes a length argument");
+                            return self.set_ty(e, ty);
+                        }
+                        let lt = self.check_expr(args[1]);
+                        if lt != int {
+                            self.error(span, "array length must be INTEGER");
+                        }
+                        self.set_ty(e, ty)
+                    }
+                    _ => {
+                        self.error(span, "NEW requires an object, REF, or open array type");
+                        self.set_ty(e, ty)
+                    }
+                }
+            }
+            Builtin::Number => {
+                self.expect_args(span, args, 1);
+                let ty = args.first().map(|a| self.check_expr(*a));
+                if let Some(t) = ty {
+                    if !matches!(self.types.kind(t), TypeKind::Array { .. }) {
+                        self.error(span, "NUMBER requires an array");
+                    }
+                }
+                self.set_ty(e, int)
+            }
+            Builtin::Ord => {
+                self.expect_typed_args(span, args, &[ch]);
+                self.set_ty(e, int)
+            }
+            Builtin::Chr => {
+                self.expect_typed_args(span, args, &[int]);
+                self.set_ty(e, ch)
+            }
+            Builtin::Abs => {
+                self.expect_typed_args(span, args, &[int]);
+                self.set_ty(e, int)
+            }
+            Builtin::Min | Builtin::Max => {
+                self.expect_typed_args(span, args, &[int, int]);
+                self.set_ty(e, int)
+            }
+            Builtin::TextLen => {
+                self.expect_typed_args(span, args, &[text]);
+                self.set_ty(e, int)
+            }
+            Builtin::TextChar => {
+                self.expect_typed_args(span, args, &[text, int]);
+                self.set_ty(e, ch)
+            }
+            Builtin::IntToText => {
+                self.expect_typed_args(span, args, &[int]);
+                self.set_ty(e, text)
+            }
+            Builtin::CharToText => {
+                self.expect_typed_args(span, args, &[ch]);
+                self.set_ty(e, text)
+            }
+            Builtin::Print => {
+                self.expect_typed_args(span, args, &[text]);
+                self.set_ty(e, int)
+            }
+            Builtin::PrintInt => {
+                self.expect_typed_args(span, args, &[int]);
+                self.set_ty(e, int)
+            }
+            Builtin::IsType | Builtin::Narrow => {
+                if args.len() != 2 {
+                    self.error(span, "expected a value and a type argument");
+                    return self.set_ty(e, int);
+                }
+                let vt = self.check_expr(args[0]);
+                let Some(ty) = self.type_arg(args[1]) else {
+                    return self.set_ty(e, int);
+                };
+                let related = self.types.is_subtype(ty, vt) || self.types.is_subtype(vt, ty);
+                if !related || !self.types.is_pointer(ty) {
+                    self.error(span, "type test between unrelated or non-object types");
+                }
+                match b {
+                    Builtin::IsType => self.set_ty(e, boolean),
+                    _ => self.set_ty(e, ty),
+                }
+            }
+        }
+    }
+
+    /// Resolves an argument that must be a type name.
+    fn type_arg(&mut self, a: ExprId) -> Option<TypeId> {
+        let span = self.ast.expr_span(a);
+        let Expr::Name(n) = self.ast.expr(a).clone() else {
+            self.error(span, "expected a type name");
+            return None;
+        };
+        match self.types.by_name(&n) {
+            Some(t) => {
+                self.name_res.insert(a, NameRes::TypeRef(t));
+                self.expr_ty[a.0 as usize] = t;
+                Some(t)
+            }
+            None => {
+                self.error(span, format!("undefined type `{n}`"));
+                None
+            }
+        }
+    }
+
+    fn expect_args(&mut self, span: Span, args: &[ExprId], n: usize) {
+        if args.len() != n {
+            self.error(
+                span,
+                format!("expected {n} arguments, found {}", args.len()),
+            );
+        }
+    }
+
+    fn expect_typed_args(&mut self, span: Span, args: &[ExprId], want: &[TypeId]) {
+        self.expect_args(span, args, want.len());
+        for (a, w) in args.iter().zip(want.iter()) {
+            let t = self.check_expr(*a);
+            if t != *w {
+                let aspan = self.ast.expr_span(*a);
+                self.error(
+                    aspan,
+                    format!(
+                        "expected {}, found {}",
+                        self.types.display(*w),
+                        self.types.display(t)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_ok(src: &str) -> CheckedModule {
+        let m = parse(src).expect("parse");
+        match check(m) {
+            Ok(c) => c,
+            Err(d) => panic!("check failed: {d}"),
+        }
+    }
+
+    fn check_err(src: &str) -> Diagnostics {
+        let m = parse(src).expect("parse");
+        check(m).expect_err("expected a check error")
+    }
+
+    #[test]
+    fn figure_1_hierarchy_checks() {
+        let c = check_ok(
+            "MODULE Fig1;
+             TYPE
+               T = OBJECT f, g: T; END;
+               S1 = T OBJECT END;
+               S2 = T OBJECT END;
+               S3 = T OBJECT END;
+             VAR t: T; s: S1; u: S2;
+             BEGIN
+               t := NEW(T);
+               s := NEW(S1);
+               t := s;
+             END Fig1.",
+        );
+        let t = c.types.by_name("T").unwrap();
+        let s1 = c.types.by_name("S1").unwrap();
+        assert!(c.types.is_subtype(s1, t));
+        assert_eq!(c.types.subtypes(t).len(), 4);
+    }
+
+    #[test]
+    fn incompatible_assignment_rejected() {
+        let d = check_err(
+            "MODULE M;
+             TYPE T = OBJECT END; S1 = T OBJECT END; S2 = T OBJECT END;
+             VAR a: S1; b: S2;
+             BEGIN a := b; END M.",
+        );
+        assert!(d.to_string().contains("cannot assign"));
+    }
+
+    #[test]
+    fn supertype_assignment_allowed() {
+        check_ok(
+            "MODULE M;
+             TYPE T = OBJECT END; S = T OBJECT END;
+             VAR a: T; b: S;
+             BEGIN a := b; END M.",
+        );
+    }
+
+    #[test]
+    fn field_access_and_methods() {
+        let c = check_ok(
+            "MODULE M;
+             TYPE
+               Node = OBJECT val: INTEGER; next: Node;
+                      METHODS sum (): INTEGER := NodeSum; END;
+             PROCEDURE NodeSum (self: Node): INTEGER =
+             BEGIN
+               IF self.next = NIL THEN RETURN self.val END;
+               RETURN self.val + self.next.sum();
+             END NodeSum;
+             VAR n: Node;
+             BEGIN
+               n := NEW(Node);
+               n.val := 3;
+               EVAL n.sum();
+             END M.",
+        );
+        let node = c.types.by_name("Node").unwrap();
+        assert!(c.method_impls.contains_key(&(node, "sum".to_string())));
+    }
+
+    #[test]
+    fn deref_requires_ref() {
+        check_err(
+            "MODULE M; VAR x: INTEGER; y: INTEGER;
+             BEGIN y := x^; END M.",
+        );
+    }
+
+    #[test]
+    fn ref_and_deref() {
+        check_ok(
+            "MODULE M;
+             TYPE P = REF INTEGER;
+             VAR p: P; x: INTEGER;
+             BEGIN p := NEW(P); p^ := 3; x := p^; END M.",
+        );
+    }
+
+    #[test]
+    fn open_array_new_and_subscript() {
+        check_ok(
+            "MODULE M;
+             TYPE A = ARRAY OF INTEGER;
+             VAR a: A; x: INTEGER;
+             BEGIN
+               a := NEW(A, 10);
+               a[0] := 5;
+               x := a[0] + NUMBER(a);
+             END M.",
+        );
+    }
+
+    #[test]
+    fn var_param_requires_identical_type_and_designator() {
+        // Subtype is NOT enough for VAR params.
+        let d = check_err(
+            "MODULE M;
+             TYPE T = OBJECT END; S = T OBJECT END;
+             PROCEDURE F (VAR x: T) = BEGIN END F;
+             VAR s: S;
+             BEGIN F(s); END M.",
+        );
+        assert!(d.to_string().contains("identical"));
+        check_err(
+            "MODULE M;
+             PROCEDURE F (VAR x: INTEGER) = BEGIN END F;
+             BEGIN F(1 + 2); END M.",
+        );
+    }
+
+    #[test]
+    fn with_value_binding_is_readonly() {
+        let d = check_err(
+            "MODULE M; VAR x: INTEGER;
+             BEGIN WITH y = x + 1 DO y := 3 END; END M.",
+        );
+        assert!(d.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn with_alias_binding_is_writable() {
+        let c = check_ok(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END;
+             VAR t: T;
+             BEGIN
+               t := NEW(T);
+               WITH y = t.f DO y := 3 END;
+             END M.",
+        );
+        let (&(_, idx), &kind) = c.with_kinds.iter().next().unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(kind, WithKind::Alias);
+    }
+
+    #[test]
+    fn for_index_is_readonly() {
+        check_err("MODULE M; BEGIN FOR i := 0 TO 9 DO i := 3 END; END M.");
+    }
+
+    #[test]
+    fn exit_outside_loop_rejected() {
+        check_err("MODULE M; BEGIN EXIT; END M.");
+    }
+
+    #[test]
+    fn narrow_and_istype() {
+        check_ok(
+            "MODULE M;
+             TYPE T = OBJECT END; S = T OBJECT x: INTEGER; END;
+             VAR t: T; s: S; b: BOOLEAN;
+             BEGIN
+               t := NEW(S);
+               b := ISTYPE(t, S);
+               IF b THEN s := NARROW(t, S); s.x := 1 END;
+             END M.",
+        );
+        check_err(
+            "MODULE M;
+             TYPE T = OBJECT END; U = OBJECT END;
+             VAR t: T;
+             BEGIN EVAL ISTYPE(t, U); END M.",
+        );
+    }
+
+    #[test]
+    fn discarded_result_requires_eval() {
+        let d = check_err(
+            "MODULE M;
+             PROCEDURE F (): INTEGER = BEGIN RETURN 1 END F;
+             BEGIN F(); END M.",
+        );
+        assert!(d.to_string().contains("EVAL"));
+    }
+
+    #[test]
+    fn consts_fold() {
+        check_ok(
+            "MODULE M;
+             CONST N = 10; M2 = N * 2 + 1;
+             VAR a: ARRAY [0..20] OF INTEGER; (* fixed arrays as globals *)
+             x: INTEGER;
+             BEGIN x := M2; END M.",
+        );
+    }
+
+    #[test]
+    fn branded_objects_check() {
+        let c = check_ok(
+            "MODULE M;
+             TYPE B = BRANDED \"b\" OBJECT x: INTEGER; END;
+             VAR b: B;
+             BEGIN b := NEW(B); b.x := 1; END M.",
+        );
+        let b = c.types.by_name("B").unwrap();
+        assert!(c.types.is_branded(b));
+    }
+
+    #[test]
+    fn recursive_record_through_object_ok() {
+        check_ok(
+            "MODULE M;
+             TYPE
+               Node = OBJECT data: INTEGER; link: Node; END;
+               Pair = RECORD a, b: INTEGER; END;
+               PPair = REF Pair;
+             VAR p: PPair;
+             BEGIN p := NEW(PPair); p^.a := 1; END M.",
+        );
+    }
+
+    #[test]
+    fn undefined_type_reported() {
+        check_err("MODULE M; VAR x: Bogus; BEGIN END M.");
+    }
+
+    #[test]
+    fn method_signature_mismatch_reported() {
+        let d = check_err(
+            "MODULE M;
+             TYPE T = OBJECT METHODS m (x: INTEGER): INTEGER := P; END;
+             PROCEDURE P (self: T): INTEGER = BEGIN RETURN 0 END P;
+             BEGIN END M.",
+        );
+        assert!(d.to_string().contains("signature"));
+    }
+
+    #[test]
+    fn override_binding_resolves_most_derived() {
+        let c = check_ok(
+            "MODULE M;
+             TYPE
+               A = OBJECT METHODS m (): INTEGER := PA; END;
+               B = A OBJECT OVERRIDES m := PB; END;
+             PROCEDURE PA (self: A): INTEGER = BEGIN RETURN 1 END PA;
+             PROCEDURE PB (self: B): INTEGER = BEGIN RETURN 2 END PB;
+             BEGIN END M.",
+        );
+        let a = c.types.by_name("A").unwrap();
+        let b = c.types.by_name("B").unwrap();
+        let pa = c.proc_id("PA").unwrap();
+        let pb = c.proc_id("PB").unwrap();
+        assert_eq!(c.method_impls[&(a, "m".to_string())], pa);
+        assert_eq!(c.method_impls[&(b, "m".to_string())], pb);
+    }
+
+    #[test]
+    fn main_is_last_proc() {
+        let c = check_ok("MODULE M; PROCEDURE F () = BEGIN END F; BEGIN END M.");
+        assert_eq!(c.main, ProcId(1));
+        assert_eq!(c.proc(c.main).name, "<main>");
+    }
+}

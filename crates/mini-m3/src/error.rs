@@ -1,0 +1,186 @@
+//! Compiler diagnostics.
+//!
+//! All front-end phases report problems as [`Diagnostic`] values collected in
+//! a [`Diagnostics`] sink; compilation entry points return
+//! `Result<T, Diagnostics>` so callers can render every error at once.
+
+use crate::span::{LineMap, Span};
+use std::error::Error;
+use std::fmt;
+
+/// Which phase produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution and type checking.
+    Check,
+    /// Lowering to IR.
+    Lower,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "check",
+            Phase::Lower => "lower",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single compiler error with location information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The phase that detected the problem.
+    pub phase: Phase,
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            phase,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with line/column info resolved through `map`.
+    pub fn render(&self, map: &LineMap) -> String {
+        format!(
+            "{}: {} error: {}",
+            map.line_col(self.span.start),
+            self.phase,
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} error: {}", self.span, self.phase, self.message)
+    }
+}
+
+impl Error for Diagnostic {}
+
+/// A collection of diagnostics; the error type of front-end entry points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    errors: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an error.
+    pub fn error(&mut self, phase: Phase, span: Span, message: impl Into<String>) {
+        self.errors.push(Diagnostic::new(phase, span, message));
+    }
+
+    /// Whether any error has been recorded.
+    pub fn has_errors(&self) -> bool {
+        !self.errors.is_empty()
+    }
+
+    /// Number of recorded errors.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Whether the sink is empty.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The recorded errors in source order of discovery.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.errors.iter()
+    }
+
+    /// Consumes the sink and returns the underlying list.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.errors
+    }
+
+    /// Merges another sink into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.errors.extend(other.errors);
+    }
+
+    /// Renders all diagnostics, one per line, through `map`.
+    pub fn render(&self, map: &LineMap) -> String {
+        let mut out = String::new();
+        for d in &self.errors {
+            out.push_str(&d.render(map));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.errors.is_empty() {
+            return f.write_str("no errors");
+        }
+        for (i, d) in self.errors.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Diagnostics {}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Self {
+        Diagnostics { errors: vec![d] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_collects_errors() {
+        let mut sink = Diagnostics::new();
+        assert!(!sink.has_errors());
+        sink.error(Phase::Lex, Span::new(0, 1), "bad char");
+        sink.error(Phase::Parse, Span::new(2, 3), "bad token");
+        assert!(sink.has_errors());
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.iter().count(), 2);
+    }
+
+    #[test]
+    fn render_uses_line_map() {
+        let map = LineMap::new("a\nbc");
+        let d = Diagnostic::new(Phase::Check, Span::new(2, 3), "undefined name");
+        assert_eq!(d.render(&map), "2:1: check error: undefined name");
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let sink = Diagnostics::new();
+        assert_eq!(sink.to_string(), "no errors");
+        let d = Diagnostic::new(Phase::Lex, Span::new(0, 1), "x");
+        assert!(!d.to_string().is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! The MiniM3 lexer.
+//!
+//! Converts source text into a vector of [`Token`]s. Comments are Modula-3
+//! style `(* ... *)` and nest. Keywords are upper-case reserved words.
+
+use crate::error::{Diagnostics, Phase};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source`.
+///
+/// Always returns the tokens produced so far along with any diagnostics;
+/// on error the token stream still ends with [`TokenKind::Eof`] so the parser
+/// can recover.
+///
+/// # Examples
+///
+/// ```
+/// use mini_m3::lexer::lex;
+/// let (tokens, diags) = lex("VAR x := 1;");
+/// assert!(!diags.has_errors());
+/// assert_eq!(tokens.len(), 6); // VAR x := 1 ; Eof
+/// ```
+pub fn lex(source: &str) -> (Vec<Token>, Diagnostics) {
+    let mut lexer = Lexer::new(source);
+    lexer.run();
+    (lexer.tokens, lexer.diags)
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    diags: Diagnostics,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+            diags: Diagnostics::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+        });
+    }
+
+    fn error(&mut self, start: usize, msg: impl Into<String>) {
+        self.diags
+            .error(Phase::Lex, Span::new(start as u32, self.pos as u32), msg);
+    }
+
+    fn run(&mut self) {
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(b) = self.bump() else {
+                self.push(TokenKind::Eof, start);
+                return;
+            };
+            match b {
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(start),
+                b'0'..=b'9' => self.number(start),
+                b'"' => self.text(start),
+                b'\'' => self.char_lit(start),
+                b':' => {
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Assign, start);
+                    } else {
+                        self.push(TokenKind::Colon, start);
+                    }
+                }
+                b'=' => self.push(TokenKind::Eq, start),
+                b'#' => self.push(TokenKind::Ne, start),
+                b'<' => {
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Le, start);
+                    } else {
+                        self.push(TokenKind::Lt, start);
+                    }
+                }
+                b'>' => {
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.push(TokenKind::Ge, start);
+                    } else {
+                        self.push(TokenKind::Gt, start);
+                    }
+                }
+                b'+' => self.push(TokenKind::Plus, start),
+                b'-' => self.push(TokenKind::Minus, start),
+                b'*' => self.push(TokenKind::Star, start),
+                b'&' => self.push(TokenKind::Amp, start),
+                b'(' => self.push(TokenKind::LParen, start),
+                b')' => self.push(TokenKind::RParen, start),
+                b'[' => self.push(TokenKind::LBracket, start),
+                b']' => self.push(TokenKind::RBracket, start),
+                b';' => self.push(TokenKind::Semi, start),
+                b',' => self.push(TokenKind::Comma, start),
+                b'.' => {
+                    if self.peek() == Some(b'.') {
+                        self.bump();
+                        self.push(TokenKind::DotDot, start);
+                    } else {
+                        self.push(TokenKind::Dot, start);
+                    }
+                }
+                b'^' => self.push(TokenKind::Caret, start),
+                _ => self.error(start, format!("unexpected character `{}`", b as char)),
+            }
+        }
+    }
+
+    /// Skips whitespace and (nested) comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'(') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match self.peek() {
+                            None => {
+                                self.error(start, "unterminated comment");
+                                return;
+                            }
+                            Some(b'(') if self.peek2() == Some(b'*') => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            Some(b'*') if self.peek2() == Some(b')') => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        let kind = TokenKind::keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+        self.push(kind, start);
+    }
+
+    fn number(&mut self, start: usize) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        match text.parse::<i64>() {
+            Ok(v) => self.push(TokenKind::Int(v), start),
+            Err(_) => {
+                self.error(start, "integer literal out of range");
+                self.push(TokenKind::Int(0), start);
+            }
+        }
+    }
+
+    fn text(&mut self, start: usize) {
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => {
+                    self.error(start, "unterminated text literal");
+                    break;
+                }
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => value.push('\n'),
+                    Some(b't') => value.push('\t'),
+                    Some(b'\\') => value.push('\\'),
+                    Some(b'"') => value.push('"'),
+                    _ => {
+                        self.error(start, "invalid escape in text literal");
+                    }
+                },
+                Some(b) => value.push(b as char),
+            }
+        }
+        self.push(TokenKind::Text(value), start);
+    }
+
+    fn char_lit(&mut self, start: usize) {
+        let c = match self.bump() {
+            None => {
+                self.error(start, "unterminated character literal");
+                return;
+            }
+            Some(b'\\') => match self.bump() {
+                Some(b'n') => '\n',
+                Some(b't') => '\t',
+                Some(b'\\') => '\\',
+                Some(b'\'') => '\'',
+                _ => {
+                    self.error(start, "invalid escape in character literal");
+                    '?'
+                }
+            },
+            Some(b) => b as char,
+        };
+        if self.bump() != Some(b'\'') {
+            self.error(start, "unterminated character literal");
+        }
+        self.push(TokenKind::Char(c), start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (toks, diags) = lex(src);
+        assert!(!diags.has_errors(), "unexpected errors: {diags}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_module_header() {
+        assert_eq!(
+            kinds("MODULE Main;"),
+            vec![Module, Ident("Main".into()), Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds(":= = # < <= > >= + - * & ^ . .."),
+            vec![Assign, Eq, Ne, Lt, Le, Gt, Ge, Plus, Minus, Star, Amp, Caret, Dot, DotDot, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            kinds("42 'x' \"hi\\n\""),
+            vec![Int(42), Char('x'), Text("hi\n".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("WHILE While while"),
+            vec![While, Ident("While".into()), Ident("while".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn nested_comments_skip() {
+        assert_eq!(
+            kinds("a (* outer (* inner *) still *) b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        let (_, diags) = lex("(* oops");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn unterminated_text_is_error() {
+        let (_, diags) = lex("\"abc");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        let (toks, diags) = lex("a $ b");
+        assert!(diags.has_errors());
+        // Lexing continues past the bad character.
+        assert_eq!(toks.len(), 3); // a b Eof
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let (toks, _) = lex("AB cd");
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn subscript_vs_range() {
+        assert_eq!(
+            kinds("a[1..2]"),
+            vec![
+                Ident("a".into()),
+                LBracket,
+                Int(1),
+                DotDot,
+                Int(2),
+                RBracket,
+                Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,1084 @@
+//! Recursive-descent parser for MiniM3.
+//!
+//! The grammar is a faithful subset of Modula-3; see the crate-level docs
+//! for the full grammar. The parser produces an arena-based [`Module`].
+
+use crate::ast::*;
+use crate::error::{Diagnostics, Phase};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete MiniM3 module from source text.
+///
+/// # Errors
+///
+/// Returns all lexical and syntactic diagnostics if the source does not
+/// form a well-formed module.
+///
+/// # Examples
+///
+/// ```
+/// let src = "MODULE M; BEGIN END M.";
+/// let module = mini_m3::parser::parse(src)?;
+/// assert_eq!(module.name, "M");
+/// # Ok::<(), mini_m3::error::Diagnostics>(())
+/// ```
+pub fn parse(source: &str) -> Result<Module, Diagnostics> {
+    let (tokens, mut diags) = lex(source);
+    if diags.has_errors() {
+        return Err(diags);
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        module: Module::default(),
+        diags: Diagnostics::new(),
+    };
+    parser.module_decl();
+    if parser.diags.has_errors() {
+        diags.extend(parser.diags);
+        Err(diags)
+    } else {
+        Ok(parser.module)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    module: Module,
+    diags: Diagnostics,
+}
+
+/// Parsing aborts via this sentinel after an unrecoverable error; the
+/// diagnostics sink carries the real message.
+struct ParseAbort;
+
+type PResult<T> = Result<T, ParseAbort>;
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> PResult<Span> {
+        if self.at(kind) {
+            Ok(self.bump().span)
+        } else {
+            self.error_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            ));
+            Err(ParseAbort)
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<(String, Span)> {
+        if let TokenKind::Ident(name) = self.peek() {
+            let name = name.clone();
+            let span = self.bump().span;
+            Ok((name, span))
+        } else {
+            self.error_here(format!(
+                "expected identifier, found {}",
+                self.peek().describe()
+            ));
+            Err(ParseAbort)
+        }
+    }
+
+    fn error_here(&mut self, msg: impl Into<String>) {
+        let span = self.peek_span();
+        self.diags.error(Phase::Parse, span, msg);
+    }
+
+    // ---- declarations ------------------------------------------------
+
+    fn module_decl(&mut self) {
+        if self.module_decl_inner().is_err() {
+            // diagnostics already recorded
+        }
+    }
+
+    fn module_decl_inner(&mut self) -> PResult<()> {
+        self.expect(&TokenKind::Module)?;
+        let (name, _) = self.expect_ident()?;
+        self.module.name = name.clone();
+        self.expect(&TokenKind::Semi)?;
+        self.decls()?;
+        self.expect(&TokenKind::Begin)?;
+        let body = self.stmts_until(&[TokenKind::End])?;
+        self.module.body = body;
+        self.expect(&TokenKind::End)?;
+        let (end_name, end_span) = self.expect_ident()?;
+        if end_name != name {
+            self.diags.error(
+                Phase::Parse,
+                end_span,
+                format!("module ends with `{end_name}` but is named `{name}`"),
+            );
+        }
+        self.expect(&TokenKind::Dot)?;
+        if !self.at(&TokenKind::Eof) {
+            self.error_here("text after end of module");
+        }
+        Ok(())
+    }
+
+    fn decls(&mut self) -> PResult<()> {
+        loop {
+            match self.peek() {
+                TokenKind::Type => {
+                    self.bump();
+                    while let TokenKind::Ident(_) = self.peek() {
+                        let decl = self.type_decl()?;
+                        self.module.types.push(decl);
+                    }
+                }
+                TokenKind::Const => {
+                    self.bump();
+                    while let TokenKind::Ident(_) = self.peek() {
+                        let decl = self.const_decl()?;
+                        self.module.consts.push(decl);
+                    }
+                }
+                TokenKind::Var => {
+                    self.bump();
+                    while let TokenKind::Ident(_) = self.peek() {
+                        let decl = self.var_decl()?;
+                        self.module.globals.push(decl);
+                    }
+                }
+                TokenKind::Procedure => {
+                    let p = self.proc_decl()?;
+                    self.module.procs.push(p);
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn type_decl(&mut self) -> PResult<TypeDecl> {
+        let (name, start) = self.expect_ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let expr = self.type_expr()?;
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(TypeDecl {
+            name,
+            expr,
+            span: start.join(end),
+        })
+    }
+
+    fn const_decl(&mut self) -> PResult<ConstDecl> {
+        let (name, start) = self.expect_ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let value = self.expr()?;
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(ConstDecl {
+            name,
+            value,
+            span: start.join(end),
+        })
+    }
+
+    fn var_decl(&mut self) -> PResult<VarDecl> {
+        let (first, start) = self.expect_ident()?;
+        let mut names = vec![first];
+        while self.eat(&TokenKind::Comma) {
+            names.push(self.expect_ident()?.0);
+        }
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.type_expr()?;
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(VarDecl {
+            names,
+            ty,
+            init,
+            span: start.join(end),
+        })
+    }
+
+    fn proc_decl(&mut self) -> PResult<ProcDecl> {
+        let start = self.expect(&TokenKind::Procedure)?;
+        let (name, _) = self.expect_ident()?;
+        let params = self.params()?;
+        let ret = if self.eat(&TokenKind::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        let header_end = self.expect(&TokenKind::Eq)?;
+        // Local declarations (VAR sections only inside procedures).
+        let mut locals = Vec::new();
+        while self.eat(&TokenKind::Var) {
+            while let TokenKind::Ident(_) = self.peek() {
+                locals.push(self.var_decl()?);
+            }
+        }
+        self.expect(&TokenKind::Begin)?;
+        let body = self.stmts_until(&[TokenKind::End])?;
+        self.expect(&TokenKind::End)?;
+        let (end_name, end_span) = self.expect_ident()?;
+        if end_name != name {
+            self.diags.error(
+                Phase::Parse,
+                end_span,
+                format!("procedure ends with `{end_name}` but is named `{name}`"),
+            );
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(ProcDecl {
+            name,
+            params,
+            ret,
+            locals,
+            body,
+            span: start.join(header_end),
+        })
+    }
+
+    fn params(&mut self) -> PResult<Vec<Param>> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let mode = if self.eat(&TokenKind::Var) {
+                    Mode::Var
+                } else {
+                    Mode::Value
+                };
+                let (first, start) = self.expect_ident()?;
+                let mut names = vec![(first, start)];
+                while self.eat(&TokenKind::Comma) {
+                    names.push(self.expect_ident()?);
+                }
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.type_expr()?;
+                for (name, span) in names {
+                    params.push(Param {
+                        mode,
+                        name,
+                        ty: ty.clone(),
+                        span,
+                    });
+                }
+                if !self.eat(&TokenKind::Semi) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(params)
+    }
+
+    // ---- types --------------------------------------------------------
+
+    fn type_expr(&mut self) -> PResult<TypeExpr> {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Ref => {
+                self.bump();
+                let target = self.type_expr()?;
+                let span = start.join(target.span());
+                Ok(TypeExpr::Ref {
+                    brand: None,
+                    target: Box::new(target),
+                    span,
+                })
+            }
+            TokenKind::Branded => {
+                self.bump();
+                let brand = if let TokenKind::Text(t) = self.peek() {
+                    let t = t.clone();
+                    self.bump();
+                    t
+                } else {
+                    String::new()
+                };
+                match self.peek() {
+                    TokenKind::Ref => {
+                        self.bump();
+                        let target = self.type_expr()?;
+                        let span = start.join(target.span());
+                        Ok(TypeExpr::Ref {
+                            brand: Some(brand),
+                            target: Box::new(target),
+                            span,
+                        })
+                    }
+                    TokenKind::Object => self.object_type(None, Some(brand), start),
+                    _ => {
+                        self.error_here("BRANDED must be followed by REF or OBJECT");
+                        Err(ParseAbort)
+                    }
+                }
+            }
+            TokenKind::Object => self.object_type(None, None, start),
+            TokenKind::Record => {
+                self.bump();
+                let fields = self.field_decls(&[TokenKind::End])?;
+                let end = self.expect(&TokenKind::End)?;
+                Ok(TypeExpr::Record {
+                    fields,
+                    span: start.join(end),
+                })
+            }
+            TokenKind::Array => {
+                self.bump();
+                let range = if self.eat(&TokenKind::LBracket) {
+                    let lo = self.int_const()?;
+                    self.expect(&TokenKind::DotDot)?;
+                    let hi = self.int_const()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Some((lo, hi))
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::Of)?;
+                let elem = self.type_expr()?;
+                let span = start.join(elem.span());
+                Ok(TypeExpr::Array {
+                    range,
+                    elem: Box::new(elem),
+                    span,
+                })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // `Super OBJECT ... END` or `Super BRANDED OBJECT ... END`
+                match self.peek() {
+                    TokenKind::Object => self.object_type(Some(name), None, start),
+                    TokenKind::Branded => {
+                        self.bump();
+                        let brand = if let TokenKind::Text(t) = self.peek() {
+                            let t = t.clone();
+                            self.bump();
+                            t
+                        } else {
+                            String::new()
+                        };
+                        self.object_type(Some(name), Some(brand), start)
+                    }
+                    _ => Ok(TypeExpr::Name(name, start)),
+                }
+            }
+            other => {
+                self.error_here(format!("expected a type, found {}", other.describe()));
+                Err(ParseAbort)
+            }
+        }
+    }
+
+    fn int_const(&mut self) -> PResult<i64> {
+        let neg = self.eat(&TokenKind::Minus);
+        if let TokenKind::Int(v) = self.peek() {
+            let v = *v;
+            self.bump();
+            Ok(if neg { -v } else { v })
+        } else {
+            self.error_here("expected integer constant");
+            Err(ParseAbort)
+        }
+    }
+
+    fn object_type(
+        &mut self,
+        super_name: Option<String>,
+        brand: Option<String>,
+        start: Span,
+    ) -> PResult<TypeExpr> {
+        self.expect(&TokenKind::Object)?;
+        let fields =
+            self.field_decls(&[TokenKind::Methods, TokenKind::Overrides, TokenKind::End])?;
+        let mut methods = Vec::new();
+        let mut overrides = Vec::new();
+        if self.eat(&TokenKind::Methods) {
+            while let TokenKind::Ident(_) = self.peek() {
+                let (name, mstart) = self.expect_ident()?;
+                let params = self.params()?;
+                let ret = if self.eat(&TokenKind::Colon) {
+                    Some(self.type_expr()?)
+                } else {
+                    None
+                };
+                let impl_proc = if self.eat(&TokenKind::Assign) {
+                    Some(self.expect_ident()?.0)
+                } else {
+                    None
+                };
+                let mend = self.expect(&TokenKind::Semi)?;
+                methods.push(MethodDecl {
+                    name,
+                    params,
+                    ret,
+                    impl_proc,
+                    span: mstart.join(mend),
+                });
+            }
+        }
+        if self.eat(&TokenKind::Overrides) {
+            while let TokenKind::Ident(_) = self.peek() {
+                let (name, ostart) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let (impl_proc, _) = self.expect_ident()?;
+                let oend = self.expect(&TokenKind::Semi)?;
+                overrides.push(OverrideDecl {
+                    name,
+                    impl_proc,
+                    span: ostart.join(oend),
+                });
+            }
+        }
+        let end = self.expect(&TokenKind::End)?;
+        Ok(TypeExpr::Object {
+            super_name,
+            brand,
+            fields,
+            methods,
+            overrides,
+            span: start.join(end),
+        })
+    }
+
+    fn field_decls(&mut self, stop: &[TokenKind]) -> PResult<Vec<FieldDecl>> {
+        let mut fields = Vec::new();
+        while !stop.iter().any(|k| self.at(k)) {
+            let (first, start) = self.expect_ident()?;
+            let mut names = vec![first];
+            while self.eat(&TokenKind::Comma) {
+                names.push(self.expect_ident()?.0);
+            }
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.type_expr()?;
+            let end = self.expect(&TokenKind::Semi)?;
+            fields.push(FieldDecl {
+                names,
+                ty,
+                span: start.join(end),
+            });
+        }
+        Ok(fields)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    /// Parses statements until one of the stop keywords (not consumed).
+    fn stmts_until(&mut self, stop: &[TokenKind]) -> PResult<Vec<StmtId>> {
+        let mut out = Vec::new();
+        loop {
+            // Tolerate stray semicolons between statements.
+            while self.eat(&TokenKind::Semi) {}
+            if stop.iter().any(|k| self.at(k)) || self.at(&TokenKind::Eof) {
+                return Ok(out);
+            }
+            let stmt = self.stmt()?;
+            out.push(stmt);
+            while self.eat(&TokenKind::Semi) {}
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<StmtId> {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::If => {
+                self.bump();
+                let mut arms = Vec::new();
+                let cond = self.expr()?;
+                self.expect(&TokenKind::Then)?;
+                let body =
+                    self.stmts_until(&[TokenKind::Elsif, TokenKind::Else, TokenKind::End])?;
+                arms.push((cond, body));
+                while self.eat(&TokenKind::Elsif) {
+                    let c = self.expr()?;
+                    self.expect(&TokenKind::Then)?;
+                    let b =
+                        self.stmts_until(&[TokenKind::Elsif, TokenKind::Else, TokenKind::End])?;
+                    arms.push((c, b));
+                }
+                let else_body = if self.eat(&TokenKind::Else) {
+                    self.stmts_until(&[TokenKind::End])?
+                } else {
+                    Vec::new()
+                };
+                let end = self.expect(&TokenKind::End)?;
+                Ok(self
+                    .module
+                    .alloc_stmt(Stmt::If { arms, else_body }, start.join(end)))
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(&TokenKind::Do)?;
+                let body = self.stmts_until(&[TokenKind::End])?;
+                let end = self.expect(&TokenKind::End)?;
+                Ok(self
+                    .module
+                    .alloc_stmt(Stmt::While { cond, body }, start.join(end)))
+            }
+            TokenKind::Repeat => {
+                self.bump();
+                let body = self.stmts_until(&[TokenKind::Until])?;
+                self.expect(&TokenKind::Until)?;
+                let cond = self.expr()?;
+                let end = self.module.expr_span(cond);
+                Ok(self
+                    .module
+                    .alloc_stmt(Stmt::Repeat { body, cond }, start.join(end)))
+            }
+            TokenKind::Loop => {
+                self.bump();
+                let body = self.stmts_until(&[TokenKind::End])?;
+                let end = self.expect(&TokenKind::End)?;
+                Ok(self.module.alloc_stmt(Stmt::Loop { body }, start.join(end)))
+            }
+            TokenKind::Exit => {
+                let span = self.bump().span;
+                Ok(self.module.alloc_stmt(Stmt::Exit, span))
+            }
+            TokenKind::For => {
+                self.bump();
+                let (var, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let from = self.expr()?;
+                self.expect(&TokenKind::To)?;
+                let to = self.expr()?;
+                let by = if self.eat(&TokenKind::By) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::Do)?;
+                let body = self.stmts_until(&[TokenKind::End])?;
+                let end = self.expect(&TokenKind::End)?;
+                Ok(self.module.alloc_stmt(
+                    Stmt::For {
+                        var,
+                        from,
+                        to,
+                        by,
+                        body,
+                    },
+                    start.join(end),
+                ))
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi)
+                    || self.at(&TokenKind::End)
+                    || self.at(&TokenKind::Else)
+                    || self.at(&TokenKind::Elsif)
+                    || self.at(&TokenKind::Until)
+                {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                Ok(self.module.alloc_stmt(Stmt::Return(value), start))
+            }
+            TokenKind::With => {
+                self.bump();
+                let mut bindings = Vec::new();
+                loop {
+                    let (name, _) = self.expect_ident()?;
+                    self.expect(&TokenKind::Eq)?;
+                    let e = self.expr()?;
+                    bindings.push((name, e));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::Do)?;
+                let body = self.stmts_until(&[TokenKind::End])?;
+                let end = self.expect(&TokenKind::End)?;
+                Ok(self
+                    .module
+                    .alloc_stmt(Stmt::With { bindings, body }, start.join(end)))
+            }
+            TokenKind::Eval => {
+                self.bump();
+                let e = self.expr()?;
+                Ok(self.module.alloc_stmt(Stmt::Eval(e), start))
+            }
+            _ => {
+                // Assignment or call statement.
+                let lhs = self.expr()?;
+                if self.eat(&TokenKind::Assign) {
+                    let rhs = self.expr()?;
+                    let span = start.join(self.module.expr_span(rhs));
+                    Ok(self.module.alloc_stmt(Stmt::Assign { lhs, rhs }, span))
+                } else {
+                    if !matches!(self.module.expr(lhs), Expr::Call { .. }) {
+                        let span = self.module.expr_span(lhs);
+                        self.diags.error(
+                            Phase::Parse,
+                            span,
+                            "expression statement must be a call or an assignment",
+                        );
+                    }
+                    let span = self.module.expr_span(lhs);
+                    Ok(self.module.alloc_stmt(Stmt::Call(lhs), span))
+                }
+            }
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> PResult<ExprId> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<ExprId> {
+        let mut lhs = self.and_expr()?;
+        while self.at(&TokenKind::Or) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = self.module.expr_span(lhs).join(self.module.expr_span(rhs));
+            lhs = self.module.alloc_expr(
+                Expr::Binary {
+                    op: BinOp::Or,
+                    lhs,
+                    rhs,
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<ExprId> {
+        let mut lhs = self.not_expr()?;
+        while self.at(&TokenKind::And) {
+            self.bump();
+            let rhs = self.not_expr()?;
+            let span = self.module.expr_span(lhs).join(self.module.expr_span(rhs));
+            lhs = self.module.alloc_expr(
+                Expr::Binary {
+                    op: BinOp::And,
+                    lhs,
+                    rhs,
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> PResult<ExprId> {
+        if self.at(&TokenKind::Not) {
+            let start = self.bump().span;
+            let e = self.not_expr()?;
+            let span = start.join(self.module.expr_span(e));
+            Ok(self.module.alloc_expr(
+                Expr::Unary {
+                    op: UnOp::Not,
+                    expr: e,
+                },
+                span,
+            ))
+        } else {
+            self.rel_expr()
+        }
+    }
+
+    fn rel_expr(&mut self) -> PResult<ExprId> {
+        let lhs = self.sum_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.sum_expr()?;
+        let span = self.module.expr_span(lhs).join(self.module.expr_span(rhs));
+        Ok(self.module.alloc_expr(Expr::Binary { op, lhs, rhs }, span))
+    }
+
+    fn sum_expr(&mut self) -> PResult<ExprId> {
+        let mut lhs = self.term_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Amp => BinOp::Concat,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term_expr()?;
+            let span = self.module.expr_span(lhs).join(self.module.expr_span(rhs));
+            lhs = self.module.alloc_expr(Expr::Binary { op, lhs, rhs }, span);
+        }
+    }
+
+    fn term_expr(&mut self) -> PResult<ExprId> {
+        let mut lhs = self.factor_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Div => BinOp::Div,
+                TokenKind::Mod => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor_expr()?;
+            let span = self.module.expr_span(lhs).join(self.module.expr_span(rhs));
+            lhs = self.module.alloc_expr(Expr::Binary { op, lhs, rhs }, span);
+        }
+    }
+
+    fn factor_expr(&mut self) -> PResult<ExprId> {
+        if self.at(&TokenKind::Minus) {
+            let start = self.bump().span;
+            let e = self.factor_expr()?;
+            let span = start.join(self.module.expr_span(e));
+            Ok(self.module.alloc_expr(
+                Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: e,
+                },
+                span,
+            ))
+        } else if self.at(&TokenKind::Plus) {
+            self.bump();
+            self.factor_expr()
+        } else {
+            self.suffixed_expr()
+        }
+    }
+
+    fn suffixed_expr(&mut self) -> PResult<ExprId> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let (field, fspan) = self.expect_ident()?;
+                    let span = self.module.expr_span(e).join(fspan);
+                    e = self
+                        .module
+                        .alloc_expr(Expr::Qualify { base: e, field }, span);
+                }
+                TokenKind::Caret => {
+                    let cspan = self.bump().span;
+                    let span = self.module.expr_span(e).join(cspan);
+                    e = self.module.alloc_expr(Expr::Deref(e), span);
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    let end = self.expect(&TokenKind::RBracket)?;
+                    let span = self.module.expr_span(e).join(end);
+                    e = self.module.alloc_expr(Expr::Index { base: e, index }, span);
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(&TokenKind::RParen)?;
+                    let span = self.module.expr_span(e).join(end);
+                    e = self.module.alloc_expr(Expr::Call { callee: e, args }, span);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> PResult<ExprId> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(self.module.alloc_expr(Expr::Int(v), span))
+            }
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(self.module.alloc_expr(Expr::Char(c), span))
+            }
+            TokenKind::Text(t) => {
+                self.bump();
+                Ok(self.module.alloc_expr(Expr::Text(t), span))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(self.module.alloc_expr(Expr::Bool(true), span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(self.module.alloc_expr(Expr::Bool(false), span))
+            }
+            TokenKind::Nil => {
+                self.bump();
+                Ok(self.module.alloc_expr(Expr::Nil, span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(self.module.alloc_expr(Expr::Name(name), span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => {
+                self.error_here(format!(
+                    "expected an expression, found {}",
+                    other.describe()
+                ));
+                Err(ParseAbort)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Module {
+        match parse(src) {
+            Ok(m) => m,
+            Err(d) => panic!("parse failed: {d}"),
+        }
+    }
+
+    #[test]
+    fn empty_module() {
+        let m = parse_ok("MODULE M; BEGIN END M.");
+        assert_eq!(m.name, "M");
+        assert!(m.body.is_empty());
+    }
+
+    #[test]
+    fn type_hierarchy_from_figure_1() {
+        let m = parse_ok(
+            "MODULE Fig1;
+             TYPE
+               T = OBJECT f, g: T; END;
+               S1 = T OBJECT END;
+               S2 = T OBJECT END;
+               S3 = T OBJECT END;
+             VAR t: T; s: S1; u: S2;
+             BEGIN END Fig1.",
+        );
+        assert_eq!(m.types.len(), 4);
+        match &m.types[1].expr {
+            TypeExpr::Object { super_name, .. } => {
+                assert_eq!(super_name.as_deref(), Some("T"));
+            }
+            other => panic!("expected object type, got {other:?}"),
+        }
+        assert_eq!(m.globals.len(), 3);
+    }
+
+    #[test]
+    fn object_with_methods_and_overrides() {
+        let m = parse_ok(
+            "MODULE M;
+             TYPE
+               Shape = OBJECT area: INTEGER; METHODS grow (by: INTEGER): INTEGER := GrowShape; END;
+               Circle = Shape OBJECT r: INTEGER; OVERRIDES grow := GrowCircle; END;
+             PROCEDURE GrowShape (self: Shape; by: INTEGER): INTEGER =
+             BEGIN RETURN by END GrowShape;
+             PROCEDURE GrowCircle (self: Circle; by: INTEGER): INTEGER =
+             BEGIN RETURN by + by END GrowCircle;
+             BEGIN END M.",
+        );
+        match &m.types[0].expr {
+            TypeExpr::Object { methods, .. } => {
+                assert_eq!(methods.len(), 1);
+                assert_eq!(methods[0].impl_proc.as_deref(), Some("GrowShape"));
+            }
+            _ => panic!("expected object"),
+        }
+        match &m.types[1].expr {
+            TypeExpr::Object { overrides, .. } => {
+                assert_eq!(overrides.len(), 1);
+                assert_eq!(overrides[0].impl_proc, "GrowCircle");
+            }
+            _ => panic!("expected object"),
+        }
+    }
+
+    #[test]
+    fn branded_types() {
+        let m = parse_ok(
+            "MODULE M;
+             TYPE
+               B = BRANDED \"secret\" OBJECT x: INTEGER; END;
+               P = BRANDED REF INTEGER;
+             BEGIN END M.",
+        );
+        match &m.types[0].expr {
+            TypeExpr::Object { brand, .. } => assert_eq!(brand.as_deref(), Some("secret")),
+            _ => panic!("expected object"),
+        }
+        match &m.types[1].expr {
+            TypeExpr::Ref { brand, .. } => assert_eq!(brand.as_deref(), Some("")),
+            _ => panic!("expected ref"),
+        }
+    }
+
+    #[test]
+    fn arrays_open_and_fixed() {
+        let m = parse_ok(
+            "MODULE M;
+             TYPE A = ARRAY OF INTEGER; F = ARRAY [0..9] OF INTEGER;
+             BEGIN END M.",
+        );
+        match &m.types[0].expr {
+            TypeExpr::Array { range: None, .. } => {}
+            _ => panic!("expected open array"),
+        }
+        match &m.types[1].expr {
+            TypeExpr::Array {
+                range: Some((0, 9)),
+                ..
+            } => {}
+            _ => panic!("expected fixed array"),
+        }
+    }
+
+    #[test]
+    fn statements_parse() {
+        let m = parse_ok(
+            "MODULE M;
+             VAR x: INTEGER; b: BOOLEAN;
+             BEGIN
+               x := 1;
+               IF x = 1 THEN x := 2 ELSIF x = 2 THEN x := 3 ELSE x := 4 END;
+               WHILE x < 10 DO x := x + 1 END;
+               REPEAT x := x - 1 UNTIL x = 0;
+               FOR i := 1 TO 10 BY 2 DO x := x + i END;
+               LOOP EXIT END;
+               WITH y = x DO x := y END;
+               b := (x = 1) OR (x = 2) AND NOT (x = 3);
+             END M.",
+        );
+        assert_eq!(m.body.len(), 8);
+    }
+
+    #[test]
+    fn access_path_expression() {
+        // The paper's running example shape: a^.b[i].c
+        let m = parse_ok(
+            "MODULE M;
+             VAR x: INTEGER;
+             BEGIN x := a^.b[0].c; END M.",
+        );
+        let Stmt::Assign { rhs, .. } = m.stmt(m.body[0]) else {
+            panic!("expected assign");
+        };
+        let Expr::Qualify { base, field } = m.expr(*rhs) else {
+            panic!("expected qualify at top");
+        };
+        assert_eq!(field, "c");
+        assert!(matches!(m.expr(*base), Expr::Index { .. }));
+    }
+
+    #[test]
+    fn call_and_method_call() {
+        let m = parse_ok(
+            "MODULE M;
+             BEGIN
+               Foo(1, 2);
+               obj.meth(3);
+             END M.",
+        );
+        assert_eq!(m.body.len(), 2);
+        let Stmt::Call(c) = m.stmt(m.body[1]) else {
+            panic!()
+        };
+        let Expr::Call { callee, .. } = m.expr(*c) else {
+            panic!()
+        };
+        assert!(matches!(m.expr(*callee), Expr::Qualify { .. }));
+    }
+
+    #[test]
+    fn wrong_end_name_is_error() {
+        assert!(parse("MODULE M; BEGIN END N.").is_err());
+    }
+
+    #[test]
+    fn bad_statement_is_error() {
+        assert!(parse("MODULE M; BEGIN x + 1; END M.").is_err());
+    }
+
+    #[test]
+    fn missing_then_is_error() {
+        assert!(parse("MODULE M; BEGIN IF x DO END; END M.").is_err());
+    }
+
+    #[test]
+    fn var_params_parse() {
+        let m = parse_ok(
+            "MODULE M;
+             PROCEDURE Swap (VAR a, b: INTEGER) =
+             VAR t: INTEGER;
+             BEGIN t := a; a := b; b := t; END Swap;
+             BEGIN END M.",
+        );
+        let p = &m.procs[0];
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.params[0].mode, Mode::Var);
+        assert_eq!(p.locals.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let m = parse_ok("MODULE M; VAR x: INTEGER; BEGIN x := 1 + 2 * 3; END M.");
+        let Stmt::Assign { rhs, .. } = m.stmt(m.body[0]) else {
+            panic!()
+        };
+        let Expr::Binary { op, rhs: r, .. } = m.expr(*rhs) else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(m.expr(*r), Expr::Binary { op: BinOp::Mul, .. }));
+    }
+}

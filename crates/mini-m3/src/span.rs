@@ -1,0 +1,173 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics can point
+//! at the offending source text. Spans are byte offsets into the original
+//! source string; [`LineMap`] converts them to 1-based line/column pairs.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` in a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a new span from byte offsets.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mini_m3::span::Span;
+    /// let s = Span::new(3, 7);
+    /// assert_eq!(s.len(), 4);
+    /// ```
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-length span at a position, used for synthesized nodes.
+    pub fn point(at: u32) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The number of bytes covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mini_m3::span::Span;
+    /// let joined = Span::new(1, 4).join(Span::new(6, 9));
+    /// assert_eq!(joined, Span::new(1, 9));
+    /// ```
+    pub fn join(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A 1-based line/column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets to line/column positions for one source file.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset of the start of each line (line 0 starts at 0).
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds a line map by scanning `source` for newlines.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Converts a byte offset into a 1-based line/column pair.
+    ///
+    /// Offsets past the end of the file land on the final line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mini_m3::span::LineMap;
+    /// let map = LineMap::new("ab\ncd");
+    /// assert_eq!(map.line_col(3).line, 2);
+    /// assert_eq!(map.line_col(3).col, 1);
+    /// ```
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(5, 10);
+        let b = Span::new(2, 7);
+        assert_eq!(a.join(b), Span::new(2, 10));
+        assert_eq!(b.join(a), Span::new(2, 10));
+    }
+
+    #[test]
+    fn span_point_is_empty() {
+        assert!(Span::point(9).is_empty());
+        assert!(!Span::new(0, 1).is_empty());
+    }
+
+    #[test]
+    fn line_map_first_line() {
+        let map = LineMap::new("hello\nworld\n");
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(4), LineCol { line: 1, col: 5 });
+    }
+
+    #[test]
+    fn line_map_later_lines() {
+        let map = LineMap::new("hello\nworld\nagain");
+        assert_eq!(map.line_col(6), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(12), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(16), LineCol { line: 3, col: 5 });
+    }
+
+    #[test]
+    fn line_map_empty_source() {
+        let map = LineMap::new("");
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Span::new(1, 3).to_string(), "1..3");
+        assert_eq!(LineCol { line: 2, col: 9 }.to_string(), "2:9");
+    }
+}

@@ -1,0 +1,270 @@
+//! Token definitions for MiniM3.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and names
+    /// An identifier such as `Foo`.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A character literal such as `'a'`.
+    Char(char),
+    /// A text (string) literal such as `"hi"`.
+    Text(String),
+
+    // Keywords
+    Module,
+    Type,
+    Var,
+    Const,
+    Procedure,
+    Begin,
+    End,
+    If,
+    Then,
+    Elsif,
+    Else,
+    While,
+    Do,
+    For,
+    To,
+    By,
+    Repeat,
+    Until,
+    Loop,
+    Exit,
+    Return,
+    With,
+    Eval,
+    Object,
+    Methods,
+    Overrides,
+    Record,
+    Array,
+    Of,
+    Ref,
+    Branded,
+    Nil,
+    True,
+    False,
+    Not,
+    And,
+    Or,
+    Div,
+    Mod,
+
+    // Punctuation and operators
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `#`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if it is a reserved word.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "MODULE" => Module,
+            "TYPE" => Type,
+            "VAR" => Var,
+            "CONST" => Const,
+            "PROCEDURE" => Procedure,
+            "BEGIN" => Begin,
+            "END" => End,
+            "IF" => If,
+            "THEN" => Then,
+            "ELSIF" => Elsif,
+            "ELSE" => Else,
+            "WHILE" => While,
+            "DO" => Do,
+            "FOR" => For,
+            "TO" => To,
+            "BY" => By,
+            "REPEAT" => Repeat,
+            "UNTIL" => Until,
+            "LOOP" => Loop,
+            "EXIT" => Exit,
+            "RETURN" => Return,
+            "WITH" => With,
+            "EVAL" => Eval,
+            "OBJECT" => Object,
+            "METHODS" => Methods,
+            "OVERRIDES" => Overrides,
+            "RECORD" => Record,
+            "ARRAY" => Array,
+            "OF" => Of,
+            "REF" => Ref,
+            "BRANDED" => Branded,
+            "NIL" => Nil,
+            "TRUE" => True,
+            "FALSE" => False,
+            "NOT" => Not,
+            "AND" => And,
+            "OR" => Or,
+            "DIV" => Div,
+            "MOD" => Mod,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => format!("identifier `{s}`"),
+            Int(v) => format!("integer `{v}`"),
+            Char(c) => format!("character literal '{c}'"),
+            Text(_) => "text literal".to_string(),
+            Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source text of a fixed token, or a placeholder.
+    pub fn lexeme(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Module => "MODULE",
+            Type => "TYPE",
+            Var => "VAR",
+            Const => "CONST",
+            Procedure => "PROCEDURE",
+            Begin => "BEGIN",
+            End => "END",
+            If => "IF",
+            Then => "THEN",
+            Elsif => "ELSIF",
+            Else => "ELSE",
+            While => "WHILE",
+            Do => "DO",
+            For => "FOR",
+            To => "TO",
+            By => "BY",
+            Repeat => "REPEAT",
+            Until => "UNTIL",
+            Loop => "LOOP",
+            Exit => "EXIT",
+            Return => "RETURN",
+            With => "WITH",
+            Eval => "EVAL",
+            Object => "OBJECT",
+            Methods => "METHODS",
+            Overrides => "OVERRIDES",
+            Record => "RECORD",
+            Array => "ARRAY",
+            Of => "OF",
+            Ref => "REF",
+            Branded => "BRANDED",
+            Nil => "NIL",
+            True => "TRUE",
+            False => "FALSE",
+            Not => "NOT",
+            And => "AND",
+            Or => "OR",
+            Div => "DIV",
+            Mod => "MOD",
+            Assign => ":=",
+            Eq => "=",
+            Ne => "#",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Amp => "&",
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Dot => ".",
+            DotDot => "..",
+            Caret => "^",
+            Ident(_) | Int(_) | Char(_) | Text(_) | Eof => "<dynamic>",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it appears in the source.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(TokenKind::keyword("MODULE"), Some(TokenKind::Module));
+        assert_eq!(TokenKind::keyword("WITH"), Some(TokenKind::With));
+        assert_eq!(TokenKind::keyword("module"), None, "keywords are uppercase");
+        assert_eq!(TokenKind::keyword("Foo"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Assign.describe(), "`:=`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,691 @@
+//! The MiniM3 type system.
+//!
+//! [`TypeTable`] interns every type in a program and answers the questions
+//! type-based alias analysis needs:
+//!
+//! * `Subtypes(T)` — the set of subtypes of `T`, including `T` itself
+//!   (§2.1 of the paper);
+//! * whether a type is a *pointer type* (participates in SMTypeRefs'
+//!   `Group` sets);
+//! * whether a type is **branded** (name-equivalent), which matters for
+//!   the open-world analysis of §4: unbranded types use structural
+//!   equivalence, so unavailable code can reconstruct them;
+//! * object field/method layout for lowering and the interpreter.
+//!
+//! Reference types (`REF T`, open arrays) are structurally interned:
+//! writing `REF INTEGER` twice yields the same [`TypeId`] unless branded.
+//! OBJECT types are generative, as they are in practice in Modula-3
+//! programs (each OBJECT type expression has its own identity).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned type identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A field of an OBJECT or RECORD type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: TypeId,
+    /// Word offset of this field within the (flattened) containing type.
+    /// For OBJECT types the offset is within the whole object including
+    /// inherited fields.
+    pub offset: u32,
+}
+
+/// A method of an OBJECT type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Method {
+    /// Method name.
+    pub name: String,
+    /// Parameter types (excluding the implicit receiver), with modes.
+    pub params: Vec<(ParamMode, TypeId)>,
+    /// Return type, if any.
+    pub ret: Option<TypeId>,
+    /// Name of the implementing procedure for this type, if bound.
+    pub impl_proc: Option<String>,
+}
+
+/// Parameter passing mode, mirrored from the AST for signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamMode {
+    /// By value.
+    Value,
+    /// By reference (`VAR`).
+    Var,
+}
+
+/// The structure of a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeKind {
+    /// `INTEGER`.
+    Integer,
+    /// `BOOLEAN`.
+    Boolean,
+    /// `CHAR`.
+    Char,
+    /// `TEXT` — immutable strings (a reference at runtime, but opaque and
+    /// immutable, so it does not participate in alias analysis).
+    Text,
+    /// The type of `NIL`, assignable to every reference type.
+    Null,
+    /// `REF T`.
+    Ref {
+        /// Brand, if branded (brands force name equivalence).
+        brand: Option<String>,
+        /// Referent type.
+        target: TypeId,
+    },
+    /// An OBJECT type.
+    Object {
+        /// The name it was declared under (for display).
+        name: String,
+        /// Brand, if branded.
+        brand: Option<String>,
+        /// Supertype, if any.
+        super_ty: Option<TypeId>,
+        /// Fields introduced by this type (offsets include inherited size).
+        fields: Vec<Field>,
+        /// Methods introduced or overridden by this type.
+        methods: Vec<Method>,
+    },
+    /// A RECORD type (a value type, flattened inline).
+    Record {
+        /// Fields with offsets.
+        fields: Vec<Field>,
+    },
+    /// An ARRAY type. `range: None` means an open array (`ARRAY OF T`), a
+    /// heap reference with a hidden dope slot holding the element count.
+    /// `range: Some((lo, hi))` is a fixed array, a value type legal only as
+    /// a field or referent.
+    Array {
+        /// Index range for fixed arrays.
+        range: Option<(i64, i64)>,
+        /// Element type.
+        elem: TypeId,
+    },
+}
+
+/// The table of all types in a program.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    kinds: Vec<TypeKind>,
+    /// Declared names (builtins plus TYPE declarations).
+    names: HashMap<String, TypeId>,
+    /// Interning for unbranded REF types, keyed by target.
+    ref_intern: HashMap<TypeId, TypeId>,
+    /// Interning for open arrays, keyed by element type.
+    open_array_intern: HashMap<TypeId, TypeId>,
+    /// Interning for fixed arrays, keyed by (lo, hi, elem).
+    fixed_array_intern: HashMap<(i64, i64, TypeId), TypeId>,
+    /// Direct subtypes of each object type (children in the hierarchy).
+    children: HashMap<TypeId, Vec<TypeId>>,
+}
+
+impl TypeTable {
+    /// Creates a table pre-populated with the builtin types.
+    pub fn new() -> Self {
+        let mut t = TypeTable::default();
+        let int = t.intern_new(TypeKind::Integer);
+        let boolean = t.intern_new(TypeKind::Boolean);
+        let ch = t.intern_new(TypeKind::Char);
+        let text = t.intern_new(TypeKind::Text);
+        let _null = t.intern_new(TypeKind::Null);
+        t.names.insert("INTEGER".to_string(), int);
+        t.names.insert("BOOLEAN".to_string(), boolean);
+        t.names.insert("CHAR".to_string(), ch);
+        t.names.insert("TEXT".to_string(), text);
+        t
+    }
+
+    fn intern_new(&mut self, kind: TypeKind) -> TypeId {
+        let id = TypeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        id
+    }
+
+    /// The builtin `INTEGER` type.
+    pub fn integer(&self) -> TypeId {
+        TypeId(0)
+    }
+
+    /// The builtin `BOOLEAN` type.
+    pub fn boolean(&self) -> TypeId {
+        TypeId(1)
+    }
+
+    /// The builtin `CHAR` type.
+    pub fn char(&self) -> TypeId {
+        TypeId(2)
+    }
+
+    /// The builtin `TEXT` type.
+    pub fn text(&self) -> TypeId {
+        TypeId(3)
+    }
+
+    /// The type of `NIL`.
+    pub fn null(&self) -> TypeId {
+        TypeId(4)
+    }
+
+    /// The structure of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a type of this table.
+    pub fn kind(&self, id: TypeId) -> &TypeKind {
+        &self.kinds[id.0 as usize]
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the table has no types (never true: builtins are always present).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Iterates over all type ids.
+    pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.kinds.len() as u32).map(TypeId)
+    }
+
+    /// Looks up a declared (or builtin) type name.
+    pub fn by_name(&self, name: &str) -> Option<TypeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Binds `name` to `id` (used for TYPE declarations).
+    ///
+    /// Returns `false` if the name was already bound.
+    pub fn bind_name(&mut self, name: &str, id: TypeId) -> bool {
+        if self.names.contains_key(name) {
+            return false;
+        }
+        self.names.insert(name.to_string(), id);
+        true
+    }
+
+    /// Reserves a fresh id for a named OBJECT type before its body is known
+    /// (enables recursive and forward references). The kind is a placeholder
+    /// and must be completed with [`TypeTable::complete_object`].
+    pub fn declare_object(&mut self, name: &str, brand: Option<String>) -> TypeId {
+        self.intern_new(TypeKind::Object {
+            name: name.to_string(),
+            brand,
+            super_ty: None,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        })
+    }
+
+    /// Fills in the body of an object type reserved with
+    /// [`TypeTable::declare_object`].
+    pub fn complete_object(
+        &mut self,
+        id: TypeId,
+        super_ty: Option<TypeId>,
+        fields: Vec<Field>,
+        methods: Vec<Method>,
+    ) {
+        if let Some(s) = super_ty {
+            self.children.entry(s).or_default().push(id);
+        }
+        let TypeKind::Object {
+            super_ty: st,
+            fields: f,
+            methods: m,
+            ..
+        } = &mut self.kinds[id.0 as usize]
+        else {
+            panic!("complete_object on non-object {id}");
+        };
+        *st = super_ty;
+        *f = fields;
+        *m = methods;
+    }
+
+    /// Interns `REF target`; unbranded refs are structurally shared.
+    pub fn mk_ref(&mut self, brand: Option<String>, target: TypeId) -> TypeId {
+        if brand.is_none() {
+            if let Some(&id) = self.ref_intern.get(&target) {
+                return id;
+            }
+        }
+        let id = self.intern_new(TypeKind::Ref {
+            brand: brand.clone(),
+            target,
+        });
+        if brand.is_none() {
+            self.ref_intern.insert(target, id);
+        }
+        id
+    }
+
+    /// Interns an open array type `ARRAY OF elem`.
+    pub fn mk_open_array(&mut self, elem: TypeId) -> TypeId {
+        if let Some(&id) = self.open_array_intern.get(&elem) {
+            return id;
+        }
+        let id = self.intern_new(TypeKind::Array { range: None, elem });
+        self.open_array_intern.insert(elem, id);
+        id
+    }
+
+    /// Interns a fixed array type `ARRAY [lo..hi] OF elem`.
+    pub fn mk_fixed_array(&mut self, lo: i64, hi: i64, elem: TypeId) -> TypeId {
+        if let Some(&id) = self.fixed_array_intern.get(&(lo, hi, elem)) {
+            return id;
+        }
+        let id = self.intern_new(TypeKind::Array {
+            range: Some((lo, hi)),
+            elem,
+        });
+        self.fixed_array_intern.insert((lo, hi, elem), id);
+        id
+    }
+
+    /// Interns an anonymous record type.
+    pub fn mk_record(&mut self, fields: Vec<Field>) -> TypeId {
+        self.intern_new(TypeKind::Record { fields })
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// Whether `id` is a reference (pointer) type: OBJECT, REF, or open
+    /// array. These are the types SMTypeRefs tracks in its `Group` sets.
+    pub fn is_pointer(&self, id: TypeId) -> bool {
+        matches!(
+            self.kind(id),
+            TypeKind::Object { .. } | TypeKind::Ref { .. } | TypeKind::Array { range: None, .. }
+        )
+    }
+
+    /// Whether `id` is a value (inline) type: scalar, RECORD, fixed array.
+    pub fn is_value_type(&self, id: TypeId) -> bool {
+        matches!(
+            self.kind(id),
+            TypeKind::Integer
+                | TypeKind::Boolean
+                | TypeKind::Char
+                | TypeKind::Record { .. }
+                | TypeKind::Array { range: Some(_), .. }
+        )
+    }
+
+    /// Whether `id` is a scalar value type (fits in one slot, no aggregate).
+    pub fn is_scalar(&self, id: TypeId) -> bool {
+        matches!(
+            self.kind(id),
+            TypeKind::Integer | TypeKind::Boolean | TypeKind::Char
+        ) || self.is_pointer(id)
+            || matches!(self.kind(id), TypeKind::Text | TypeKind::Null)
+    }
+
+    /// Whether `id` is branded. Unbranded structural types can be
+    /// reconstructed by unavailable code (open-world analysis, §4);
+    /// branded types observe name equivalence and cannot.
+    pub fn is_branded(&self, id: TypeId) -> bool {
+        match self.kind(id) {
+            TypeKind::Ref { brand, .. } | TypeKind::Object { brand, .. } => brand.is_some(),
+            _ => false,
+        }
+    }
+
+    /// `a <: b` — `a` is a subtype of (or equal to) `b`.
+    ///
+    /// Subtyping in MiniM3: every type is a subtype of itself; OBJECT
+    /// types follow the declared hierarchy; `Null` (the type of NIL) is a
+    /// subtype of every pointer type and TEXT.
+    pub fn is_subtype(&self, a: TypeId, b: TypeId) -> bool {
+        if a == b {
+            return true;
+        }
+        if matches!(self.kind(a), TypeKind::Null)
+            && (self.is_pointer(b) || matches!(self.kind(b), TypeKind::Text))
+        {
+            return true;
+        }
+        let mut cur = a;
+        while let TypeKind::Object {
+            super_ty: Some(s), ..
+        } = self.kind(cur)
+        {
+            if *s == b {
+                return true;
+            }
+            cur = *s;
+        }
+        false
+    }
+
+    /// `Subtypes(T)`: all subtypes of `T` including `T` itself (§2.1).
+    /// For non-object types the set is `{T}`.
+    pub fn subtypes(&self, t: TypeId) -> Vec<TypeId> {
+        let mut out = vec![t];
+        let mut stack = vec![t];
+        while let Some(cur) = stack.pop() {
+            if let Some(kids) = self.children.get(&cur) {
+                for &k in kids {
+                    out.push(k);
+                    stack.push(k);
+                }
+            }
+        }
+        out
+    }
+
+    /// The supertype chain of `t` starting at `t` (for objects), else `[t]`.
+    pub fn ancestry(&self, t: TypeId) -> Vec<TypeId> {
+        let mut out = vec![t];
+        let mut cur = t;
+        while let TypeKind::Object {
+            super_ty: Some(s), ..
+        } = self.kind(cur)
+        {
+            out.push(*s);
+            cur = *s;
+        }
+        out
+    }
+
+    /// Size in slots of a value of type `id` when stored inline.
+    /// Pointer types, TEXT, and scalars occupy one slot.
+    pub fn size_of(&self, id: TypeId) -> u32 {
+        match self.kind(id) {
+            TypeKind::Integer
+            | TypeKind::Boolean
+            | TypeKind::Char
+            | TypeKind::Text
+            | TypeKind::Null
+            | TypeKind::Ref { .. }
+            | TypeKind::Object { .. } => 1,
+            TypeKind::Record { fields } => fields.iter().map(|f| self.size_of(f.ty)).sum(),
+            TypeKind::Array { range, elem } => match range {
+                Some((lo, hi)) => ((hi - lo + 1).max(0) as u32) * self.size_of(*elem),
+                None => 1, // a reference
+            },
+        }
+    }
+
+    /// Total size in slots of an object's payload, including inherited
+    /// fields.
+    pub fn object_size(&self, id: TypeId) -> u32 {
+        let mut size = 0;
+        for t in self.ancestry(id) {
+            if let TypeKind::Object { fields, .. } = self.kind(t) {
+                size += fields.iter().map(|f| self.size_of(f.ty)).sum::<u32>();
+            }
+        }
+        size
+    }
+
+    /// Finds a field by name on an object (searching supertypes) or record.
+    /// Returns the field with its absolute offset.
+    pub fn field(&self, ty: TypeId, name: &str) -> Option<&Field> {
+        match self.kind(ty) {
+            TypeKind::Record { fields } => fields.iter().find(|f| f.name == name),
+            TypeKind::Object { .. } => {
+                for t in self.ancestry(ty) {
+                    if let TypeKind::Object { fields, .. } = self.kind(t) {
+                        if let Some(f) = fields.iter().find(|f| f.name == name) {
+                            return Some(f);
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// All fields of an object (inherited first) or record.
+    pub fn all_fields(&self, ty: TypeId) -> Vec<&Field> {
+        match self.kind(ty) {
+            TypeKind::Record { fields } => fields.iter().collect(),
+            TypeKind::Object { .. } => {
+                let mut chain = self.ancestry(ty);
+                chain.reverse();
+                let mut out = Vec::new();
+                for t in chain {
+                    if let TypeKind::Object { fields, .. } = self.kind(t) {
+                        out.extend(fields.iter());
+                    }
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Resolves method `name` on `ty`: walks from `ty` up the hierarchy and
+    /// returns the most-derived binding together with the type that bound it.
+    pub fn resolve_method(&self, ty: TypeId, name: &str) -> Option<(&Method, TypeId)> {
+        for t in self.ancestry(ty) {
+            if let TypeKind::Object { methods, .. } = self.kind(t) {
+                if let Some(m) = methods.iter().find(|m| m.name == name) {
+                    return Some((m, t));
+                }
+            }
+        }
+        None
+    }
+
+    /// The method *signature* as introduced highest in the hierarchy
+    /// (used to check override compatibility).
+    pub fn method_intro(&self, ty: TypeId, name: &str) -> Option<(&Method, TypeId)> {
+        let mut found = None;
+        for t in self.ancestry(ty) {
+            if let TypeKind::Object { methods, .. } = self.kind(t) {
+                if let Some(m) = methods.iter().find(|m| m.name == name) {
+                    found = Some((m, t));
+                }
+            }
+        }
+        found
+    }
+
+    /// Human-readable name of a type.
+    pub fn display(&self, id: TypeId) -> String {
+        match self.kind(id) {
+            TypeKind::Integer => "INTEGER".into(),
+            TypeKind::Boolean => "BOOLEAN".into(),
+            TypeKind::Char => "CHAR".into(),
+            TypeKind::Text => "TEXT".into(),
+            TypeKind::Null => "NULL".into(),
+            TypeKind::Ref { target, .. } => format!("REF {}", self.display(*target)),
+            TypeKind::Object { name, .. } => name.clone(),
+            TypeKind::Record { .. } => format!("RECORD#{}", id.0),
+            TypeKind::Array { range: None, elem } => format!("ARRAY OF {}", self.display(*elem)),
+            TypeKind::Array {
+                range: Some((lo, hi)),
+                elem,
+            } => format!("ARRAY [{lo}..{hi}] OF {}", self.display(*elem)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> (TypeTable, TypeId, TypeId, TypeId, TypeId) {
+        // TYPE T = OBJECT f, g: T END; S1, S2, S3 = T OBJECT END;
+        let mut tt = TypeTable::new();
+        let t = tt.declare_object("T", None);
+        let s1 = tt.declare_object("S1", None);
+        let s2 = tt.declare_object("S2", None);
+        let s3 = tt.declare_object("S3", None);
+        tt.complete_object(
+            t,
+            None,
+            vec![
+                Field {
+                    name: "f".into(),
+                    ty: t,
+                    offset: 0,
+                },
+                Field {
+                    name: "g".into(),
+                    ty: t,
+                    offset: 1,
+                },
+            ],
+            vec![],
+        );
+        tt.complete_object(s1, Some(t), vec![], vec![]);
+        tt.complete_object(s2, Some(t), vec![], vec![]);
+        tt.complete_object(s3, Some(t), vec![], vec![]);
+        (tt, t, s1, s2, s3)
+    }
+
+    #[test]
+    fn builtins_exist() {
+        let tt = TypeTable::new();
+        assert_eq!(tt.by_name("INTEGER"), Some(tt.integer()));
+        assert_eq!(tt.by_name("TEXT"), Some(tt.text()));
+        assert!(tt.is_scalar(tt.integer()));
+        assert!(!tt.is_pointer(tt.integer()));
+    }
+
+    #[test]
+    fn subtypes_of_figure_1() {
+        let (tt, t, s1, s2, s3) = figure1();
+        let subs = tt.subtypes(t);
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&s1) && subs.contains(&s2) && subs.contains(&s3));
+        assert_eq!(tt.subtypes(s1), vec![s1]);
+        assert!(tt.is_subtype(s1, t));
+        assert!(!tt.is_subtype(t, s1));
+        assert!(!tt.is_subtype(s1, s2));
+    }
+
+    #[test]
+    fn null_is_subtype_of_pointers() {
+        let (tt, t, ..) = figure1();
+        assert!(tt.is_subtype(tt.null(), t));
+        assert!(!tt.is_subtype(tt.null(), tt.integer()));
+    }
+
+    #[test]
+    fn ref_interning_is_structural() {
+        let mut tt = TypeTable::new();
+        let a = tt.mk_ref(None, tt.integer());
+        let b = tt.mk_ref(None, tt.integer());
+        assert_eq!(a, b, "unbranded refs are structurally shared");
+        let c = tt.mk_ref(Some("x".into()), tt.integer());
+        assert_ne!(a, c, "branded refs are distinct");
+        assert!(tt.is_branded(c));
+        assert!(!tt.is_branded(a));
+    }
+
+    #[test]
+    fn field_lookup_walks_supertypes() {
+        let (tt, t, s1, ..) = figure1();
+        let f = tt.field(s1, "f").expect("inherited field");
+        assert_eq!(f.offset, 0);
+        assert_eq!(f.ty, t);
+        assert!(tt.field(s1, "nope").is_none());
+    }
+
+    #[test]
+    fn object_size_includes_inherited() {
+        let (mut tt, t, s1, ..) = figure1();
+        assert_eq!(tt.object_size(t), 2);
+        assert_eq!(tt.object_size(s1), 2);
+        // A subtype with its own field is bigger.
+        let s4 = tt.declare_object("S4", None);
+        tt.complete_object(
+            s4,
+            Some(t),
+            vec![Field {
+                name: "h".into(),
+                ty: tt.integer(),
+                offset: 2,
+            }],
+            vec![],
+        );
+        assert_eq!(tt.object_size(s4), 3);
+    }
+
+    #[test]
+    fn sizes_of_aggregates() {
+        let mut tt = TypeTable::new();
+        let int = tt.integer();
+        let rec = tt.mk_record(vec![
+            Field {
+                name: "x".into(),
+                ty: int,
+                offset: 0,
+            },
+            Field {
+                name: "y".into(),
+                ty: int,
+                offset: 1,
+            },
+        ]);
+        assert_eq!(tt.size_of(rec), 2);
+        let arr = tt.mk_fixed_array(0, 9, rec);
+        assert_eq!(tt.size_of(arr), 20);
+        let open = tt.mk_open_array(int);
+        assert_eq!(tt.size_of(open), 1, "open arrays are references");
+        assert!(tt.is_pointer(open));
+    }
+
+    #[test]
+    fn method_resolution_most_derived_wins() {
+        let mut tt = TypeTable::new();
+        let a = tt.declare_object("A", None);
+        let b = tt.declare_object("B", None);
+        tt.complete_object(
+            a,
+            None,
+            vec![],
+            vec![Method {
+                name: "m".into(),
+                params: vec![],
+                ret: None,
+                impl_proc: Some("AM".into()),
+            }],
+        );
+        tt.complete_object(
+            b,
+            Some(a),
+            vec![],
+            vec![Method {
+                name: "m".into(),
+                params: vec![],
+                ret: None,
+                impl_proc: Some("BM".into()),
+            }],
+        );
+        let (m, owner) = tt.resolve_method(b, "m").unwrap();
+        assert_eq!(m.impl_proc.as_deref(), Some("BM"));
+        assert_eq!(owner, b);
+        let (mi, intro) = tt.method_intro(b, "m").unwrap();
+        assert_eq!(intro, a);
+        assert_eq!(mi.impl_proc.as_deref(), Some("AM"));
+    }
+
+    #[test]
+    fn display_names() {
+        let (tt, t, ..) = figure1();
+        assert_eq!(tt.display(t), "T");
+        let mut tt2 = TypeTable::new();
+        let r = tt2.mk_ref(None, tt2.integer());
+        assert_eq!(tt2.display(r), "REF INTEGER");
+    }
+}

@@ -1,0 +1,305 @@
+//! Interprocedural mod-ref analysis (§3.4.1).
+//!
+//! RLE is preceded by a mod-ref analysis that summarizes the access paths
+//! referenced and modified by each call, so a loop-invariant load can be
+//! hoisted across a call when the callee provably does not modify it.
+//!
+//! A summary is computed bottom-up to a fixpoint over the (possibly
+//! cyclic) call graph. Method calls union the summaries of every
+//! type-feasible target. A callee that stores through a VAR-parameter
+//! location is *wild*: at each call site the paths actually passed by
+//! address (`addr_aps`) are charged to the caller's summary, and any
+//! location whose address may be taken is conservatively killed.
+
+use mini_m3::check::GlobalId;
+use mini_m3::types::TypeId;
+use std::collections::HashSet;
+use tbaa_ir::ir::{Instr, Program, SlotBase};
+use tbaa_ir::path::{ApId, FuncId};
+
+/// What one function (transitively) reads and writes.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Heap access paths possibly stored to.
+    pub stores: HashSet<ApId>,
+    /// Heap access paths possibly loaded from.
+    pub loads: HashSet<ApId>,
+    /// Globals possibly stored to.
+    pub stored_globals: HashSet<GlobalId>,
+    /// Whether the function (transitively) performs an indirect store
+    /// through a VAR-parameter location.
+    pub wild_store: bool,
+    /// Whether the function (transitively) performs an indirect *load*
+    /// through a VAR-parameter location (dead-store elimination needs
+    /// this).
+    pub wild_load: bool,
+}
+
+/// Mod-ref summaries for every function of a program.
+#[derive(Debug, Clone)]
+pub struct ModRef {
+    summaries: Vec<Summary>,
+}
+
+impl ModRef {
+    /// Computes summaries to a fixpoint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let prog = tbaa_ir::compile_to_ir(
+    ///     "MODULE M;
+    ///      TYPE T = OBJECT f: INTEGER; END;
+    ///      PROCEDURE Set (t: T) = BEGIN t.f := 1 END Set;
+    ///      VAR t: T;
+    ///      BEGIN t := NEW(T); Set(t); END M.")?;
+    /// let modref = tbaa_opt::ModRef::build(&prog);
+    /// let set = prog.func_id("Set").unwrap();
+    /// assert_eq!(modref.summary(set).stores.len(), 1);
+    /// # Ok::<(), mini_m3::Diagnostics>(())
+    /// ```
+    pub fn build(prog: &Program) -> Self {
+        let n = prog.funcs.len();
+        let mut sums: Vec<Summary> = vec![Summary::default(); n];
+        // Seed with local facts.
+        for (i, f) in prog.funcs.iter().enumerate() {
+            let s = &mut sums[i];
+            for b in &f.blocks {
+                for instr in &b.instrs {
+                    match instr {
+                        Instr::StoreMem { ap, .. } => {
+                            s.stores.insert(*ap);
+                        }
+                        Instr::LoadMem { ap, .. } => {
+                            s.loads.insert(*ap);
+                        }
+                        Instr::StoreSlot { addr, .. } => {
+                            if let SlotBase::Global(g) = addr.base {
+                                s.stored_globals.insert(g);
+                            }
+                        }
+                        Instr::StoreInd { .. } => s.wild_store = true,
+                        Instr::LoadInd { .. } => s.wild_load = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Propagate through calls until stable.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, f) in prog.funcs.iter().enumerate() {
+                for b in &f.blocks {
+                    for instr in &b.instrs {
+                        let (targets, addr_aps, addr_slots) = match instr {
+                            Instr::Call {
+                                func,
+                                addr_aps,
+                                addr_slots,
+                                ..
+                            } => (vec![*func], addr_aps, addr_slots),
+                            Instr::CallMethod {
+                                method,
+                                recv_ty,
+                                addr_aps,
+                                addr_slots,
+                                ..
+                            } => (method_targets(prog, *recv_ty, method), addr_aps, addr_slots),
+                            _ => continue,
+                        };
+                        // Merge every target's summary into ours.
+                        let mut add_stores: Vec<ApId> = Vec::new();
+                        let mut add_loads: Vec<ApId> = Vec::new();
+                        let mut add_globals: Vec<GlobalId> = Vec::new();
+                        let mut wild = false;
+                        let mut wildl = false;
+                        for t in targets {
+                            let cs = &sums[t.0 as usize];
+                            add_stores.extend(cs.stores.iter().copied());
+                            add_loads.extend(cs.loads.iter().copied());
+                            add_globals.extend(cs.stored_globals.iter().copied());
+                            wild |= cs.wild_store;
+                            wildl |= cs.wild_load;
+                        }
+                        if wild {
+                            // The callee may store through the locations we
+                            // pass it.
+                            add_stores.extend(addr_aps.iter().copied());
+                            for sb in addr_slots {
+                                if let SlotBase::Global(g) = sb {
+                                    add_globals.push(*g);
+                                }
+                            }
+                        }
+                        let s = &mut sums[i];
+                        for ap in add_stores {
+                            changed |= s.stores.insert(ap);
+                        }
+                        for ap in add_loads {
+                            changed |= s.loads.insert(ap);
+                        }
+                        for g in add_globals {
+                            changed |= s.stored_globals.insert(g);
+                        }
+                        if wild && !s.wild_store {
+                            s.wild_store = true;
+                            changed = true;
+                        }
+                        if wildl && !s.wild_load {
+                            s.wild_load = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        ModRef { summaries: sums }
+    }
+
+    /// The summary for one function.
+    pub fn summary(&self, f: FuncId) -> &Summary {
+        &self.summaries[f.0 as usize]
+    }
+}
+
+/// The set of functions a method call could dispatch to, by declared
+/// receiver type (every subtype with a bound implementation).
+pub fn method_targets(prog: &Program, recv_ty: TypeId, method: &str) -> Vec<FuncId> {
+    let mut out = Vec::new();
+    for t in prog.types.subtypes(recv_ty) {
+        if let Some(&f) = prog.method_impls.get(&(t, method.to_string())) {
+            if !out.contains(&f) {
+                out.push(f);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbaa_ir::compile_to_ir;
+
+    #[test]
+    fn direct_stores_summarized() {
+        let p = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END;
+             PROCEDURE SetF (t: T) = BEGIN t.f := 1 END SetF;
+             VAR t: T;
+             BEGIN t := NEW(T); SetF(t); END M.",
+        )
+        .unwrap();
+        let mr = ModRef::build(&p);
+        let setf = p.func_id("SetF").unwrap();
+        assert_eq!(mr.summary(setf).stores.len(), 1);
+        assert!(!mr.summary(setf).wild_store);
+        // Main inherits the callee's stores.
+        assert_eq!(mr.summary(p.main).stores.len(), 1);
+    }
+
+    #[test]
+    fn transitive_propagation() {
+        let p = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END;
+             PROCEDURE Inner (t: T) = BEGIN t.f := 1 END Inner;
+             PROCEDURE Outer (t: T) = BEGIN Inner(t) END Outer;
+             VAR t: T;
+             BEGIN t := NEW(T); Outer(t); END M.",
+        )
+        .unwrap();
+        let mr = ModRef::build(&p);
+        let outer = p.func_id("Outer").unwrap();
+        assert_eq!(mr.summary(outer).stores.len(), 1);
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        let p = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; n: T; END;
+             PROCEDURE Walk (t: T) =
+             BEGIN
+               IF t # NIL THEN t.f := 1; Walk(t.n) END;
+             END Walk;
+             VAR t: T;
+             BEGIN t := NEW(T); Walk(t); END M.",
+        )
+        .unwrap();
+        let mr = ModRef::build(&p);
+        let walk = p.func_id("Walk").unwrap();
+        assert!(!mr.summary(walk).stores.is_empty());
+        assert!(!mr.summary(walk).loads.is_empty());
+    }
+
+    #[test]
+    fn wild_store_via_var_param() {
+        let p = compile_to_ir(
+            "MODULE M;
+             PROCEDURE Set (VAR x: INTEGER) = BEGIN x := 1 END Set;
+             PROCEDURE Mid (VAR x: INTEGER) = BEGIN Set(x) END Mid;
+             VAR g: INTEGER;
+             BEGIN Mid(g); END M.",
+        )
+        .unwrap();
+        let mr = ModRef::build(&p);
+        assert!(mr.summary(p.func_id("Set").unwrap()).wild_store);
+        assert!(mr.summary(p.func_id("Mid").unwrap()).wild_store);
+    }
+
+    #[test]
+    fn wild_callee_charges_addr_aps_to_caller() {
+        let p = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END;
+             PROCEDURE Set (VAR x: INTEGER) = BEGIN x := 1 END Set;
+             PROCEDURE Caller (t: T) = BEGIN Set(t.f) END Caller;
+             VAR t: T;
+             BEGIN t := NEW(T); Caller(t); END M.",
+        )
+        .unwrap();
+        let mr = ModRef::build(&p);
+        let caller = p.func_id("Caller").unwrap();
+        // Caller passes &t.f to a wild callee, so t.f is in its stores.
+        assert_eq!(mr.summary(caller).stores.len(), 1);
+    }
+
+    #[test]
+    fn globals_stored_tracked() {
+        let p = compile_to_ir(
+            "MODULE M;
+             VAR g: INTEGER;
+             PROCEDURE Bump () = BEGIN g := g + 1 END Bump;
+             BEGIN Bump(); END M.",
+        )
+        .unwrap();
+        let mr = ModRef::build(&p);
+        let bump = p.func_id("Bump").unwrap();
+        assert_eq!(mr.summary(bump).stored_globals.len(), 1);
+        assert_eq!(mr.summary(p.main).stored_globals.len(), 1);
+    }
+
+    #[test]
+    fn method_targets_by_hierarchy() {
+        let p = compile_to_ir(
+            "MODULE M;
+             TYPE
+               A = OBJECT METHODS m () := MA; END;
+               B = A OBJECT OVERRIDES m := MB; END;
+             PROCEDURE MA (self: A) = BEGIN END MA;
+             PROCEDURE MB (self: B) = BEGIN END MB;
+             VAR a: A;
+             BEGIN a := NEW(B); a.m(); END M.",
+        )
+        .unwrap();
+        let a = p.types.by_name("A").unwrap();
+        let b = p.types.by_name("B").unwrap();
+        let ts = method_targets(&p, a, "m");
+        assert_eq!(ts.len(), 2);
+        let ts_b = method_targets(&p, b, "m");
+        assert_eq!(ts_b.len(), 1);
+    }
+}

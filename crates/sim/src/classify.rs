@@ -1,0 +1,280 @@
+//! The limit study: classifying the redundant loads RLE could not remove
+//! (§3.5, Figures 9 and 10).
+//!
+//! After running RLE and tracing execution, every remaining dynamically
+//! redundant heap load is attributed to one of the paper's five
+//! categories, in priority order:
+//!
+//! 1. **Encapsulation** — the reference is implicit in the high-level IR
+//!    (dope-vector bounds checks, dispatch header loads);
+//! 2. **Conditional** — only partially redundant (available on some but
+//!    not all paths); partial redundancy elimination would catch it;
+//! 3. **Breakup** — the expression is split across a copy chain the
+//!    optimizer cannot see through without copy propagation;
+//! 4. **Alias failure** — a *perfect* alias analysis would have let RLE
+//!    eliminate it, but TBAA could not disambiguate;
+//! 5. **Rest** — everything else.
+//!
+//! Category tags are static per load site; the dynamic counts come from
+//! the [`RedundancyTrace`] of the same (optimized) program.
+
+use crate::trace::RedundancyTrace;
+use std::collections::HashMap;
+use tbaa::analysis::{NoAlias, Tbaa};
+use tbaa_ir::ir::Program;
+use tbaa_opt::copyprop;
+use tbaa_opt::rle::{availability_sites, SiteAvail};
+
+/// Dynamic redundant-load counts by category (the bars of Figure 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Implicit references (dope vectors, dispatch headers).
+    pub encapsulated: u64,
+    /// Partially redundant loads.
+    pub conditional: u64,
+    /// Copy-chain breakup.
+    pub breakup: u64,
+    /// TBAA imprecision.
+    pub alias_failure: u64,
+    /// Unattributed.
+    pub rest: u64,
+}
+
+impl Breakdown {
+    /// Total remaining redundant loads.
+    pub fn total(&self) -> u64 {
+        self.encapsulated + self.conditional + self.breakup + self.alias_failure + self.rest
+    }
+}
+
+/// Static category of one load site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// See [`Breakdown::conditional`].
+    Conditional,
+    /// See [`Breakdown::breakup`].
+    Breakup,
+    /// See [`Breakdown::alias_failure`].
+    AliasFailure,
+    /// See [`Breakdown::rest`].
+    Rest,
+}
+
+/// Classifies the remaining dynamic redundancy of an **already optimized**
+/// program, given the trace of its run.
+///
+/// `prog` must be the RLE-optimized program the trace was produced from;
+/// the shadow passes (copy propagation, the perfect-alias oracle) run on
+/// clones, so `prog` is only mutated by prefix interning.
+pub fn classify_remaining(
+    prog: &mut Program,
+    analysis: &Tbaa,
+    trace: &RedundancyTrace,
+) -> Breakdown {
+    let mut out = Breakdown {
+        encapsulated: trace.redundant_hidden,
+        ..Breakdown::default()
+    };
+
+    // Static site tags.
+    let tbaa_sites = availability_sites(prog, analysis);
+    // Shadow 1: copy propagation; instruction positions are preserved.
+    let mut cp_clone = prog.clone();
+    copyprop::propagate_access_paths(&mut cp_clone, analysis);
+    let cp_sites = availability_sites(&mut cp_clone, analysis);
+    // Shadow 2: the perfect-alias oracle.
+    let oracle_sites = availability_sites(prog, &NoAlias);
+    // Shadow 3: the oracle *after* copy propagation (a breakup chain an
+    // oracle could also not see through is still Breakup).
+    let oracle_cp_sites = availability_sites(&mut cp_clone, &NoAlias);
+
+    let categories: HashMap<_, Category> = trace
+        .sites
+        .keys()
+        .map(|&site| {
+            // Trace sites use a u32 instruction index; the analysis maps
+            // use usize.
+            let key = (site.0, site.1, site.2 as usize);
+            let t = tbaa_sites.get(&key).copied().unwrap_or_default();
+            let cp = cp_sites.get(&key).copied().unwrap_or_default();
+            let or = oracle_sites.get(&key).copied().unwrap_or_default();
+            let orcp = oracle_cp_sites.get(&key).copied().unwrap_or_default();
+            let cat = classify_site(t, cp, or, orcp);
+            (site, cat)
+        })
+        .collect();
+
+    for (site, counts) in &trace.sites {
+        if counts.redundant == 0 {
+            continue;
+        }
+        match categories.get(site) {
+            Some(Category::Conditional) => out.conditional += counts.redundant,
+            Some(Category::Breakup) => out.breakup += counts.redundant,
+            Some(Category::AliasFailure) => out.alias_failure += counts.redundant,
+            _ => out.rest += counts.redundant,
+        }
+    }
+    out
+}
+
+fn classify_site(
+    tbaa: SiteAvail,
+    cp: SiteAvail,
+    oracle: SiteAvail,
+    oracle_cp: SiteAvail,
+) -> Category {
+    debug_assert!(!tbaa.must, "a must-available load would have been removed");
+    if tbaa.may || oracle.may || oracle_cp.may {
+        // Available along some path only: PRE territory.
+        if !tbaa.must && (tbaa.may || (!cp.must && !oracle.must && !oracle_cp.must)) {
+            return Category::Conditional;
+        }
+    }
+    if cp.must || oracle_cp.must {
+        return Category::Breakup;
+    }
+    if oracle.must {
+        return Category::AliasFailure;
+    }
+    Category::Rest
+}
+
+/// The two bars of Figure 9 for one program: the fraction of the
+/// *original* heap references that are dynamically redundant, before and
+/// after optimization.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LimitResult {
+    /// Heap loads executed by the original program.
+    pub original_heap_loads: u64,
+    /// Redundant loads in the original program.
+    pub redundant_original: u64,
+    /// Heap loads executed by the optimized program.
+    pub optimized_heap_loads: u64,
+    /// Redundant loads remaining after optimization.
+    pub redundant_after: u64,
+}
+
+impl LimitResult {
+    /// The black bar of Figure 9.
+    pub fn fraction_original(&self) -> f64 {
+        if self.original_heap_loads == 0 {
+            0.0
+        } else {
+            self.redundant_original as f64 / self.original_heap_loads as f64
+        }
+    }
+
+    /// The white bar of Figure 9 — also relative to the *original* heap
+    /// reference count, as in the paper.
+    pub fn fraction_after(&self) -> f64 {
+        if self.original_heap_loads == 0 {
+            0.0
+        } else {
+            self.redundant_after as f64 / self.original_heap_loads as f64
+        }
+    }
+
+    /// Percentage of the original redundancy the optimizer removed.
+    pub fn removed_pct(&self) -> f64 {
+        if self.redundant_original == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.redundant_after as f64 / self.redundant_original as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, NullHook, RunConfig};
+    use tbaa::analysis::{Level, Tbaa};
+    use tbaa::World;
+    use tbaa_ir::compile_to_ir;
+
+    fn run_trace(prog: &Program) -> RedundancyTrace {
+        let mut t = RedundancyTrace::new();
+        run(prog, &mut t, RunConfig::default()).unwrap();
+        t
+    }
+
+    #[test]
+    fn encapsulated_dominates_array_programs() {
+        // Dope-vector loads inside the loop are redundant and invisible to
+        // RLE — the paper's headline Figure 10 observation.
+        let src = "MODULE M;
+             TYPE A = ARRAY OF INTEGER;
+             VAR a: A; s: INTEGER;
+             BEGIN
+               a := NEW(A, 32);
+               FOR i := 0 TO 31 DO a[i] := i END;
+               FOR i := 0 TO 31 DO s := s + a[i] END;
+             END M.";
+        let mut prog = compile_to_ir(src).unwrap();
+        let analysis = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+        tbaa_opt::rle::run_rle(&mut prog, &analysis);
+        let trace = run_trace(&prog);
+        let b = classify_remaining(&mut prog, &analysis, &trace);
+        assert!(b.encapsulated > 0, "breakdown: {b:?}");
+        assert!(
+            b.encapsulated >= b.conditional + b.breakup + b.alias_failure,
+            "encapsulation dominates: {b:?}"
+        );
+    }
+
+    #[test]
+    fn conditional_category_detected() {
+        // t.f is loaded on one side of a branch and again after the join:
+        // partially redundant, so RLE keeps it and the classifier calls it
+        // Conditional. The object comes from an opaque constructor so no
+        // store makes the path fully available.
+        let src = "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END;
+             PROCEDURE Mk (): T =
+             VAR t: T;
+             BEGIN t := NEW(T); t.f := 3; RETURN t END Mk;
+             VAR t: T; c: BOOLEAN; x, y: INTEGER;
+             BEGIN
+               t := Mk(); c := TRUE;
+               IF c THEN x := t.f END;
+               y := t.f;
+             END M.";
+        let mut prog = compile_to_ir(src).unwrap();
+        let analysis = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+        tbaa_opt::rle::run_rle(&mut prog, &analysis);
+        let trace = run_trace(&prog);
+        let b = classify_remaining(&mut prog, &analysis, &trace);
+        assert!(b.conditional > 0, "breakdown: {b:?}");
+    }
+
+    #[test]
+    fn optimization_removes_most_redundancy() {
+        let src = "MODULE M;
+             TYPE T = OBJECT f: INTEGER; n: T; END;
+             VAR h: T; s: INTEGER;
+             BEGIN
+               h := NEW(T); h.f := 1; h.n := NEW(T); h.n.f := 2;
+               FOR i := 1 TO 100 DO s := s + h.f + h.n.f END;
+               PRINTI(s);
+             END M.";
+        let base = compile_to_ir(src).unwrap();
+        let t_base = run_trace(&base);
+        let mut opt = compile_to_ir(src).unwrap();
+        let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+        tbaa_opt::rle::run_rle(&mut opt, &analysis);
+        // Semantics preserved.
+        let out_base = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+        let out_opt = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
+        assert_eq!(out_base.output, out_opt.output);
+        let t_opt = run_trace(&opt);
+        let lim = LimitResult {
+            original_heap_loads: t_base.heap_loads,
+            redundant_original: t_base.redundant,
+            optimized_heap_loads: t_opt.heap_loads,
+            redundant_after: t_opt.redundant,
+        };
+        assert!(lim.removed_pct() > 37.0, "paper range is 37%-87%: {lim:?}");
+        assert!(lim.fraction_after() <= lim.fraction_original());
+    }
+}

@@ -1,0 +1,129 @@
+//! Runtime values of the interpreter.
+
+use mini_m3::check::GlobalId;
+use mini_m3::types::{TypeId, TypeKind, TypeTable};
+use std::rc::Rc;
+use tbaa_ir::path::VarId;
+
+/// Identifier of a heap cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HeapId(pub u32);
+
+/// A first-class location, produced by taking an address (VAR actuals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// A slot in a stack frame, identified by absolute frame index.
+    Frame {
+        /// Index into the interpreter's frame stack.
+        frame: u32,
+        /// The variable within the frame.
+        var: VarId,
+        /// Slot offset within the variable's storage.
+        offset: u32,
+    },
+    /// A slot in a global's storage.
+    Global {
+        /// The global.
+        global: GlobalId,
+        /// Slot offset within the global's storage.
+        offset: u32,
+    },
+    /// A slot in a heap cell.
+    Heap {
+        /// The cell.
+        cell: HeapId,
+        /// Slot index within the cell.
+        slot: u32,
+    },
+}
+
+/// A runtime value. One value occupies one slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// INTEGER.
+    Int(i64),
+    /// BOOLEAN.
+    Bool(bool),
+    /// CHAR.
+    Char(char),
+    /// TEXT (immutable, shared).
+    Text(Rc<str>),
+    /// NIL.
+    Nil,
+    /// A reference to a heap cell (object, REF cell, or open array).
+    Ref(HeapId),
+    /// A location (VAR parameter).
+    Loc(Location),
+}
+
+impl Value {
+    /// The default (zero) value for a type, used to initialize storage.
+    pub fn zero_of(types: &TypeTable, ty: TypeId) -> Value {
+        match types.kind(ty) {
+            TypeKind::Integer => Value::Int(0),
+            TypeKind::Boolean => Value::Bool(false),
+            TypeKind::Char => Value::Char('\0'),
+            TypeKind::Text => Value::Text(Rc::from("")),
+            _ => Value::Nil,
+        }
+    }
+
+    /// Integer accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer (a type-checker bug, not a
+    /// user error).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected INTEGER, got {other:?}"),
+        }
+    }
+
+    /// Boolean accessor. See [`Value::as_int`] on panics.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected BOOLEAN, got {other:?}"),
+        }
+    }
+
+    /// Char accessor. See [`Value::as_int`] on panics.
+    pub fn as_char(&self) -> char {
+        match self {
+            Value::Char(v) => *v,
+            other => panic!("expected CHAR, got {other:?}"),
+        }
+    }
+
+    /// Text accessor. See [`Value::as_int`] on panics.
+    pub fn as_text(&self) -> Rc<str> {
+        match self {
+            Value::Text(v) => v.clone(),
+            other => panic!("expected TEXT, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values() {
+        let types = TypeTable::new();
+        assert_eq!(Value::zero_of(&types, types.integer()), Value::Int(0));
+        assert_eq!(Value::zero_of(&types, types.boolean()), Value::Bool(false));
+        assert_eq!(Value::zero_of(&types, types.null()), Value::Nil);
+    }
+
+    #[test]
+    fn equality_semantics() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Int(4));
+        assert_eq!(Value::Text(Rc::from("a")), Value::Text(Rc::from("a")));
+        assert_eq!(Value::Ref(HeapId(1)), Value::Ref(HeapId(1)));
+        assert_ne!(Value::Ref(HeapId(1)), Value::Nil);
+    }
+}

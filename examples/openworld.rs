@@ -1,0 +1,65 @@
+//! §4 — analyzing incomplete programs. Compares TypeRefsTable rows and
+//! RLE effectiveness under the closed- and open-world assumptions, and
+//! shows how BRANDED types resist open-world merging.
+//!
+//! ```text
+//! cargo run --example openworld
+//! ```
+
+use tbaa_repro::alias::{Level, Tbaa, World};
+use tbaa_repro::ir;
+use tbaa_repro::opt::rle::run_rle;
+
+const SRC: &str = "
+MODULE Open;
+TYPE
+  T  = OBJECT f: INTEGER; END;
+  S1 = T OBJECT END;
+  B  = BRANDED \"secret\" OBJECT g: INTEGER; END;
+  BS = B OBJECT END;
+VAR
+  t: T; s: S1; b: B; bs: BS; x, y: INTEGER;
+BEGIN
+  t := NEW(T); s := NEW(S1); b := NEW(B); bs := NEW(BS);
+  t.f := 1; s.f := 2; b.g := 3;
+  x := t.f;
+  s.f := 9;              (* kills t.f only if S1 may flow into T *)
+  y := t.f;
+  PRINTI(x + y);
+END Open.
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for world in [World::Closed, World::Open] {
+        let mut prog = ir::compile_to_ir(SRC).map_err(|e| e.to_string())?;
+        let analysis = Tbaa::build(&prog, Level::SmFieldTypeRefs, world);
+        let t = prog.types.by_name("T").unwrap();
+        let s1 = prog.types.by_name("S1").unwrap();
+        let b = prog.types.by_name("B").unwrap();
+        let bs = prog.types.by_name("BS").unwrap();
+        println!("{world:?} world:");
+        println!(
+            "  possible_types(T)  = {:?}",
+            analysis
+                .possible_types(t)
+                .iter()
+                .map(|&ty| prog.types.display(ty))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "  T ~ S1 compatible: {}   (unavailable code could assign S1 into T)",
+            analysis.type_compatible(t, s1)
+        );
+        println!(
+            "  B ~ BS compatible: {}   (BRANDED: not reconstructible outside)",
+            analysis.type_compatible(b, bs)
+        );
+        let stats = run_rle(&mut prog, &analysis);
+        println!("  RLE removed {} loads\n", stats.removed());
+    }
+    println!(
+        "The paper's finding (Figure 12): the open-world assumption costs \
+         TBAA essentially nothing for RLE."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! The full optimization pipeline of Figure 11 on one benchmark:
+//! method resolution (Minv) → inlining → RLE, with simulated cycle
+//! counts at every stage.
+//!
+//! ```text
+//! cargo run --release --example rle_pipeline [benchmark] [scale]
+//! ```
+
+use tbaa_repro::alias::Level;
+use tbaa_repro::benchsuite::Benchmark;
+use tbaa_repro::opt::{optimize, OptOptions};
+use tbaa_repro::sim::interp::RunConfig;
+use tbaa_repro::sim::simulate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("dformat");
+    let scale: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let b = Benchmark::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    println!("benchmark: {} ({}), scale {scale}", b.name, b.about);
+
+    let base = b.compile(scale).map_err(|e| e.to_string())?;
+    let (counts, cache, cycles) = simulate(&base, RunConfig::default())?;
+    println!(
+        "base:               {:>9.0} cycles  ({} instrs, {} heap loads, {:.1}% miss)",
+        cycles,
+        counts.instructions,
+        counts.heap_loads,
+        100.0 * cache.miss_ratio()
+    );
+
+    let configs: [(&str, OptOptions); 3] = [
+        ("RLE only", OptOptions::rle_only(Level::SmFieldTypeRefs)),
+        ("Minv+Inlining", {
+            let mut o = OptOptions::full(Level::SmFieldTypeRefs);
+            o.rle = false;
+            o
+        }),
+        (
+            "RLE+Minv+Inlining",
+            OptOptions::full(Level::SmFieldTypeRefs),
+        ),
+    ];
+    for (label, opts) in configs {
+        let mut prog = b.compile(scale).map_err(|e| e.to_string())?;
+        let report = optimize(&mut prog, &opts);
+        let (c, _, cy) = simulate(&prog, RunConfig::default())?;
+        println!(
+            "{label:<19} {cy:>9.0} cycles  ({:.1}% of base; rle removed {}, devirt {}, inlined {})",
+            100.0 * cy / cycles,
+            report.rle.removed(),
+            report.devirt.resolved,
+            report.inline.inlined,
+        );
+        let _ = c;
+    }
+    Ok(())
+}

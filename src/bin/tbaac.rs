@@ -1,0 +1,221 @@
+//! `tbaac` — a command-line driver for the MiniM3 → TBAA → RLE pipeline.
+//!
+//! ```text
+//! tbaac check  <file.m3>                     parse + type-check
+//! tbaac ir     <file.m3> [opts]              dump the (optimized) IR
+//! tbaac run    <file.m3> [opts]              execute and print counters
+//! tbaac sim    <file.m3> [opts]              simulate (cycles + cache)
+//! tbaac alias  <file.m3> [--level L]         list heap refs + alias pairs
+//!
+//! opts: --level typedecl|fields|merges   (default merges)
+//!       --world closed|open              (default closed)
+//!       -O                               run RLE
+//!       --pre                            run RLE + PRE
+//!       --full                           devirt + inline + RLE
+//!       --steensgaard                    drive RLE with Steensgaard
+//! ```
+
+use std::process::ExitCode;
+use tbaa_repro::alias::{AliasAnalysis, Level, Steensgaard, Tbaa, World};
+use tbaa_repro::ir::{self, pretty, Program};
+use tbaa_repro::opt::{self, OptOptions};
+use tbaa_repro::sim;
+use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+
+struct Opts {
+    level: Level,
+    world: World,
+    rle: bool,
+    pre: bool,
+    full: bool,
+    steensgaard: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(file)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: tbaac <check|ir|run|sim|alias> <file.m3> [options]");
+        return ExitCode::FAILURE;
+    };
+    let mut opts = Opts {
+        level: Level::SmFieldTypeRefs,
+        world: World::Closed,
+        rle: false,
+        pre: false,
+        full: false,
+        steensgaard: false,
+    };
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--level" => {
+                i += 1;
+                opts.level = match args.get(i).map(String::as_str) {
+                    Some("typedecl") => Level::TypeDecl,
+                    Some("fields") => Level::FieldTypeDecl,
+                    Some("merges") => Level::SmFieldTypeRefs,
+                    other => {
+                        eprintln!("unknown level {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--world" => {
+                i += 1;
+                opts.world = match args.get(i).map(String::as_str) {
+                    Some("closed") => World::Closed,
+                    Some("open") => World::Open,
+                    other => {
+                        eprintln!("unknown world {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "-O" => opts.rle = true,
+            "--pre" => opts.pre = true,
+            "--full" => opts.full = true,
+            "--steensgaard" => opts.steensgaard = true,
+            other => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut prog = match ir::compile_to_ir(&source) {
+        Ok(p) => p,
+        Err(diags) => {
+            let map = tbaa_repro::lang::span::LineMap::new(&source);
+            eprint!("{}", diags.render(&map));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if cmd == "check" {
+        println!(
+            "{}: ok ({} procedures, {} instructions, {} heap reference sites)",
+            file,
+            prog.funcs.len(),
+            prog.instr_count(),
+            prog.heap_ref_sites().len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    apply_opts(&mut prog, &opts);
+
+    match cmd.as_str() {
+        "ir" => print!("{}", pretty::program(&prog)),
+        "run" => match run(&prog, &mut NullHook, RunConfig::default()) {
+            Ok(out) => {
+                println!("{}", out.output);
+                eprintln!(
+                    "instructions {} | heap loads {} | heap stores {} | \
+                         other loads {} | allocs {} ({} cells)",
+                    out.counts.instructions,
+                    out.counts.heap_loads,
+                    out.counts.heap_stores,
+                    out.counts.other_loads,
+                    out.counts.allocs,
+                    out.heap_cells
+                );
+            }
+            Err(e) => {
+                eprintln!("runtime error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "sim" => match sim::simulate(&prog, RunConfig::default()) {
+            Ok((counts, cache, cycles)) => {
+                println!(
+                    "cycles {cycles:.0} | instructions {} | loads {} | miss ratio {:.2}%",
+                    counts.instructions,
+                    counts.heap_loads + counts.other_loads,
+                    100.0 * cache.miss_ratio()
+                );
+            }
+            Err(e) => {
+                eprintln!("runtime error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "alias" => {
+            let analysis: Box<dyn AliasAnalysis> = if opts.steensgaard {
+                Box::new(Steensgaard::build(&prog))
+            } else {
+                Box::new(Tbaa::build(&prog, opts.level, opts.world))
+            };
+            println!("heap reference expressions:");
+            for (f, ap, is_store) in prog.heap_ref_sites() {
+                println!(
+                    "  {} {:<24} in {}",
+                    if is_store { "store" } else { "load " },
+                    pretty::access_path(&prog, ap),
+                    prog.func(f).name
+                );
+            }
+            let counts = tbaa_repro::alias::count_alias_pairs(&prog, analysis.as_ref());
+            println!(
+                "{}: {} references, {} local pairs, {} global pairs",
+                analysis.name(),
+                counts.references,
+                counts.local_pairs,
+                counts.global_pairs
+            );
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn apply_opts(prog: &mut Program, opts: &Opts) {
+    if opts.full {
+        let report = opt::optimize(prog, &OptOptions::full(opts.level));
+        eprintln!(
+            "full pipeline: devirtualized {}, inlined {}, RLE removed {}",
+            report.devirt.resolved,
+            report.inline.inlined,
+            report.rle.removed()
+        );
+        return;
+    }
+    if opts.pre {
+        let (rle, pre) = if opts.steensgaard {
+            let a = Steensgaard::build(prog);
+            opt::pre::run_rle_with_pre(prog, &a)
+        } else {
+            let a = Tbaa::build(prog, opts.level, opts.world);
+            opt::pre::run_rle_with_pre(prog, &a)
+        };
+        eprintln!(
+            "RLE+PRE: removed {} loads ({} compensating inserts)",
+            rle.removed(),
+            pre.inserted
+        );
+        return;
+    }
+    if opts.rle {
+        let stats = if opts.steensgaard {
+            let a = Steensgaard::build(prog);
+            opt::rle::run_rle(prog, &a)
+        } else {
+            let a = Tbaa::build(prog, opts.level, opts.world);
+            opt::rle::run_rle(prog, &a)
+        };
+        eprintln!(
+            "RLE: hoisted {}, eliminated {}",
+            stats.hoisted, stats.eliminated
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Cross-crate integration tests: front end → IR → analyses → optimizer
+//! → simulator, on hand-written programs with known answers.
+
+use tbaa_repro::alias::{AliasAnalysis, Level, NoAlias, Tbaa, World};
+use tbaa_repro::compile_and_optimize;
+use tbaa_repro::ir::{self, pretty};
+use tbaa_repro::opt::modref::ModRef;
+use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+
+/// A linked-list summation whose header load is loop-invariant: the
+/// classic Figure 6 situation end to end.
+#[test]
+fn linked_list_sum_pipeline() {
+    let src = "
+        MODULE List;
+        TYPE Node = OBJECT val: INTEGER; next: Node; END;
+             List = OBJECT head: Node; len: INTEGER; END;
+        VAR l: List; n: Node; s: INTEGER;
+        BEGIN
+          l := NEW(List);
+          FOR i := 1 TO 50 DO
+            n := NEW(Node);
+            n.val := i;
+            n.next := l.head;
+            l.head := n;
+            l.len := l.len + 1;
+          END;
+          s := 0;
+          n := l.head;
+          WHILE n # NIL DO
+            s := s + n.val * l.len;    (* l.len is loop invariant *)
+            n := n.next;
+          END;
+          PRINTI(s);
+        END List.";
+    let base = ir::compile_to_ir(src).unwrap();
+    let base_out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(base_out.output, (50 * (1275)).to_string());
+
+    let (opt, stats) = compile_and_optimize(src, Level::SmFieldTypeRefs, World::Closed).unwrap();
+    assert!(stats.removed() >= 1, "l.len hoisted: {stats:?}");
+    let opt_out = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(base_out.output, opt_out.output);
+    assert!(opt_out.counts.heap_loads < base_out.counts.heap_loads);
+}
+
+/// The paper's §2.4 example: SMTypeRefs proves `t` and `s` independent
+/// when no assignment connects T and S1, which turns an otherwise killed
+/// load into an RLE opportunity.
+#[test]
+fn sm_merges_enable_elimination() {
+    let src = "
+        MODULE Merge;
+        TYPE T = OBJECT f: INTEGER; END; S1 = T OBJECT END;
+        VAR t: T; s: S1; x, y: INTEGER;
+        BEGIN
+          t := NEW(T); s := NEW(S1);
+          x := t.f;
+          s.f := 5;        (* may alias under FieldTypeDecl, not under SM *)
+          y := t.f;
+          PRINTI(x + y + s.f);
+        END Merge.";
+    let (_, ftd) = compile_and_optimize(src, Level::FieldTypeDecl, World::Closed).unwrap();
+    let (_, sm) = compile_and_optimize(src, Level::SmFieldTypeRefs, World::Closed).unwrap();
+    assert_eq!(ftd.eliminated, 1, "store forwarding of s.f only");
+    assert_eq!(sm.eliminated, 2, "plus the second t.f load");
+}
+
+/// Mod-ref summaries across three call levels gate hoisting correctly.
+#[test]
+fn modref_gates_hoisting_across_calls() {
+    let src = "
+        MODULE MR;
+        TYPE T = OBJECT f: INTEGER; END;
+        VAR t, u: T; s: INTEGER;
+        PROCEDURE Touch (o: T) = BEGIN o.f := o.f + 1 END Touch;
+        PROCEDURE Noop (o: T): INTEGER = BEGIN RETURN o.f END Noop;
+        BEGIN
+          t := NEW(T); u := NEW(T); t.f := 3;
+          FOR i := 1 TO 10 DO
+            s := s + t.f + Noop(u);    (* Noop does not store: t.f hoists *)
+          END;
+          FOR i := 1 TO 10 DO
+            s := s + t.f;
+            Touch(u);                  (* Touch stores a may-alias: no hoist *)
+          END;
+          PRINTI(s);
+        END MR.";
+    let prog = ir::compile_to_ir(src).unwrap();
+    let mr = ModRef::build(&prog);
+    let touch = prog.func_id("Touch").unwrap();
+    let noop = prog.func_id("Noop").unwrap();
+    assert_eq!(mr.summary(touch).stores.len(), 1);
+    assert!(mr.summary(noop).stores.is_empty());
+    assert!(!mr.summary(noop).loads.is_empty());
+
+    let base_out = run(&prog, &mut NullHook, RunConfig::default()).unwrap();
+    let (opt, stats) = compile_and_optimize(src, Level::SmFieldTypeRefs, World::Closed).unwrap();
+    let opt_out = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(base_out.output, opt_out.output);
+    assert!(stats.hoisted >= 1, "first loop hoists t.f: {stats:?}");
+}
+
+/// WITH and VAR parameters both take addresses; after either, a REF
+/// dereference may alias the field (Table 2 case 3) and RLE must stay
+/// conservative — verified dynamically by writing through the alias.
+#[test]
+fn address_taken_semantics_end_to_end() {
+    let src = "
+        MODULE Addr;
+        TYPE T = OBJECT f: INTEGER; END;
+        PROCEDURE Set (VAR v: INTEGER; k: INTEGER) = BEGIN v := k END Set;
+        VAR t: T; x, y: INTEGER;
+        BEGIN
+          t := NEW(T);
+          t.f := 1;
+          x := t.f;
+          Set(t.f, 42);
+          y := t.f;          (* must reload: 42, not 1 *)
+          PRINTI(x * 100 + y);
+        END Addr.";
+    let base = ir::compile_to_ir(src).unwrap();
+    let out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(out.output, "142");
+    let (opt, _) = compile_and_optimize(src, Level::SmFieldTypeRefs, World::Closed).unwrap();
+    let opt_out = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(opt_out.output, "142");
+}
+
+/// The perfect-alias oracle eliminates at least as much as TBAA on any
+/// program (it is the upper bound of §3.5).
+#[test]
+fn oracle_is_an_upper_bound() {
+    for b in tbaa_repro::benchsuite::suite()
+        .iter()
+        .filter(|b| !b.interactive)
+    {
+        let mut p1 = b.compile(1).unwrap();
+        let a = Tbaa::build(&p1, Level::SmFieldTypeRefs, World::Closed);
+        let tbaa_stats = tbaa_repro::opt::rle::run_rle(&mut p1, &a);
+        let mut p2 = b.compile(1).unwrap();
+        let oracle_stats = tbaa_repro::opt::rle::run_rle(&mut p2, &NoAlias);
+        assert!(
+            oracle_stats.removed() >= tbaa_stats.removed(),
+            "{}: oracle {} >= tbaa {}",
+            b.name,
+            oracle_stats.removed(),
+            tbaa_stats.removed()
+        );
+    }
+}
+
+/// Access-path pretty-printing round-trips the paper's notation.
+#[test]
+fn access_path_notation() {
+    let prog = ir::compile_to_ir(
+        "MODULE N;
+         TYPE A = ARRAY OF INTEGER;
+              B = OBJECT arr: A; END;
+              P = REF INTEGER;
+         VAR b: B; p: P; x: INTEGER;
+         BEGIN
+           b := NEW(B); b.arr := NEW(A, 3); p := NEW(P);
+           FOR i := 0 TO 2 DO x := x + b.arr[i] END;
+           x := x + p^ + NUMBER(b.arr);
+           PRINTI(x);
+         END N.",
+    )
+    .unwrap();
+    let rendered: Vec<String> = prog
+        .heap_ref_sites()
+        .iter()
+        .map(|s| pretty::access_path(&prog, s.1))
+        .collect();
+    assert!(rendered.iter().any(|s| s == "b.arr"), "{rendered:?}");
+    assert!(
+        rendered.iter().any(|s| s.starts_with("b.arr[")),
+        "{rendered:?}"
+    );
+    assert!(rendered.iter().any(|s| s == "p^"), "{rendered:?}");
+    assert!(rendered.iter().any(|s| s == "b.arr.#len"), "{rendered:?}");
+}
+
+/// Method dispatch on a two-level hierarchy devirtualizes and inlines,
+/// preserving the dynamic answer.
+#[test]
+fn devirt_inline_end_to_end() {
+    let src = "
+        MODULE DV;
+        TYPE
+          Shape = OBJECT w, h: INTEGER; METHODS area (): INTEGER := RectArea; END;
+          Tri = Shape OBJECT OVERRIDES area := TriArea; END;
+        PROCEDURE RectArea (self: Shape): INTEGER = BEGIN RETURN self.w * self.h END RectArea;
+        PROCEDURE TriArea (self: Tri): INTEGER = BEGIN RETURN self.w * self.h DIV 2 END TriArea;
+        VAR s: Shape; total: INTEGER;
+        BEGIN
+          s := NEW(Shape); s.w := 4; s.h := 6;
+          total := s.area();
+          s := NEW(Tri); s.w := 4; s.h := 6;
+          total := total + s.area();
+          PRINTI(total);
+        END DV.";
+    let base = ir::compile_to_ir(src).unwrap();
+    let base_out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(base_out.output, "36");
+    let mut opt = ir::compile_to_ir(src).unwrap();
+    let report = tbaa_repro::opt::optimize(
+        &mut opt,
+        &tbaa_repro::opt::OptOptions::full(Level::SmFieldTypeRefs),
+    );
+    // Both Shape and Tri are allocated, so the sites stay polymorphic.
+    assert_eq!(report.devirt.resolved, 0);
+    let out = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(out.output, "36");
+}
+
+/// Alias queries agree between the trait object and concrete interfaces.
+#[test]
+fn trait_object_usability() {
+    let prog = ir::compile_to_ir(
+        "MODULE T;
+         TYPE X = OBJECT f: INTEGER; END;
+         VAR a: X; v: INTEGER;
+         BEGIN a := NEW(X); a.f := 1; v := a.f; PRINTI(v); END T.",
+    )
+    .unwrap();
+    let analyses: Vec<Box<dyn AliasAnalysis>> = vec![
+        Box::new(Tbaa::build(&prog, Level::TypeDecl, World::Closed)),
+        Box::new(Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed)),
+        Box::new(Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed)),
+        Box::new(NoAlias),
+    ];
+    let sites = prog.heap_ref_sites();
+    let (store, load) = (sites[0].1, sites[1].1);
+    for a in &analyses {
+        assert!(
+            a.may_alias(&prog.aps, store, load),
+            "{} must see the identical path",
+            a.name()
+        );
+    }
+}

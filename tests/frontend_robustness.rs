@@ -1,0 +1,91 @@
+//! Robustness properties of the front end: the lexer, parser, and
+//! checker must never panic, whatever bytes they are fed — they either
+//! succeed or return diagnostics.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode input never panics the full front end.
+    #[test]
+    fn compile_never_panics_on_arbitrary_text(src in ".{0,400}") {
+        let _ = mini_m3::compile(&src);
+    }
+
+    /// Token-shaped soup (identifiers, keywords, punctuation) never
+    /// panics — this digs deeper into the parser than raw bytes do.
+    #[test]
+    fn compile_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("MODULE"), Just("BEGIN"), Just("END"), Just("VAR"),
+                Just("TYPE"), Just("OBJECT"), Just("IF"), Just("THEN"),
+                Just("WHILE"), Just("DO"), Just("FOR"), Just("TO"),
+                Just("WITH"), Just("RETURN"), Just(":="), Just("="),
+                Just(";"), Just("."), Just("("), Just(")"), Just("["),
+                Just("]"), Just("^"), Just("x"), Just("T"), Just("M"),
+                Just("1"), Just("+"), Just("NIL"), Just("NEW"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = mini_m3::compile(&src);
+    }
+
+    /// A syntactically valid skeleton with arbitrary identifiers either
+    /// compiles or produces diagnostics pointing into the source.
+    #[test]
+    fn diagnostics_have_sane_spans(name in "[A-Za-z][A-Za-z0-9]{0,8}") {
+        let src = format!(
+            "MODULE M; VAR x: INTEGER; BEGIN x := {name}; END M."
+        );
+        match mini_m3::compile(&src) {
+            Ok(_) => {}
+            Err(diags) => {
+                for d in diags.iter() {
+                    prop_assert!((d.span.start as usize) <= src.len());
+                    prop_assert!((d.span.end as usize) <= src.len() + 1);
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic negative cases with exact diagnostics.
+#[test]
+fn negative_cases_report_not_panic() {
+    let cases = [
+        "",                       // empty
+        "MODULE",                 // truncated header
+        "MODULE M; BEGIN END N.", // name mismatch
+        "MODULE M; TYPE T = OBJECT f: Missing; END; BEGIN END M.",
+        "MODULE M; TYPE A = B; B = A; BEGIN END M.", // type cycle
+        "MODULE M; VAR x: INTEGER; BEGIN x := TRUE; END M.",
+        "MODULE M; BEGIN RETURN 1; END M.", // value return in main
+        "MODULE M; VAR x: INTEGER; BEGIN x := y; END M.",
+        "MODULE M; PROCEDURE F (): INTEGER = BEGIN RETURN 1 END G; BEGIN END M.",
+        "MODULE M; BEGIN WITH w = 1 DO w := 2 END; END M.",
+        "MODULE M; TYPE T = OBJECT END; BEGIN EVAL NEW(T, 3); END M.",
+        "MODULE M; VAR a: ARRAY OF INTEGER; BEGIN a := NEW(ARRAY OF INTEGER); END M.",
+    ];
+    for src in cases {
+        assert!(
+            mini_m3::compile(src).is_err(),
+            "expected diagnostics for: {src}"
+        );
+    }
+}
+
+/// The diagnostics renderer produces one line per error with
+/// line:column prefixes.
+#[test]
+fn diagnostics_render_with_positions() {
+    let src = "MODULE M;\nVAR x: INTEGER;\nBEGIN\n  x := nope;\nEND M.";
+    let err = mini_m3::compile(src).unwrap_err();
+    let map = mini_m3::span::LineMap::new(src);
+    let rendered = err.render(&map);
+    assert!(rendered.contains("4:"), "error on line 4: {rendered}");
+    assert!(rendered.contains("undefined name"), "{rendered}");
+}

@@ -1,0 +1,517 @@
+//! MiniM3 semantics conformance: each case runs a small program through
+//! the full pipeline (front end → IR → interpreter) and checks its
+//! output, both unoptimized and under the complete optimizer stack —
+//! so every language feature doubles as an optimizer-correctness test.
+
+use tbaa_repro::alias::Level;
+use tbaa_repro::ir;
+use tbaa_repro::opt::{optimize, OptOptions};
+use tbaa_repro::sim::interp::{run, NullHook, RunConfig, RuntimeError};
+
+/// Runs `src` and asserts it prints `expected`, unoptimized and fully
+/// optimized.
+fn check(src: &str, expected: &str) {
+    let prog = ir::compile_to_ir(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let out = run(&prog, &mut NullHook, RunConfig::default())
+        .unwrap_or_else(|e| panic!("run failed: {e}\n{src}"));
+    assert_eq!(out.output, expected, "unoptimized\n{src}");
+    let mut opt = ir::compile_to_ir(src).unwrap();
+    let mut opts = OptOptions::full(Level::SmFieldTypeRefs);
+    opts.copy_propagation = true;
+    opts.dead_store_elimination = true;
+    optimize(&mut opt, &opts);
+    let out2 = run(&opt, &mut NullHook, RunConfig::default())
+        .unwrap_or_else(|e| panic!("optimized run failed: {e}\n{src}"));
+    assert_eq!(out2.output, expected, "optimized\n{src}");
+}
+
+#[test]
+fn arithmetic_div_mod_floor() {
+    // Modula-3 DIV/MOD are flooring.
+    check(
+        "MODULE M; BEGIN
+           PRINTI(7 DIV 2); PRINT(\" \");
+           PRINTI(-7 DIV 2); PRINT(\" \");
+           PRINTI(7 MOD 2); PRINT(\" \");
+           PRINTI(-7 MOD 2);
+         END M.",
+        "3 -4 1 1",
+    );
+}
+
+#[test]
+fn precedence_and_unary() {
+    check(
+        "MODULE M; BEGIN PRINTI(2 + 3 * 4 - -6); PRINTI(-(2 + 3)); END M.",
+        "20-5",
+    );
+}
+
+#[test]
+fn boolean_short_circuit() {
+    // The right operand must not evaluate when short-circuited: division
+    // by zero would trap.
+    check(
+        "MODULE M;
+         VAR z: INTEGER; b: BOOLEAN;
+         BEGIN
+           z := 0;
+           b := (z = 0) OR (10 DIV z > 1);
+           IF b THEN PRINT(\"or-ok\") END;
+           b := (z # 0) AND (10 DIV z > 1);
+           IF NOT b THEN PRINT(\" and-ok\") END;
+         END M.",
+        "or-ok and-ok",
+    );
+}
+
+#[test]
+fn char_ops() {
+    check(
+        "MODULE M;
+         VAR c: CHAR;
+         BEGIN
+           c := 'a';
+           PRINTI(ORD(c));
+           PRINT(CTOT(CHR(ORD(c) + 1)));
+           IF 'a' < 'b' THEN PRINT(\"lt\") END;
+         END M.",
+        "97blt",
+    );
+}
+
+#[test]
+fn text_ops() {
+    check(
+        "MODULE M;
+         VAR t: TEXT;
+         BEGIN
+           t := \"abc\" & \"def\";
+           PRINTI(TEXTLEN(t));
+           PRINT(CTOT(TEXTCHAR(t, 4)));
+           PRINT(ITOT(-12));
+         END M.",
+        "6e-12",
+    );
+}
+
+#[test]
+fn for_loop_by_steps() {
+    check(
+        "MODULE M;
+         VAR s: INTEGER;
+         BEGIN
+           s := 0;
+           FOR i := 0 TO 10 BY 3 DO s := s + i END;  (* 0+3+6+9 *)
+           FOR i := 5 TO 1 BY -2 DO s := s + i END;  (* 5+3+1 *)
+           FOR i := 3 TO 1 DO s := s + 100 END;      (* zero trips *)
+           PRINTI(s);
+         END M.",
+        "27",
+    );
+}
+
+#[test]
+fn repeat_runs_at_least_once() {
+    check(
+        "MODULE M;
+         VAR n: INTEGER;
+         BEGIN
+           n := 10;
+           REPEAT n := n + 1 UNTIL n > 5;
+           PRINTI(n);
+         END M.",
+        "11",
+    );
+}
+
+#[test]
+fn loop_exit_nested() {
+    check(
+        "MODULE M;
+         VAR i, j, s: INTEGER;
+         BEGIN
+           i := 0;
+           LOOP
+             i := i + 1;
+             j := 0;
+             LOOP
+               j := j + 1;
+               IF j = 3 THEN EXIT END;
+             END;
+             s := s + j;
+             IF i = 4 THEN EXIT END;
+           END;
+           PRINTI(s);
+         END M.",
+        "12",
+    );
+}
+
+#[test]
+fn with_value_and_alias_bindings() {
+    check(
+        "MODULE M;
+         TYPE T = OBJECT f: INTEGER; END;
+         VAR t: T; x: INTEGER;
+         BEGIN
+           t := NEW(T); t.f := 10;
+           WITH v = t.f * 2, w = t.f DO
+             x := v;          (* value binding: 20 *)
+             w := w + 1;      (* alias binding writes through *)
+           END;
+           PRINTI(x); PRINTI(t.f);
+         END M.",
+        "2011",
+    );
+}
+
+#[test]
+fn with_alias_freezes_base() {
+    // The WITH alias must keep referring to the original object even if
+    // the variable is reassigned inside the body.
+    check(
+        "MODULE M;
+         TYPE T = OBJECT f: INTEGER; END;
+         VAR t, keep: T;
+         BEGIN
+           t := NEW(T); t.f := 1; keep := t;
+           WITH w = t.f DO
+             t := NEW(T);
+             t.f := 99;
+             w := 42;          (* writes the ORIGINAL object *)
+           END;
+           PRINTI(keep.f); PRINTI(t.f);
+         END M.",
+        "4299",
+    );
+}
+
+#[test]
+fn var_params_through_chains() {
+    check(
+        "MODULE M;
+         PROCEDURE Inc (VAR x: INTEGER) = BEGIN x := x + 1 END Inc;
+         PROCEDURE Twice (VAR x: INTEGER) = BEGIN Inc(x); Inc(x) END Twice;
+         VAR g: INTEGER;
+         BEGIN g := 5; Twice(g); PRINTI(g); END M.",
+        "7",
+    );
+}
+
+#[test]
+fn var_param_on_array_element() {
+    check(
+        "MODULE M;
+         TYPE A = ARRAY OF INTEGER;
+         PROCEDURE Bump (VAR x: INTEGER) = BEGIN x := x * 10 END Bump;
+         VAR a: A;
+         BEGIN
+           a := NEW(A, 3);
+           a[1] := 7;
+           Bump(a[1]);
+           PRINTI(a[1]);
+         END M.",
+        "70",
+    );
+}
+
+#[test]
+fn object_identity_vs_value() {
+    check(
+        "MODULE M;
+         TYPE T = OBJECT f: INTEGER; END;
+         VAR a, b: T;
+         BEGIN
+           a := NEW(T); b := NEW(T);
+           IF a = a THEN PRINT(\"same\") END;
+           IF a # b THEN PRINT(\" diff\") END;
+           b := a;
+           b.f := 3;
+           PRINTI(a.f);  (* aliased now *)
+         END M.",
+        "same diff3",
+    );
+}
+
+#[test]
+fn inheritance_field_layout() {
+    check(
+        "MODULE M;
+         TYPE
+           A = OBJECT x: INTEGER; END;
+           B = A OBJECT y: INTEGER; END;
+           C = B OBJECT z: INTEGER; END;
+         VAR c: C; a: A;
+         BEGIN
+           c := NEW(C);
+           c.x := 1; c.y := 2; c.z := 3;
+           a := c;
+           PRINTI(a.x); PRINTI(c.y); PRINTI(c.z);
+         END M.",
+        "123",
+    );
+}
+
+#[test]
+fn method_dispatch_through_supertype_view() {
+    check(
+        "MODULE M;
+         TYPE
+           A = OBJECT METHODS tag (): INTEGER := TagA; END;
+           B = A OBJECT OVERRIDES tag := TagB; END;
+           C = B OBJECT OVERRIDES tag := TagC; END;
+         PROCEDURE TagA (self: A): INTEGER = BEGIN RETURN 1 END TagA;
+         PROCEDURE TagB (self: B): INTEGER = BEGIN RETURN 2 END TagB;
+         PROCEDURE TagC (self: C): INTEGER = BEGIN RETURN 3 END TagC;
+         VAR a: A;
+         BEGIN
+           a := NEW(A); PRINTI(a.tag());
+           a := NEW(B); PRINTI(a.tag());
+           a := NEW(C); PRINTI(a.tag());
+         END M.",
+        "123",
+    );
+}
+
+#[test]
+fn inherited_method_not_overridden() {
+    check(
+        "MODULE M;
+         TYPE
+           A = OBJECT v: INTEGER; METHODS get (): INTEGER := Get; END;
+           B = A OBJECT w: INTEGER; END;
+         PROCEDURE Get (self: A): INTEGER = BEGIN RETURN self.v END Get;
+         VAR b: B;
+         BEGIN b := NEW(B); b.v := 9; PRINTI(b.get()); END M.",
+        "9",
+    );
+}
+
+#[test]
+fn method_with_args_and_var_param() {
+    check(
+        "MODULE M;
+         TYPE Counter = OBJECT n: INTEGER;
+              METHODS addTo (k: INTEGER; VAR out: INTEGER) := AddTo; END;
+         PROCEDURE AddTo (self: Counter; k: INTEGER; VAR out: INTEGER) =
+         BEGIN out := self.n + k END AddTo;
+         VAR c: Counter; r: INTEGER;
+         BEGIN
+           c := NEW(Counter); c.n := 40;
+           c.addTo(2, r);
+           PRINTI(r);
+         END M.",
+        "42",
+    );
+}
+
+#[test]
+fn istype_narrow_hierarchy() {
+    check(
+        "MODULE M;
+         TYPE A = OBJECT END; B = A OBJECT END; C = B OBJECT END;
+         VAR a: A;
+         BEGIN
+           a := NEW(C);
+           IF ISTYPE(a, A) THEN PRINT(\"A\") END;
+           IF ISTYPE(a, B) THEN PRINT(\"B\") END;
+           IF ISTYPE(a, C) THEN PRINT(\"C\") END;
+           a := NEW(B);
+           IF NOT ISTYPE(a, C) THEN PRINT(\"!C\") END;
+         END M.",
+        "ABC!C",
+    );
+}
+
+#[test]
+fn records_inside_objects() {
+    check(
+        "MODULE M;
+         TYPE
+           Point = RECORD x, y: INTEGER; END;
+           Box = OBJECT lo, hi: Point; END;
+         VAR b: Box; p: Point;
+         BEGIN
+           b := NEW(Box);
+           b.lo.x := 1; b.lo.y := 2;
+           b.hi.x := 10; b.hi.y := 20;
+           p := b.hi;               (* record copy out of the heap *)
+           p.x := p.x + b.lo.x;
+           PRINTI(p.x); PRINTI(b.hi.x);
+         END M.",
+        "1110",
+    );
+}
+
+#[test]
+fn ref_record_roundtrip() {
+    check(
+        "MODULE M;
+         TYPE R = RECORD a, b: INTEGER; END; P = REF R;
+         VAR p, q: P;
+         BEGIN
+           p := NEW(P); q := NEW(P);
+           p^.a := 1; p^.b := 2;
+           q^ := p^;
+           q^.a := 5;
+           PRINTI(p^.a); PRINTI(q^.a); PRINTI(q^.b);
+         END M.",
+        "152",
+    );
+}
+
+#[test]
+fn fixed_arrays_of_records_in_object() {
+    check(
+        "MODULE M;
+         TYPE
+           Pair = RECORD k, v: INTEGER; END;
+           Table = OBJECT slots: ARRAY [0..2] OF Pair; n: INTEGER; END;
+         VAR t: Table; sum: INTEGER;
+         BEGIN
+           t := NEW(Table);
+           FOR i := 0 TO 2 DO
+             t.slots[i].k := i;
+             t.slots[i].v := i * i;
+           END;
+           sum := 0;
+           FOR i := 0 TO 2 DO sum := sum + t.slots[i].v END;
+           PRINTI(sum);
+         END M.",
+        "5",
+    );
+}
+
+#[test]
+fn open_array_of_objects() {
+    check(
+        "MODULE M;
+         TYPE T = OBJECT f: INTEGER; END; Arr = ARRAY OF T;
+         VAR a: Arr; s: INTEGER;
+         BEGIN
+           a := NEW(Arr, 4);
+           FOR i := 0 TO 3 DO
+             a[i] := NEW(T);
+             a[i].f := i + 1;
+           END;
+           s := 0;
+           FOR i := 0 TO 3 DO s := s + a[i].f END;
+           PRINTI(s); PRINTI(NUMBER(a));
+         END M.",
+        "104",
+    );
+}
+
+#[test]
+fn nil_checks_and_defaults() {
+    check(
+        "MODULE M;
+         TYPE T = OBJECT f: INTEGER; n: T; END;
+         VAR t: T;
+         BEGIN
+           t := NEW(T);
+           IF t.n = NIL THEN PRINT(\"nil\") END;
+           PRINTI(t.f);           (* fields default to zero *)
+         END M.",
+        "nil0",
+    );
+}
+
+#[test]
+fn constants_fold_and_scope() {
+    check(
+        "MODULE M;
+         CONST N = 6; M2 = N * 7;
+         VAR x: INTEGER;
+         BEGIN x := M2; PRINTI(x); END M.",
+        "42",
+    );
+}
+
+#[test]
+fn global_initializers_run_in_order() {
+    check(
+        "MODULE M;
+         TYPE T = OBJECT f: INTEGER; END;
+         VAR a: INTEGER := 5;
+             t: T := NEW(T);
+             b: INTEGER := 37;
+         BEGIN
+           t.f := a + b;
+           PRINTI(t.f);
+         END M.",
+        "42",
+    );
+}
+
+#[test]
+fn recursion_mutual() {
+    check(
+        "MODULE M;
+         PROCEDURE IsEven (n: INTEGER): BOOLEAN =
+         BEGIN
+           IF n = 0 THEN RETURN TRUE END;
+           RETURN IsOdd(n - 1);
+         END IsEven;
+         PROCEDURE IsOdd (n: INTEGER): BOOLEAN =
+         BEGIN
+           IF n = 0 THEN RETURN FALSE END;
+           RETURN IsEven(n - 1);
+         END IsOdd;
+         BEGIN
+           IF IsEven(10) THEN PRINT(\"even\") END;
+           IF IsOdd(7) THEN PRINT(\" odd\") END;
+         END M.",
+        "even odd",
+    );
+}
+
+#[test]
+fn min_max_abs() {
+    check(
+        "MODULE M; BEGIN
+           PRINTI(MIN(3, -4)); PRINTI(MAX(3, -4)); PRINTI(ABS(-9));
+         END M.",
+        "-439",
+    );
+}
+
+#[test]
+fn narrow_failure_traps() {
+    let src = "MODULE M;
+         TYPE A = OBJECT END; B = A OBJECT END; C = A OBJECT END;
+         VAR a: A; b: B;
+         BEGIN a := NEW(C); b := NARROW(a, B); END M.";
+    let prog = ir::compile_to_ir(src).unwrap();
+    let err = run(&prog, &mut NullHook, RunConfig::default()).unwrap_err();
+    assert_eq!(err, RuntimeError::NarrowFailed);
+}
+
+#[test]
+fn deep_recursion_overflows_gracefully() {
+    let src = "MODULE M;
+         PROCEDURE F (n: INTEGER): INTEGER =
+         BEGIN RETURN F(n + 1) END F;
+         VAR x: INTEGER;
+         BEGIN x := F(0); END M.";
+    let prog = ir::compile_to_ir(src).unwrap();
+    let err = run(&prog, &mut NullHook, RunConfig::default()).unwrap_err();
+    assert_eq!(err, RuntimeError::StackOverflow);
+}
+
+#[test]
+fn branded_types_behave_like_objects() {
+    check(
+        "MODULE M;
+         TYPE B = BRANDED \"tag\" OBJECT f: INTEGER; END;
+              S = B OBJECT END;
+         VAR b: B;
+         BEGIN
+           b := NEW(S);
+           b.f := 8;
+           IF ISTYPE(b, S) THEN PRINTI(b.f) END;
+         END M.",
+        "8",
+    );
+}

@@ -1,0 +1,228 @@
+//! Integration tests encoding the paper's qualitative claims over the
+//! full benchmark suite. The absolute numbers differ from the 1998 Alpha
+//! testbed; these tests pin down the *shape* the paper reports.
+
+use tbaa_repro::alias::{Level, Tbaa, World};
+use tbaa_repro::benchsuite::suite;
+use tbaa_repro::opt::rle::run_rle;
+use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+use tbaa_repro::sim::{classify_remaining, RedundancyTrace};
+
+const SCALE: u32 = 1;
+
+/// §3.3: "TypeDecl performs a lot worse than FieldTypeDecl, and
+/// flow-insensitive merging using SMFieldTypeRefs offers little
+/// improvement over FieldTypeDecl."
+#[test]
+fn table5_shape_typedecl_much_worse_fields_close_to_merges() {
+    let rows = tbaa_bench_rows();
+    let mut td_total = 0usize;
+    let mut ftd_total = 0usize;
+    let mut sm_total = 0usize;
+    for (td, ftd, sm) in &rows {
+        td_total += td.global_pairs;
+        ftd_total += ftd.global_pairs;
+        sm_total += sm.global_pairs;
+        assert!(td.global_pairs >= ftd.global_pairs);
+        assert!(ftd.global_pairs >= sm.global_pairs);
+    }
+    assert!(
+        td_total as f64 >= 2.0 * ftd_total as f64,
+        "TypeDecl should be far coarser: {td_total} vs {ftd_total}"
+    );
+    assert!(
+        (ftd_total as f64) < 1.10 * sm_total as f64 + 16.0,
+        "SMFieldTypeRefs offers little static improvement: {ftd_total} vs {sm_total}"
+    );
+}
+
+fn tbaa_bench_rows() -> Vec<(
+    tbaa_repro::alias::AliasPairCounts,
+    tbaa_repro::alias::AliasPairCounts,
+    tbaa_repro::alias::AliasPairCounts,
+)> {
+    suite()
+        .iter()
+        .map(|b| {
+            let prog = b.compile(SCALE).unwrap();
+            let mk = |level| {
+                let a = Tbaa::build(&prog, level, World::Closed);
+                tbaa_repro::alias::count_alias_pairs(&prog, &a)
+            };
+            (
+                mk(Level::TypeDecl),
+                mk(Level::FieldTypeDecl),
+                mk(Level::SmFieldTypeRefs),
+            )
+        })
+        .collect()
+}
+
+/// §3.3: interprocedural (global) aliases are much more numerous than
+/// intraprocedural (local) ones, suggesting TBAA is too imprecise for
+/// interprocedural optimization.
+#[test]
+fn global_pairs_dominate_local_pairs() {
+    let mut local = 0usize;
+    let mut global = 0usize;
+    for (_, _, sm) in tbaa_bench_rows() {
+        local += sm.local_pairs;
+        global += sm.global_pairs;
+    }
+    assert!(
+        global >= 3 * local,
+        "interprocedural aliasing dominates: {global} vs {local}"
+    );
+}
+
+/// Table 6's shape: FieldTypeDecl finds more RLE opportunities than
+/// TypeDecl, and SMFieldTypeRefs adds (almost) nothing on top.
+#[test]
+fn table6_shape() {
+    let mut td = 0usize;
+    let mut ftd = 0usize;
+    let mut sm = 0usize;
+    for b in suite().iter().filter(|b| !b.interactive) {
+        for (slot, level) in [
+            (&mut td, Level::TypeDecl),
+            (&mut ftd, Level::FieldTypeDecl),
+            (&mut sm, Level::SmFieldTypeRefs),
+        ] {
+            let mut prog = b.compile(SCALE).unwrap();
+            let a = Tbaa::build(&prog, level, World::Closed);
+            *slot += run_rle(&mut prog, &a).removed();
+        }
+    }
+    assert!(ftd > td, "fields expose more opportunities: {ftd} vs {td}");
+    assert!(sm >= ftd);
+    assert!(
+        sm - ftd <= 2,
+        "merges change almost nothing for RLE: {sm} vs {ftd}"
+    );
+}
+
+/// Figure 9's shape: the optimizer eliminates a large share of the
+/// dynamic redundancy (the paper reports 37%–87%).
+#[test]
+fn fig9_shape_most_redundancy_removed() {
+    let mut ratios = Vec::new();
+    for b in suite().iter().filter(|b| !b.interactive) {
+        let base = b.compile(SCALE).unwrap();
+        let mut t0 = RedundancyTrace::new();
+        run(&base, &mut t0, RunConfig::default()).unwrap();
+        let mut opt = b.compile(SCALE).unwrap();
+        let a = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+        run_rle(&mut opt, &a);
+        let mut t1 = RedundancyTrace::new();
+        run(&opt, &mut t1, RunConfig::default()).unwrap();
+        assert!(t0.redundant > 0, "{} has redundancy to remove", b.name);
+        let removed = 1.0 - t1.redundant as f64 / t0.redundant as f64;
+        ratios.push((b.name, removed));
+    }
+    let avg: f64 = ratios.iter().map(|(_, r)| r).sum::<f64>() / ratios.len() as f64;
+    assert!(
+        avg > 0.37,
+        "average removal should be in the paper's ballpark: {ratios:?}"
+    );
+}
+
+/// Figure 10's headline: *"we did not encounter a single situation when
+/// optimization failed due to inadequacies in our alias analysis"* — the
+/// alias-failure category is empty, and what can be attributed is
+/// dominated by encapsulated references.
+#[test]
+fn fig10_no_alias_failures() {
+    let mut total_alias_failure = 0u64;
+    let mut total_encapsulated = 0u64;
+    let mut total = 0u64;
+    for b in suite().iter().filter(|b| !b.interactive) {
+        let mut opt = b.compile(SCALE).unwrap();
+        let a = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+        run_rle(&mut opt, &a);
+        let mut t = RedundancyTrace::new();
+        run(&opt, &mut t, RunConfig::default()).unwrap();
+        let breakdown = classify_remaining(&mut opt, &a, &t);
+        total_alias_failure += breakdown.alias_failure;
+        total_encapsulated += breakdown.encapsulated;
+        total += breakdown.total();
+    }
+    assert_eq!(
+        total_alias_failure, 0,
+        "a perfect alias analysis would gain nothing on these programs"
+    );
+    assert!(
+        total_encapsulated * 2 >= total,
+        "encapsulated references dominate the remainder: {total_encapsulated}/{total}"
+    );
+}
+
+/// Figure 12's shape: the open-world assumption costs essentially
+/// nothing — RLE removes the same loads on (almost) every benchmark.
+#[test]
+fn fig12_open_world_costs_little() {
+    let mut diffs = 0usize;
+    for b in suite().iter().filter(|b| !b.interactive) {
+        let removed = |world| {
+            let mut prog = b.compile(SCALE).unwrap();
+            let a = Tbaa::build(&prog, Level::SmFieldTypeRefs, world);
+            run_rle(&mut prog, &a).removed()
+        };
+        let closed = removed(World::Closed);
+        let open = removed(World::Open);
+        assert!(open <= closed);
+        if open != closed {
+            diffs += closed - open;
+        }
+    }
+    assert!(
+        diffs <= 2,
+        "open world changes at most a couple of loads: {diffs}"
+    );
+}
+
+/// §3.4.2: RLE with TBAA improves simulated run time modestly on every
+/// benchmark (the paper reports 1%–8%, average 4%).
+#[test]
+fn fig8_improvements_are_modest_but_real() {
+    let mut pcts = Vec::new();
+    for b in suite().iter().filter(|b| !b.interactive) {
+        let base = b.compile(SCALE).unwrap();
+        let (_, _, c0) = tbaa_repro::sim::simulate(&base, RunConfig::default()).unwrap();
+        let mut opt = b.compile(SCALE).unwrap();
+        let a = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+        run_rle(&mut opt, &a);
+        let (_, _, c1) = tbaa_repro::sim::simulate(&opt, RunConfig::default()).unwrap();
+        pcts.push((b.name, 100.0 * c1 / c0));
+    }
+    for (name, pct) in &pcts {
+        assert!(*pct <= 100.5, "{name} must not regress: {pct:.1}%");
+        assert!(*pct >= 70.0, "{name} improvement stays modest: {pct:.1}%");
+    }
+    let avg: f64 = pcts.iter().map(|(_, p)| p).sum::<f64>() / pcts.len() as f64;
+    assert!(
+        (88.0..100.0).contains(&avg),
+        "average improvement in the paper's ballpark: {pcts:?}"
+    );
+}
+
+/// Output preservation across every configuration the tables use.
+#[test]
+fn all_configurations_preserve_outputs() {
+    for b in suite().iter().filter(|b| !b.interactive) {
+        let base = b.compile(SCALE).unwrap();
+        let base_out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+        for world in [World::Closed, World::Open] {
+            for level in Level::ALL {
+                let mut prog = b.compile(SCALE).unwrap();
+                let a = Tbaa::build(&prog, level, world);
+                run_rle(&mut prog, &a);
+                let out = run(&prog, &mut NullHook, RunConfig::default()).unwrap();
+                assert_eq!(
+                    base_out.output, out.output,
+                    "{} under {level}/{world:?}",
+                    b.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end tests for PRE of memory expressions — the paper's §3.7
+//! future work — including the Figure 10 ablation: PRE collapses the
+//! *Conditional* category.
+
+use tbaa_repro::alias::{Level, Tbaa, World};
+use tbaa_repro::benchsuite::suite;
+use tbaa_repro::ir;
+use tbaa_repro::opt::pre::run_rle_with_pre;
+use tbaa_repro::opt::rle::run_rle;
+use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+use tbaa_repro::sim::{classify_remaining, RedundancyTrace};
+
+const COND_SRC: &str = "
+    MODULE M;
+    TYPE T = OBJECT f: INTEGER; END;
+    PROCEDURE Mk (): T =
+    VAR t: T;
+    BEGIN t := NEW(T); t.f := 21; RETURN t END Mk;
+    VAR t: T; c: BOOLEAN; x, y: INTEGER;
+    BEGIN
+      t := Mk(); c := TRUE;
+      IF c THEN x := t.f ELSE x := 1 END;
+      y := t.f;
+      PRINTI(x + y);
+    END M.";
+
+#[test]
+fn pre_preserves_semantics_and_removes_dynamic_loads() {
+    let base = ir::compile_to_ir(COND_SRC).unwrap();
+    let base_out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(base_out.output, "42");
+    let mut opt = ir::compile_to_ir(COND_SRC).unwrap();
+    let a = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+    let (_, pre) = run_rle_with_pre(&mut opt, &a);
+    assert!(pre.inserted >= 1);
+    let out = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
+    assert_eq!(out.output, "42");
+    assert!(out.counts.heap_loads <= base_out.counts.heap_loads);
+}
+
+#[test]
+fn pre_preserves_every_benchmark_output() {
+    for b in suite().iter().filter(|b| !b.interactive) {
+        let base = b.compile(1).unwrap();
+        let base_out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
+        let mut opt = b.compile(1).unwrap();
+        let a = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+        let (_, pre) = run_rle_with_pre(&mut opt, &a);
+        let out = run(&opt, &mut NullHook, RunConfig::default())
+            .unwrap_or_else(|e| panic!("{} trapped under PRE: {e}", b.name));
+        assert_eq!(base_out.output, out.output, "{} (pre {pre:?})", b.name);
+        assert!(
+            out.counts.heap_loads <= base_out.counts.heap_loads,
+            "{}: PRE must not add dynamic heap loads",
+            b.name
+        );
+    }
+}
+
+/// The Figure 10 ablation: running PRE on top of RLE shrinks the
+/// Conditional category across the suite.
+#[test]
+fn pre_shrinks_conditional_category() {
+    let mut cond_rle = 0u64;
+    let mut cond_pre = 0u64;
+    for b in suite().iter().filter(|b| !b.interactive) {
+        // RLE only.
+        let mut p1 = b.compile(1).unwrap();
+        let a1 = Tbaa::build(&p1, Level::SmFieldTypeRefs, World::Closed);
+        run_rle(&mut p1, &a1);
+        let mut t1 = RedundancyTrace::new();
+        run(&p1, &mut t1, RunConfig::default()).unwrap();
+        cond_rle += classify_remaining(&mut p1, &a1, &t1).conditional;
+        // RLE + PRE.
+        let mut p2 = b.compile(1).unwrap();
+        let a2 = Tbaa::build(&p2, Level::SmFieldTypeRefs, World::Closed);
+        run_rle_with_pre(&mut p2, &a2);
+        let mut t2 = RedundancyTrace::new();
+        run(&p2, &mut t2, RunConfig::default()).unwrap();
+        cond_pre += classify_remaining(&mut p2, &a2, &t2).conditional;
+    }
+    assert!(
+        cond_pre <= cond_rle,
+        "PRE must not grow the Conditional category: {cond_pre} vs {cond_rle}"
+    );
+    assert!(
+        cond_rle == 0 || cond_pre < cond_rle,
+        "PRE should collapse some Conditional redundancy: {cond_pre} vs {cond_rle}"
+    );
+}

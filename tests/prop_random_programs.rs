@@ -1,0 +1,371 @@
+//! Property-based tests over *randomly generated, type-correct MiniM3
+//! programs*: the alias analyses must satisfy their algebraic properties
+//! and — most importantly — RLE and the full optimization pipeline must
+//! preserve program semantics on every generated program.
+
+use proptest::prelude::*;
+use tbaa_repro::alias::{AliasAnalysis, Level, Tbaa, World};
+use tbaa_repro::ir::{self, Program};
+use tbaa_repro::opt::rle::run_rle;
+use tbaa_repro::opt::{optimize, OptOptions};
+use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+
+/// A model of a small random type hierarchy: each type has one integer
+/// field and one pointer field, and optionally a supertype.
+#[derive(Debug, Clone)]
+struct TypeSpec {
+    parent: Option<usize>,
+    ptr_target: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ProgSpec {
+    types: Vec<TypeSpec>,
+    /// Declared type of each pointer global.
+    globals: Vec<usize>,
+    stmts: Vec<Stmt>,
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `g<i> := NEW(T<t>)` where `t` is a subtype of the declared type.
+    New { g: usize, t: usize },
+    /// `g<i> := g<j>` (types compatible by construction).
+    Copy { dst: usize, src: usize },
+    /// `g<i>.v<f> := <k>` — int field store (field declared on an
+    /// ancestor of g's type).
+    StoreInt { g: usize, f: usize, k: i64 },
+    /// `x := x + g<i>.v<f>` — int field load.
+    LoadInt { g: usize, f: usize },
+    /// `g<i>.q<f> := g<j>` — pointer field store.
+    StorePtr { g: usize, f: usize, src: usize },
+    /// A bounded FOR loop around some simple statements.
+    Loop { n: u32, body: Vec<Stmt> },
+    /// An IF on the accumulator.
+    Cond {
+        limit: i64,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// All ancestors of `t` including itself.
+fn ancestry(types: &[TypeSpec], t: usize) -> Vec<usize> {
+    let mut out = vec![t];
+    let mut cur = t;
+    while let Some(p) = types[cur].parent {
+        out.push(p);
+        cur = p;
+    }
+    out
+}
+
+fn subtypes(types: &[TypeSpec], t: usize) -> Vec<usize> {
+    (0..types.len())
+        .filter(|&s| ancestry(types, s).contains(&t))
+        .collect()
+}
+
+/// `a` assignable to a variable of declared type `d`?
+fn assignable(types: &[TypeSpec], d: usize, a: usize) -> bool {
+    ancestry(types, a).contains(&d)
+}
+
+fn render(spec: &ProgSpec) -> String {
+    let mut s = String::from("MODULE Rand;\nTYPE\n");
+    for (i, t) in spec.types.iter().enumerate() {
+        let sup = t.parent.map(|p| format!("T{p} ")).unwrap_or_default();
+        s.push_str(&format!(
+            "  T{i} = {sup}OBJECT v{i}: INTEGER; q{i}: T{}; END;\n",
+            t.ptr_target
+        ));
+    }
+    s.push_str("VAR\n  x: INTEGER;\n");
+    for (i, &t) in spec.globals.iter().enumerate() {
+        s.push_str(&format!("  g{i}: T{t};\n"));
+    }
+    s.push_str("BEGIN\n  x := 0;\n");
+    // Initialize every global so field accesses never trap.
+    for (i, &t) in spec.globals.iter().enumerate() {
+        s.push_str(&format!("  g{i} := NEW(T{t});\n"));
+    }
+    fn emit(out: &mut String, stmts: &[Stmt], indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        for st in stmts {
+            match st {
+                Stmt::New { g, t } => out.push_str(&format!("{pad}g{g} := NEW(T{t});\n")),
+                Stmt::Copy { dst, src } => out.push_str(&format!("{pad}g{dst} := g{src};\n")),
+                Stmt::StoreInt { g, f, k } => out.push_str(&format!("{pad}g{g}.v{f} := {k};\n")),
+                Stmt::LoadInt { g, f } => out.push_str(&format!("{pad}x := x + g{g}.v{f};\n")),
+                Stmt::StorePtr { g, f, src } => {
+                    out.push_str(&format!("{pad}g{g}.q{f} := g{src};\n"))
+                }
+                Stmt::Loop { n, body } => {
+                    out.push_str(&format!("{pad}FOR i{indent} := 1 TO {n} DO\n"));
+                    emit(out, body, indent + 1);
+                    out.push_str(&format!("{pad}END;\n"));
+                }
+                Stmt::Cond {
+                    limit,
+                    then_body,
+                    else_body,
+                } => {
+                    out.push_str(&format!("{pad}IF x < {limit} THEN\n"));
+                    emit(out, then_body, indent + 1);
+                    out.push_str(&format!("{pad}ELSE\n"));
+                    emit(out, else_body, indent + 1);
+                    out.push_str(&format!("{pad}END;\n"));
+                }
+            }
+        }
+    }
+    emit(&mut s, &spec.stmts, 0);
+    s.push_str("  PRINTI(x);\n");
+    // Also observe the pointer structure so stores are not dead.
+    for (i, _) in spec.globals.iter().enumerate() {
+        s.push_str(&format!("  IF g{i} # NIL THEN x := x + 1 END;\n"));
+    }
+    s.push_str("  PRINTI(x);\nEND Rand.\n");
+    s
+}
+
+/// Strategy for a simple (non-nested) statement.
+fn simple_stmt(types: Vec<TypeSpec>, globals: Vec<usize>) -> impl Strategy<Value = Stmt> {
+    let ng = globals.len();
+    (0..5u8, 0..ng, 0..ng, any::<u8>(), -9i64..100).prop_filter_map(
+        "well-typed statement",
+        move |(kind, gi, gj, fsel, k)| {
+            let ti = globals[gi];
+            let tj = globals[gj];
+            match kind {
+                0 => {
+                    // gi := NEW(subtype of decl(gi))
+                    let subs = subtypes(&types, ti);
+                    let t = subs[fsel as usize % subs.len()];
+                    Some(Stmt::New { g: gi, t })
+                }
+                1 => {
+                    if assignable(&types, ti, tj) {
+                        Some(Stmt::Copy { dst: gi, src: gj })
+                    } else {
+                        None
+                    }
+                }
+                2 => {
+                    let anc = ancestry(&types, ti);
+                    let f = anc[fsel as usize % anc.len()];
+                    Some(Stmt::StoreInt { g: gi, f, k })
+                }
+                3 => {
+                    let anc = ancestry(&types, ti);
+                    let f = anc[fsel as usize % anc.len()];
+                    Some(Stmt::LoadInt { g: gi, f })
+                }
+                _ => {
+                    // gi.q<f> := gj if assignable to the field's target.
+                    let anc = ancestry(&types, ti);
+                    let f = anc[fsel as usize % anc.len()];
+                    let target = types[f].ptr_target;
+                    if assignable(&types, target, tj) {
+                        Some(Stmt::StorePtr { g: gi, f, src: gj })
+                    } else {
+                        None
+                    }
+                }
+            }
+        },
+    )
+}
+
+fn prog_spec() -> impl Strategy<Value = ProgSpec> {
+    // 2..6 types in a random forest; pointer targets point anywhere.
+    (2usize..6)
+        .prop_flat_map(|nt| {
+            let types =
+                proptest::collection::vec((any::<u16>(), any::<u16>()), nt).prop_map(move |raw| {
+                    raw.iter()
+                        .enumerate()
+                        .map(|(i, &(p, q))| TypeSpec {
+                            parent: if i == 0 || p % 3 == 0 {
+                                None
+                            } else {
+                                Some(p as usize % i)
+                            },
+                            ptr_target: q as usize % nt,
+                        })
+                        .collect::<Vec<_>>()
+                });
+            (types, Just(nt))
+        })
+        .prop_flat_map(|(types, nt)| {
+            let globals = proptest::collection::vec(0usize..nt, 2..5);
+            (Just(types), globals)
+        })
+        .prop_flat_map(|(types, globals)| {
+            let nested = prop_oneof![
+                4 => simple_stmt(types.clone(), globals.clone()),
+                1 => (1u32..8, proptest::collection::vec(
+                        simple_stmt(types.clone(), globals.clone()), 1..4))
+                    .prop_map(|(n, body)| Stmt::Loop { n, body }),
+                1 => (0i64..50,
+                      proptest::collection::vec(
+                        simple_stmt(types.clone(), globals.clone()), 1..3),
+                      proptest::collection::vec(
+                        simple_stmt(types.clone(), globals.clone()), 1..3))
+                    .prop_map(|(limit, t, e)| Stmt::Cond {
+                        limit,
+                        then_body: t,
+                        else_body: e
+                    }),
+            ];
+            let stmts = proptest::collection::vec(nested, 3..20);
+            (Just(types), Just(globals), stmts)
+        })
+        .prop_map(|(types, globals, stmts)| ProgSpec {
+            types,
+            globals,
+            stmts,
+        })
+}
+
+fn compile(spec: &ProgSpec) -> Program {
+    let src = render(spec);
+    ir::compile_to_ir(&src)
+        .unwrap_or_else(|e| panic!("generated program must compile:\n{src}\n{e}"))
+}
+
+fn run_output(prog: &Program) -> (String, u64) {
+    let out =
+        run(prog, &mut NullHook, RunConfig::default()).expect("generated programs are trap-free");
+    (out.output, out.counts.heap_loads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated program compiles and runs deterministically.
+    #[test]
+    fn generated_programs_run(spec in prog_spec()) {
+        let prog = compile(&spec);
+        let (o1, _) = run_output(&prog);
+        let (o2, _) = run_output(&prog);
+        prop_assert_eq!(o1, o2);
+    }
+
+    /// RLE at every level preserves output and never adds heap loads.
+    #[test]
+    fn rle_preserves_semantics(spec in prog_spec()) {
+        let base = compile(&spec);
+        let (base_out, base_loads) = run_output(&base);
+        for level in Level::ALL {
+            let mut opt = compile(&spec);
+            let analysis = Tbaa::build(&opt, level, World::Closed);
+            run_rle(&mut opt, &analysis);
+            let (out, loads) = run_output(&opt);
+            prop_assert_eq!(&base_out, &out, "level {}", level);
+            prop_assert!(loads <= base_loads, "level {level}: {loads} > {base_loads}");
+        }
+    }
+
+    /// The full pipeline (devirt + inline + copyprop + RLE + DSE)
+    /// preserves output too.
+    #[test]
+    fn full_pipeline_preserves_semantics(spec in prog_spec()) {
+        let base = compile(&spec);
+        let (base_out, _) = run_output(&base);
+        let mut opt = compile(&spec);
+        let mut opts = OptOptions::full(Level::SmFieldTypeRefs);
+        opts.copy_propagation = true;
+        opts.dead_store_elimination = true;
+        optimize(&mut opt, &opts);
+        let (out, _) = run_output(&opt);
+        prop_assert_eq!(base_out, out);
+    }
+
+    /// PRE and DSE individually preserve semantics on random programs.
+    #[test]
+    fn pre_and_dse_preserve_semantics(spec in prog_spec()) {
+        let base = compile(&spec);
+        let (base_out, base_loads) = run_output(&base);
+        {
+            let mut opt = compile(&spec);
+            let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+            tbaa_repro::opt::pre::run_rle_with_pre(&mut opt, &analysis);
+            let (out, loads) = run_output(&opt);
+            prop_assert_eq!(&base_out, &out, "PRE");
+            prop_assert!(loads <= base_loads, "PRE must not add loads");
+        }
+        {
+            let mut opt = compile(&spec);
+            let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
+            tbaa_repro::opt::dse::run_dse(&mut opt, &analysis);
+            let (out, _) = run_output(&opt);
+            prop_assert_eq!(&base_out, &out, "DSE");
+        }
+        {
+            // Steensgaard-driven RLE is also semantics-preserving.
+            let mut opt = compile(&spec);
+            let st = tbaa_repro::alias::Steensgaard::build(&opt);
+            run_rle(&mut opt, &st);
+            let (out, _) = run_output(&opt);
+            prop_assert_eq!(&base_out, &out, "Steensgaard RLE");
+        }
+    }
+
+    /// may_alias is symmetric and reflexive on canonical paths, and the
+    /// three levels are monotonically precise (SM ⊆ FTD ⊆ TD).
+    #[test]
+    fn alias_lattice_properties(spec in prog_spec()) {
+        let prog = compile(&spec);
+        let td = Tbaa::build(&prog, Level::TypeDecl, World::Closed);
+        let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
+        let sm = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+        let sites: Vec<_> = prog.heap_ref_sites();
+        for &(_, a, _) in sites.iter().take(24) {
+            if prog.aps.path(a).is_canonical() {
+                prop_assert!(ftd.may_alias(&prog.aps, a, a), "reflexive");
+            }
+            for &(_, b, _) in sites.iter().take(24) {
+                for an in [&td as &dyn AliasAnalysis, &ftd, &sm] {
+                    prop_assert_eq!(
+                        an.may_alias(&prog.aps, a, b),
+                        an.may_alias(&prog.aps, b, a),
+                        "symmetry"
+                    );
+                }
+                if sm.may_alias(&prog.aps, a, b) {
+                    prop_assert!(ftd.may_alias(&prog.aps, a, b), "SM implies FTD");
+                }
+                if ftd.may_alias(&prog.aps, a, b) {
+                    prop_assert!(td.may_alias(&prog.aps, a, b), "FTD implies TD");
+                }
+            }
+        }
+    }
+
+    /// The open world is conservative: it can only add alias pairs, and
+    /// RLE under it still preserves semantics.
+    #[test]
+    fn open_world_is_conservative(spec in prog_spec()) {
+        let prog = compile(&spec);
+        let closed = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
+        let open = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Open);
+        let sites: Vec<_> = prog.heap_ref_sites();
+        for &(_, a, _) in sites.iter().take(24) {
+            for &(_, b, _) in sites.iter().take(24) {
+                if closed.may_alias(&prog.aps, a, b) {
+                    prop_assert!(
+                        open.may_alias(&prog.aps, a, b),
+                        "open world must include closed-world pairs"
+                    );
+                }
+            }
+        }
+        let base = compile(&spec);
+        let (base_out, _) = run_output(&base);
+        let mut opt = compile(&spec);
+        run_rle(&mut opt, &open);
+        let (out, _) = run_output(&opt);
+        prop_assert_eq!(base_out, out);
+    }
+}
