@@ -2,8 +2,14 @@
 //! recomputed over the MiniM3 benchmark suite.
 //!
 //! ```text
-//! paper-tables [table4|table5|table6|fig8|fig9|fig10|fig11|fig12|all] [--scale N]
+//! paper-tables [table4|table5|table6|fig8|fig9|fig10|fig11|fig12|all]
+//!              [--scale N] [--threads N] [--stats]
 //! ```
+//!
+//! One shared [`tbaa_bench::Engine`] backs every table: each benchmark
+//! is compiled once, analyses and optimized variants are memoized, and
+//! rows are computed on a worker pool. `--threads 1` forces the serial
+//! reference order; the printed bytes are identical either way.
 
 use tbaa_bench as tb;
 
@@ -11,6 +17,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = tb::DEFAULT_SCALE;
+    let mut threads = None;
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,42 +29,51 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or(tb::DEFAULT_SCALE);
             }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--stats" => stats = true,
             other => which = other.to_string(),
         }
         i += 1;
     }
+    let engine = match threads {
+        Some(n) => tb::Engine::with_threads(scale, n),
+        None => tb::Engine::new(scale),
+    };
     let all = which == "all";
     println!("Type-Based Alias Analysis (PLDI 1998) — reproduction tables (scale {scale})\n");
     if all || which == "table4" {
-        println!("{}", tb::render_table4(&tb::table4(scale)));
+        println!("{}", tb::render_table4(&engine.table4()));
     }
     if all || which == "table5" {
-        println!("{}", tb::render_table5(&tb::table5(scale)));
+        println!("{}", tb::render_table5(&engine.table5()));
     }
     if all || which == "table6" {
-        println!("{}", tb::render_table6(&tb::table6(scale)));
+        println!("{}", tb::render_table6(&engine.table6()));
     }
     if all || which == "fig8" {
         println!(
             "{}",
             tb::render_runtime(
                 "Figure 8: Impact of RLE (percent of original running time)",
-                &tb::fig8(scale)
+                &engine.fig8()
             )
         );
     }
     if all || which == "fig9" {
-        println!("{}", tb::render_fig9(&tb::fig9(scale)));
+        println!("{}", tb::render_fig9(&engine.fig9()));
     }
     if all || which == "fig10" {
-        println!("{}", tb::render_fig10(&tb::fig10(scale)));
+        println!("{}", tb::render_fig10(&engine.fig10()));
     }
     if all || which == "fig11" {
         println!(
             "{}",
             tb::render_runtime(
                 "Figure 11: Cumulative Impact of Optimizations (percent of original time)",
-                &tb::fig11(scale)
+                &engine.fig11()
             )
         );
     }
@@ -65,7 +82,7 @@ fn main() {
             "{}",
             tb::render_runtime(
                 "Figure 12: Open and Closed World Assumptions (percent of original time)",
-                &tb::fig12(scale)
+                &engine.fig12()
             )
         );
         println!("Static open-world comparison (SMFieldTypeRefs):");
@@ -73,11 +90,22 @@ fn main() {
             "{:<13} {:>16} {:>16}",
             "Program", "Closed G-pairs", "Open G-pairs"
         );
-        for (name, closed, open) in tb::open_world_pairs(scale) {
+        for (name, closed, open) in engine.open_world_pairs() {
             println!(
                 "{:<13} {:>16} {:>16}",
                 name, closed.global_pairs, open.global_pairs
             );
         }
+    }
+    if stats {
+        let s = engine.stats();
+        eprintln!(
+            "engine: {} compiles, {} analyses, {} optimized variants, {} executions ({} threads)",
+            s.compiles,
+            s.analyses_built,
+            s.variants_built,
+            s.executions,
+            engine.threads()
+        );
     }
 }

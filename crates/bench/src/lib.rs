@@ -16,21 +16,25 @@
 //!
 //! The `paper-tables` binary prints them; the Criterion benches in
 //! `benches/` time the underlying analyses and regenerate the artifacts.
+//!
+//! All of the computation lives in the [`Engine`]: it compiles each
+//! benchmark once, memoizes analyses and optimized variants, and fans
+//! rows out across worker threads. The free functions below are
+//! single-table conveniences that spin up a throwaway engine; callers
+//! producing several tables (like `paper-tables`) should build one
+//! [`Engine`] and reuse it so the compile/analysis/simulation caches are
+//! shared across all of them.
 
-use tbaa::analysis::{Level, Tbaa};
-use tbaa::{count_alias_pairs, AliasPairCounts, World};
-use tbaa_benchsuite::suite;
-use tbaa_opt::rle::run_rle;
-use tbaa_opt::{optimize, OptOptions};
-use tbaa_sim::interp::{run, NullHook, RunConfig};
-use tbaa_sim::{classify_remaining, simulate, Breakdown, LimitResult, RedundancyTrace};
+pub mod engine;
+pub mod rng;
+
+pub use engine::{Engine, EngineStats};
+
+use tbaa::AliasPairCounts;
+use tbaa_sim::{Breakdown, LimitResult};
 
 /// The default workload scale for the printed tables.
 pub const DEFAULT_SCALE: u32 = 2;
-
-fn run_config() -> RunConfig {
-    RunConfig::default()
-}
 
 /// One row of Table 4.
 #[derive(Debug, Clone)]
@@ -49,32 +53,9 @@ pub struct Table4Row {
     pub about: &'static str,
 }
 
-/// Computes Table 4.
+/// Computes Table 4 with a throwaway [`Engine`].
 pub fn table4(scale: u32) -> Vec<Table4Row> {
-    suite()
-        .iter()
-        .map(|b| {
-            let (instructions, heap, other) = if b.interactive {
-                (None, None, None)
-            } else {
-                let prog = b.compile(scale).expect("suite compiles");
-                let out = run(&prog, &mut NullHook, run_config()).expect("suite runs");
-                (
-                    Some(out.counts.instructions),
-                    Some(out.counts.heap_load_pct()),
-                    Some(out.counts.other_load_pct()),
-                )
-            };
-            Table4Row {
-                name: b.name,
-                lines: b.loc(),
-                instructions,
-                heap_load_pct: heap,
-                other_load_pct: other,
-                about: b.about,
-            }
-        })
-        .collect()
+    Engine::new(scale).table4()
 }
 
 /// One row of Table 5.
@@ -88,24 +69,10 @@ pub struct Table5Row {
     pub by_level: [AliasPairCounts; 3],
 }
 
-/// Computes Table 5 (static alias pairs; all ten programs).
+/// Computes Table 5 (static alias pairs; all ten programs) with a
+/// throwaway [`Engine`].
 pub fn table5(scale: u32) -> Vec<Table5Row> {
-    suite()
-        .iter()
-        .map(|b| {
-            let prog = b.compile(scale).expect("suite compiles");
-            let mut by_level = [AliasPairCounts::default(); 3];
-            for (i, level) in Level::ALL.iter().enumerate() {
-                let analysis = Tbaa::build(&prog, *level, World::Closed);
-                by_level[i] = count_alias_pairs(&prog, &analysis);
-            }
-            Table5Row {
-                name: b.name,
-                references: by_level[0].references,
-                by_level,
-            }
-        })
-        .collect()
+    Engine::new(scale).table5()
 }
 
 /// One row of Table 6.
@@ -118,24 +85,9 @@ pub struct Table6Row {
 }
 
 /// Computes Table 6 (redundant loads removed statically; the paper lists
-/// the seven non-interactive programs).
+/// the seven non-interactive programs) with a throwaway [`Engine`].
 pub fn table6(scale: u32) -> Vec<Table6Row> {
-    suite()
-        .iter()
-        .filter(|b| !b.interactive)
-        .map(|b| {
-            let mut removed = [0usize; 3];
-            for (i, level) in Level::ALL.iter().enumerate() {
-                let mut prog = b.compile(scale).expect("suite compiles");
-                let analysis = Tbaa::build(&prog, *level, World::Closed);
-                removed[i] = run_rle(&mut prog, &analysis).removed();
-            }
-            Table6Row {
-                name: b.name,
-                removed,
-            }
-        })
-        .collect()
+    Engine::new(scale).table6()
 }
 
 /// One bar group of Figure 8 (or 12): percent of the original simulated
@@ -151,33 +103,9 @@ pub struct RuntimeRow {
 }
 
 /// Computes Figure 8: simulated run time of RLE under each analysis,
-/// normalized to the unoptimized program (100).
+/// normalized to the unoptimized program (100). Throwaway [`Engine`].
 pub fn fig8(scale: u32) -> Vec<RuntimeRow> {
-    suite()
-        .iter()
-        .filter(|b| !b.interactive)
-        .map(|b| {
-            let base = b.compile(scale).expect("compiles");
-            let (_, _, base_cycles) = simulate(&base, run_config()).expect("runs");
-            let mut pct = Vec::new();
-            for level in Level::ALL {
-                let mut prog = b.compile(scale).expect("compiles");
-                let analysis = Tbaa::build(&prog, level, World::Closed);
-                run_rle(&mut prog, &analysis);
-                let (_, _, cycles) = simulate(&prog, run_config()).expect("runs");
-                pct.push(100.0 * cycles / base_cycles);
-            }
-            RuntimeRow {
-                name: b.name,
-                pct,
-                labels: vec![
-                    "Types only",
-                    "Types and fields",
-                    "Types, fields, and merges",
-                ],
-            }
-        })
-        .collect()
+    Engine::new(scale).fig8()
 }
 
 /// One pair of bars in Figure 9.
@@ -189,36 +117,11 @@ pub struct Fig9Row {
     pub limit: LimitResult,
 }
 
-fn trace_run(prog: &tbaa_ir::Program) -> RedundancyTrace {
-    let mut t = RedundancyTrace::new();
-    run(prog, &mut t, run_config()).expect("suite runs");
-    t
-}
-
 /// Computes Figure 9: the fraction of heap references that are
-/// dynamically redundant, originally and after TBAA+RLE.
+/// dynamically redundant, originally and after TBAA+RLE. Throwaway
+/// [`Engine`].
 pub fn fig9(scale: u32) -> Vec<Fig9Row> {
-    suite()
-        .iter()
-        .filter(|b| !b.interactive)
-        .map(|b| {
-            let base = b.compile(scale).expect("compiles");
-            let t_base = trace_run(&base);
-            let mut opt = b.compile(scale).expect("compiles");
-            let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
-            run_rle(&mut opt, &analysis);
-            let t_opt = trace_run(&opt);
-            Fig9Row {
-                name: b.name,
-                limit: LimitResult {
-                    original_heap_loads: t_base.heap_loads,
-                    redundant_original: t_base.redundant,
-                    optimized_heap_loads: t_opt.heap_loads,
-                    redundant_after: t_opt.redundant,
-                },
-            }
-        })
-        .collect()
+    Engine::new(scale).fig9()
 }
 
 /// One stacked bar of Figure 10.
@@ -233,110 +136,27 @@ pub struct Fig10Row {
 }
 
 /// Computes Figure 10: where the redundancy remaining after RLE comes
-/// from.
+/// from. Throwaway [`Engine`].
 pub fn fig10(scale: u32) -> Vec<Fig10Row> {
-    suite()
-        .iter()
-        .filter(|b| !b.interactive)
-        .map(|b| {
-            let base = b.compile(scale).expect("compiles");
-            let t_base = trace_run(&base);
-            let mut opt = b.compile(scale).expect("compiles");
-            let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
-            run_rle(&mut opt, &analysis);
-            let trace = trace_run(&opt);
-            let breakdown = classify_remaining(&mut opt, &analysis, &trace);
-            Fig10Row {
-                name: b.name,
-                breakdown,
-                original_heap_loads: t_base.heap_loads,
-            }
-        })
-        .collect()
+    Engine::new(scale).fig10()
 }
 
 /// Computes Figure 11: cumulative impact of RLE, Minv+Inlining, and both.
+/// Throwaway [`Engine`].
 pub fn fig11(scale: u32) -> Vec<RuntimeRow> {
-    suite()
-        .iter()
-        .filter(|b| !b.interactive)
-        .map(|b| {
-            let base = b.compile(scale).expect("compiles");
-            let (_, _, base_cycles) = simulate(&base, run_config()).expect("runs");
-            let mut pct = Vec::new();
-            // RLE only.
-            {
-                let mut prog = b.compile(scale).expect("compiles");
-                optimize(&mut prog, &OptOptions::rle_only(Level::SmFieldTypeRefs));
-                let (_, _, c) = simulate(&prog, run_config()).expect("runs");
-                pct.push(100.0 * c / base_cycles);
-            }
-            // Minv + inlining only.
-            {
-                let mut prog = b.compile(scale).expect("compiles");
-                let mut opts = OptOptions::full(Level::SmFieldTypeRefs);
-                opts.rle = false;
-                optimize(&mut prog, &opts);
-                let (_, _, c) = simulate(&prog, run_config()).expect("runs");
-                pct.push(100.0 * c / base_cycles);
-            }
-            // RLE + Minv + inlining.
-            {
-                let mut prog = b.compile(scale).expect("compiles");
-                optimize(&mut prog, &OptOptions::full(Level::SmFieldTypeRefs));
-                let (_, _, c) = simulate(&prog, run_config()).expect("runs");
-                pct.push(100.0 * c / base_cycles);
-            }
-            RuntimeRow {
-                name: b.name,
-                pct,
-                labels: vec!["RLE", "Minv+Inlining", "RLE+Minv+Inlining"],
-            }
-        })
-        .collect()
+    Engine::new(scale).fig11()
 }
 
 /// Computes Figure 12: RLE under the closed- vs open-world assumption.
+/// Throwaway [`Engine`].
 pub fn fig12(scale: u32) -> Vec<RuntimeRow> {
-    suite()
-        .iter()
-        .filter(|b| !b.interactive)
-        .map(|b| {
-            let base = b.compile(scale).expect("compiles");
-            let (_, _, base_cycles) = simulate(&base, run_config()).expect("runs");
-            let mut pct = Vec::new();
-            for world in [World::Closed, World::Open] {
-                let mut prog = b.compile(scale).expect("compiles");
-                let analysis = Tbaa::build(&prog, Level::SmFieldTypeRefs, world);
-                run_rle(&mut prog, &analysis);
-                let (_, _, c) = simulate(&prog, run_config()).expect("runs");
-                pct.push(100.0 * c / base_cycles);
-            }
-            RuntimeRow {
-                name: b.name,
-                pct,
-                labels: vec!["RLE", "RLE Open"],
-            }
-        })
-        .collect()
+    Engine::new(scale).fig12()
 }
 
 /// Static alias-pair counts for the open-world variant (the §4 static
-/// comparison around Figure 12).
+/// comparison around Figure 12). Throwaway [`Engine`].
 pub fn open_world_pairs(scale: u32) -> Vec<(String, AliasPairCounts, AliasPairCounts)> {
-    suite()
-        .iter()
-        .map(|b| {
-            let prog = b.compile(scale).expect("compiles");
-            let closed = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
-            let open = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Open);
-            (
-                b.name.to_string(),
-                count_alias_pairs(&prog, &closed),
-                count_alias_pairs(&prog, &open),
-            )
-        })
-        .collect()
+    Engine::new(scale).open_world_pairs()
 }
 
 // ---- rendering -------------------------------------------------------------

@@ -52,7 +52,10 @@ use tbaa::World;
 use tbaa_ir::ir::Program;
 
 /// Which optimizations to run, mirroring the paper's configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` makes an options value usable as a cache key (the evaluation
+/// engine memoizes optimized program variants per configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OptOptions {
     /// Run redundant load elimination.
     pub rle: bool,
@@ -70,29 +73,87 @@ pub struct OptOptions {
 }
 
 impl OptOptions {
+    /// A builder starting from the empty configuration (no passes, most
+    /// precise analysis level, closed world):
+    ///
+    /// ```
+    /// use tbaa_opt::OptOptions;
+    /// use tbaa::analysis::Level;
+    ///
+    /// let opts = OptOptions::builder().rle(true).inline(true).build();
+    /// assert_eq!(opts, OptOptions::full(Level::SmFieldTypeRefs));
+    /// ```
+    pub fn builder() -> OptOptionsBuilder {
+        OptOptionsBuilder {
+            opts: OptOptions {
+                rle: false,
+                devirt_inline: false,
+                copy_propagation: false,
+                dead_store_elimination: false,
+                level: Level::SmFieldTypeRefs,
+                world: World::Closed,
+            },
+        }
+    }
+
     /// The paper's headline configuration: RLE at the given level,
     /// closed world.
     pub fn rle_only(level: Level) -> Self {
-        OptOptions {
-            rle: true,
-            devirt_inline: false,
-            copy_propagation: false,
-            dead_store_elimination: false,
-            level,
-            world: World::Closed,
-        }
+        Self::builder().rle(true).level(level).build()
     }
 
     /// Figure 11's full configuration.
     pub fn full(level: Level) -> Self {
-        OptOptions {
-            rle: true,
-            devirt_inline: true,
-            copy_propagation: false,
-            dead_store_elimination: false,
-            level,
-            world: World::Closed,
-        }
+        Self::builder().rle(true).inline(true).level(level).build()
+    }
+}
+
+/// Builds an [`OptOptions`] pass by pass; see [`OptOptions::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct OptOptionsBuilder {
+    opts: OptOptions,
+}
+
+impl OptOptionsBuilder {
+    /// Enable or disable redundant load elimination.
+    pub fn rle(mut self, on: bool) -> Self {
+        self.opts.rle = on;
+        self
+    }
+
+    /// Enable or disable method resolution (Minv) plus inlining.
+    pub fn inline(mut self, on: bool) -> Self {
+        self.opts.devirt_inline = on;
+        self
+    }
+
+    /// Enable or disable access-path copy propagation.
+    pub fn copy_propagation(mut self, on: bool) -> Self {
+        self.opts.copy_propagation = on;
+        self
+    }
+
+    /// Enable or disable dead store elimination.
+    pub fn dead_store_elimination(mut self, on: bool) -> Self {
+        self.opts.dead_store_elimination = on;
+        self
+    }
+
+    /// Set the alias-analysis precision level.
+    pub fn level(mut self, level: Level) -> Self {
+        self.opts.level = level;
+        self
+    }
+
+    /// Set the closed- or open-world assumption.
+    pub fn world(mut self, world: World) -> Self {
+        self.opts.world = world;
+        self
+    }
+
+    /// Finish, yielding the configuration.
+    pub fn build(self) -> OptOptions {
+        self.opts
     }
 }
 

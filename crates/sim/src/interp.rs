@@ -19,7 +19,7 @@ use crate::value::{HeapId, Location, Value};
 use mini_m3::ast::{BinOp, UnOp};
 use mini_m3::types::{TypeId, TypeKind};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use tbaa_ir::ir::{
     BlockId, Instr, IntrinsicOp, MemAddr, Operand, Program, Reg, SlotAddr, SlotBase, Terminator,
     VarClass,
@@ -252,7 +252,7 @@ struct Interp<'p, 'h> {
     globals: Vec<Vec<Value>>,
     frames: Vec<Frame>,
     layouts: Vec<Layout>,
-    texts: Vec<Rc<str>>,
+    texts: Vec<Arc<str>>,
     counts: ExecCounts,
     output: String,
     fuel: u64,
@@ -283,7 +283,7 @@ impl<'p, 'h> Interp<'p, 'h> {
                 }
             })
             .collect();
-        let texts = prog.texts.iter().map(|t| Rc::from(t.as_str())).collect();
+        let texts = prog.texts.iter().map(|t| Arc::from(t.as_str())).collect();
         Interp {
             prog,
             hook,
@@ -941,12 +941,12 @@ impl<'p, 'h> Interp<'p, 'h> {
                     _ => return Err(RuntimeError::OutOfBounds),
                 }
             }
-            IntrinsicOp::IntToText => Some(Value::Text(Rc::from(args[0].as_int().to_string()))),
-            IntrinsicOp::CharToText => Some(Value::Text(Rc::from(args[0].as_char().to_string()))),
+            IntrinsicOp::IntToText => Some(Value::Text(Arc::from(args[0].as_int().to_string()))),
+            IntrinsicOp::CharToText => Some(Value::Text(Arc::from(args[0].as_char().to_string()))),
             IntrinsicOp::TextConcat => {
                 let mut s = String::from(&*args[0].as_text());
                 s.push_str(&args[1].as_text());
-                Some(Value::Text(Rc::from(s)))
+                Some(Value::Text(Arc::from(s)))
             }
             IntrinsicOp::Print => {
                 self.output.push_str(&args[0].as_text());

@@ -2,7 +2,7 @@
 
 use mini_m3::check::GlobalId;
 use mini_m3::types::{TypeId, TypeKind, TypeTable};
-use std::rc::Rc;
+use std::sync::Arc;
 use tbaa_ir::path::VarId;
 
 /// Identifier of a heap cell.
@@ -47,7 +47,7 @@ pub enum Value {
     /// CHAR.
     Char(char),
     /// TEXT (immutable, shared).
-    Text(Rc<str>),
+    Text(Arc<str>),
     /// NIL.
     Nil,
     /// A reference to a heap cell (object, REF cell, or open array).
@@ -63,7 +63,7 @@ impl Value {
             TypeKind::Integer => Value::Int(0),
             TypeKind::Boolean => Value::Bool(false),
             TypeKind::Char => Value::Char('\0'),
-            TypeKind::Text => Value::Text(Rc::from("")),
+            TypeKind::Text => Value::Text(Arc::from("")),
             _ => Value::Nil,
         }
     }
@@ -98,7 +98,7 @@ impl Value {
     }
 
     /// Text accessor. See [`Value::as_int`] on panics.
-    pub fn as_text(&self) -> Rc<str> {
+    pub fn as_text(&self) -> Arc<str> {
         match self {
             Value::Text(v) => v.clone(),
             other => panic!("expected TEXT, got {other:?}"),
@@ -122,7 +122,7 @@ mod tests {
     fn equality_semantics() {
         assert_eq!(Value::Int(3), Value::Int(3));
         assert_ne!(Value::Int(3), Value::Int(4));
-        assert_eq!(Value::Text(Rc::from("a")), Value::Text(Rc::from("a")));
+        assert_eq!(Value::Text(Arc::from("a")), Value::Text(Arc::from("a")));
         assert_eq!(Value::Ref(HeapId(1)), Value::Ref(HeapId(1)));
         assert_ne!(Value::Ref(HeapId(1)), Value::Nil);
     }

@@ -6,11 +6,12 @@
 //! cargo run --release --example limit_study [benchmark] [scale]
 //! ```
 
-use tbaa_repro::alias::{Level, Tbaa, World};
+use tbaa_repro::alias::{Level, World};
 use tbaa_repro::benchsuite::Benchmark;
-use tbaa_repro::opt::rle::run_rle;
+use tbaa_repro::opt::OptOptions;
 use tbaa_repro::sim::interp::{run, RunConfig};
 use tbaa_repro::sim::{classify_remaining, LimitResult, RedundancyTrace};
+use tbaa_repro::Pipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -24,10 +25,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t_base = RedundancyTrace::new();
     run(&base, &mut t_base, RunConfig::default())?;
 
-    // Optimized program.
-    let mut opt = b.compile(scale).map_err(|e| e.to_string())?;
-    let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
-    let stats = run_rle(&mut opt, &analysis);
+    // Optimized program, through the pipeline (its result also carries
+    // the analysis handle `classify_remaining` needs below).
+    let result = Pipeline::new(&b.source_at_scale(scale))
+        .level(Level::SmFieldTypeRefs)
+        .world(World::Closed)
+        .optimize(OptOptions::builder().rle(true).build())
+        .run()
+        .map_err(|e| e.to_string())?;
+    let mut opt = result.program;
+    let analysis = result.analysis;
+    let stats = result.report.rle;
     let mut t_opt = RedundancyTrace::new();
     run(&opt, &mut t_opt, RunConfig::default())?;
 

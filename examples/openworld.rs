@@ -6,9 +6,9 @@
 //! cargo run --example openworld
 //! ```
 
-use tbaa_repro::alias::{Level, Tbaa, World};
-use tbaa_repro::ir;
-use tbaa_repro::opt::rle::run_rle;
+use tbaa_repro::alias::{Level, World};
+use tbaa_repro::opt::OptOptions;
+use tbaa_repro::Pipeline;
 
 const SRC: &str = "
 MODULE Open;
@@ -31,8 +31,13 @@ END Open.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for world in [World::Closed, World::Open] {
-        let mut prog = ir::compile_to_ir(SRC).map_err(|e| e.to_string())?;
-        let analysis = Tbaa::build(&prog, Level::SmFieldTypeRefs, world);
+        let result = Pipeline::new(SRC)
+            .level(Level::SmFieldTypeRefs)
+            .world(world)
+            .optimize(OptOptions::builder().rle(true).build())
+            .run()
+            .map_err(|e| e.to_string())?;
+        let (prog, analysis) = (&result.program, &result.analysis);
         let t = prog.types.by_name("T").unwrap();
         let s1 = prog.types.by_name("S1").unwrap();
         let b = prog.types.by_name("B").unwrap();
@@ -54,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  B ~ BS compatible: {}   (BRANDED: not reconstructible outside)",
             analysis.type_compatible(b, bs)
         );
-        let stats = run_rle(&mut prog, &analysis);
-        println!("  RLE removed {} loads\n", stats.removed());
+        println!("  RLE removed {} loads\n", result.report.rle.removed());
     }
     println!(
         "The paper's finding (Figure 12): the open-world assumption costs \

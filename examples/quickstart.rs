@@ -7,8 +7,9 @@
 
 use tbaa_repro::alias::{AliasAnalysis, Level, Tbaa, World};
 use tbaa_repro::ir::{self, pretty};
-use tbaa_repro::opt::rle::run_rle;
+use tbaa_repro::opt::OptOptions;
 use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+use tbaa_repro::Pipeline;
 
 const SRC: &str = "
 MODULE Quick;
@@ -69,10 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== RLE before/after ==");
     let base_out = run(&prog, &mut NullHook, RunConfig::default())?;
-    let mut opt = ir::compile_to_ir(SRC).map_err(|e| e.to_string())?;
-    let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
-    let stats = run_rle(&mut opt, &analysis);
-    let opt_out = run(&opt, &mut NullHook, RunConfig::default())?;
+    let result = Pipeline::new(SRC)
+        .level(Level::SmFieldTypeRefs)
+        .world(World::Closed)
+        .optimize(OptOptions::builder().rle(true).build())
+        .run()
+        .map_err(|e| e.to_string())?;
+    let stats = result.report.rle;
+    let opt_out = run(&result.program, &mut NullHook, RunConfig::default())?;
     println!(
         "  output (must match): {:?} / {:?}",
         base_out.output, opt_out.output

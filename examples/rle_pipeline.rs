@@ -8,9 +8,10 @@
 
 use tbaa_repro::alias::Level;
 use tbaa_repro::benchsuite::Benchmark;
-use tbaa_repro::opt::{optimize, OptOptions};
+use tbaa_repro::opt::OptOptions;
 use tbaa_repro::sim::interp::RunConfig;
 use tbaa_repro::sim::simulate;
+use tbaa_repro::Pipeline;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -30,21 +31,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let configs: [(&str, OptOptions); 3] = [
-        ("RLE only", OptOptions::rle_only(Level::SmFieldTypeRefs)),
-        ("Minv+Inlining", {
-            let mut o = OptOptions::full(Level::SmFieldTypeRefs);
-            o.rle = false;
-            o
-        }),
+        ("RLE only", OptOptions::builder().rle(true).build()),
+        ("Minv+Inlining", OptOptions::builder().inline(true).build()),
         (
             "RLE+Minv+Inlining",
-            OptOptions::full(Level::SmFieldTypeRefs),
+            OptOptions::builder().rle(true).inline(true).build(),
         ),
     ];
+    let source = b.source_at_scale(scale);
     for (label, opts) in configs {
-        let mut prog = b.compile(scale).map_err(|e| e.to_string())?;
-        let report = optimize(&mut prog, &opts);
-        let (c, _, cy) = simulate(&prog, RunConfig::default())?;
+        let result = Pipeline::new(&source)
+            .level(Level::SmFieldTypeRefs)
+            .optimize(opts)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let report = result.report;
+        let (_, _, cy) = simulate(&result.program, RunConfig::default())?;
         println!(
             "{label:<19} {cy:>9.0} cycles  ({:.1}% of base; rle removed {}, devirt {}, inlined {})",
             100.0 * cy / cycles,
@@ -52,7 +54,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.devirt.resolved,
             report.inline.inlined,
         );
-        let _ = c;
     }
     Ok(())
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate, identical to CI: release build, tests, clippy.
+# The dependency graph is path-only, so everything here runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== bench targets compile (feature bench-deps)"
+cargo build --release -p tbaa-bench --benches --features bench-deps
+
+echo "All checks passed."

@@ -55,6 +55,108 @@ pub use tbaa_ir as ir;
 pub use tbaa_opt as opt;
 pub use tbaa_sim as sim;
 
+/// A builder for the compile → analyze → optimize pipeline.
+///
+/// Configure the analysis precision with [`level`](Pipeline::level) and
+/// [`world`](Pipeline::world), pick the optimization passes with
+/// [`optimize`](Pipeline::optimize), then [`run`](Pipeline::run):
+///
+/// ```
+/// use tbaa_repro::{alias::Level, alias::World, opt::OptOptions, Pipeline};
+///
+/// let result = Pipeline::new(
+///     "MODULE M;
+///      TYPE T = OBJECT f: INTEGER; END;
+///      VAR t: T; x, y: INTEGER;
+///      BEGIN t := NEW(T); t.f := 1; x := t.f; y := t.f; END M.")
+///     .level(Level::SmFieldTypeRefs)
+///     .world(World::Closed)
+///     .optimize(OptOptions::builder().rle(true).build())
+///     .run()?;
+/// assert_eq!(result.report.rle.eliminated, 2);
+/// # Ok::<(), tbaa_repro::lang::Diagnostics>(())
+/// ```
+///
+/// The pipeline's `level`/`world` apply to every pass and to the final
+/// analysis handle; any `level`/`world` inside the passed [`OptOptions`]
+/// are overridden so there is a single source of truth.
+#[derive(Debug, Clone)]
+pub struct Pipeline<'a> {
+    source: &'a str,
+    level: alias::Level,
+    world: alias::World,
+    opts: Option<opt::OptOptions>,
+}
+
+/// What a [`Pipeline`] run produced.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The (possibly optimized) program.
+    pub program: ir::Program,
+    /// An alias-analysis handle over `program`, at the pipeline's
+    /// level/world, ready for `may_alias` queries.
+    pub analysis: alias::Tbaa,
+    /// What the optimization passes did (all zeros when no passes ran).
+    pub report: opt::OptReport,
+}
+
+impl<'a> Pipeline<'a> {
+    /// A pipeline over `source` with the paper's defaults: the most
+    /// precise analysis (`SmFieldTypeRefs`), closed world, no
+    /// optimization passes.
+    pub fn new(source: &'a str) -> Self {
+        Pipeline {
+            source,
+            level: alias::Level::SmFieldTypeRefs,
+            world: alias::World::Closed,
+            opts: None,
+        }
+    }
+
+    /// Sets the alias-analysis precision level.
+    pub fn level(mut self, level: alias::Level) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Sets the closed- or open-world assumption.
+    pub fn world(mut self, world: alias::World) -> Self {
+        self.world = world;
+        self
+    }
+
+    /// Enables optimization with the given pass selection. The options'
+    /// `level`/`world` are replaced by the pipeline's at [`run`]
+    /// (Pipeline::run) time.
+    pub fn optimize(mut self, opts: opt::OptOptions) -> Self {
+        self.opts = Some(opts);
+        self
+    }
+
+    /// Compiles, optimizes (if requested), and builds the final analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns front-end diagnostics if the source does not compile.
+    pub fn run(self) -> Result<PipelineResult, lang::Diagnostics> {
+        let mut program = ir::compile_to_ir(self.source)?;
+        let report = match self.opts {
+            Some(mut opts) => {
+                opts.level = self.level;
+                opts.world = self.world;
+                opt::optimize(&mut program, &opts)
+            }
+            None => opt::OptReport::default(),
+        };
+        let analysis = alias::Tbaa::build(&program, self.level, self.world);
+        Ok(PipelineResult {
+            program,
+            analysis,
+            report,
+        })
+    }
+}
+
 /// Compiles MiniM3 source, builds the requested analysis level, runs RLE,
 /// and returns the optimized program with the RLE statistics — the
 /// paper's headline pipeline in one call.
@@ -62,33 +164,82 @@ pub use tbaa_sim as sim;
 /// # Errors
 ///
 /// Returns front-end diagnostics if the source does not compile.
+#[deprecated(since = "0.2.0", note = "use `Pipeline::new(source).level(..).world(..).optimize(..).run()`")]
 pub fn compile_and_optimize(
     source: &str,
     level: alias::Level,
     world: alias::World,
 ) -> Result<(ir::Program, opt::RleStats), lang::Diagnostics> {
-    let mut prog = ir::compile_to_ir(source)?;
-    let analysis = alias::Tbaa::build(&prog, level, world);
-    let stats = opt::rle::run_rle(&mut prog, &analysis);
-    Ok((prog, stats))
+    let result = Pipeline::new(source)
+        .level(level)
+        .world(world)
+        .optimize(opt::OptOptions::builder().rle(true).build())
+        .run()?;
+    Ok((result.program, result.report.rle))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const SMOKE: &str = "MODULE M;
+         TYPE T = OBJECT f: INTEGER; END;
+         VAR t: T; x, y: INTEGER;
+         BEGIN t := NEW(T); t.f := 1; x := t.f; y := t.f; END M.";
+
     #[test]
+    #[allow(deprecated)]
     fn compile_and_optimize_smoke() {
         let (prog, stats) = compile_and_optimize(
-            "MODULE M;
-             TYPE T = OBJECT f: INTEGER; END;
-             VAR t: T; x, y: INTEGER;
-             BEGIN t := NEW(T); t.f := 1; x := t.f; y := t.f; END M.",
+            SMOKE,
             alias::Level::SmFieldTypeRefs,
             alias::World::Closed,
         )
         .unwrap();
         assert_eq!(stats.eliminated, 2);
         assert!(prog.funcs.len() == 1);
+    }
+
+    #[test]
+    fn pipeline_matches_deprecated_wrapper() {
+        let result = Pipeline::new(SMOKE)
+            .level(alias::Level::SmFieldTypeRefs)
+            .world(alias::World::Closed)
+            .optimize(opt::OptOptions::builder().rle(true).build())
+            .run()
+            .unwrap();
+        assert_eq!(result.report.rle.eliminated, 2);
+        assert!(result.program.funcs.len() == 1);
+    }
+
+    #[test]
+    fn pipeline_without_optimize_reports_nothing() {
+        let result = Pipeline::new(SMOKE).run().unwrap();
+        assert_eq!(result.report, opt::OptReport::default());
+        // The analysis handle answers queries over the compiled program.
+        let sites = result.program.heap_ref_sites();
+        assert!(!sites.is_empty());
+    }
+
+    #[test]
+    fn pipeline_level_world_override_the_options() {
+        // The options carry a conflicting level/world; the pipeline's win.
+        let opts = opt::OptOptions::builder()
+            .rle(true)
+            .level(alias::Level::TypeDecl)
+            .world(alias::World::Open)
+            .build();
+        let precise = Pipeline::new(SMOKE)
+            .level(alias::Level::SmFieldTypeRefs)
+            .world(alias::World::Closed)
+            .optimize(opts)
+            .run()
+            .unwrap();
+        assert_eq!(precise.report.rle.eliminated, 2);
+    }
+
+    #[test]
+    fn pipeline_surfaces_diagnostics() {
+        assert!(Pipeline::new("MODULE Broken").run().is_err());
     }
 }

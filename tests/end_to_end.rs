@@ -2,10 +2,23 @@
 //! → simulator, on hand-written programs with known answers.
 
 use tbaa_repro::alias::{AliasAnalysis, Level, NoAlias, Tbaa, World};
-use tbaa_repro::compile_and_optimize;
 use tbaa_repro::ir::{self, pretty};
 use tbaa_repro::opt::modref::ModRef;
+use tbaa_repro::opt::{OptOptions, RleStats};
 use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+use tbaa_repro::Pipeline;
+
+/// The paper's headline pipeline — RLE at `level`, closed world —
+/// through the builder API.
+fn rle_pipeline(src: &str, level: Level) -> (ir::Program, RleStats) {
+    let result = Pipeline::new(src)
+        .level(level)
+        .world(World::Closed)
+        .optimize(OptOptions::builder().rle(true).build())
+        .run()
+        .unwrap();
+    (result.program, result.report.rle)
+}
 
 /// A linked-list summation whose header load is loop-invariant: the
 /// classic Figure 6 situation end to end.
@@ -37,7 +50,7 @@ fn linked_list_sum_pipeline() {
     let base_out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
     assert_eq!(base_out.output, (50 * (1275)).to_string());
 
-    let (opt, stats) = compile_and_optimize(src, Level::SmFieldTypeRefs, World::Closed).unwrap();
+    let (opt, stats) = rle_pipeline(src, Level::SmFieldTypeRefs);
     assert!(stats.removed() >= 1, "l.len hoisted: {stats:?}");
     let opt_out = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
     assert_eq!(base_out.output, opt_out.output);
@@ -60,8 +73,8 @@ fn sm_merges_enable_elimination() {
           y := t.f;
           PRINTI(x + y + s.f);
         END Merge.";
-    let (_, ftd) = compile_and_optimize(src, Level::FieldTypeDecl, World::Closed).unwrap();
-    let (_, sm) = compile_and_optimize(src, Level::SmFieldTypeRefs, World::Closed).unwrap();
+    let (_, ftd) = rle_pipeline(src, Level::FieldTypeDecl);
+    let (_, sm) = rle_pipeline(src, Level::SmFieldTypeRefs);
     assert_eq!(ftd.eliminated, 1, "store forwarding of s.f only");
     assert_eq!(sm.eliminated, 2, "plus the second t.f load");
 }
@@ -95,7 +108,7 @@ fn modref_gates_hoisting_across_calls() {
     assert!(!mr.summary(noop).loads.is_empty());
 
     let base_out = run(&prog, &mut NullHook, RunConfig::default()).unwrap();
-    let (opt, stats) = compile_and_optimize(src, Level::SmFieldTypeRefs, World::Closed).unwrap();
+    let (opt, stats) = rle_pipeline(src, Level::SmFieldTypeRefs);
     let opt_out = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
     assert_eq!(base_out.output, opt_out.output);
     assert!(stats.hoisted >= 1, "first loop hoists t.f: {stats:?}");
@@ -122,7 +135,7 @@ fn address_taken_semantics_end_to_end() {
     let base = ir::compile_to_ir(src).unwrap();
     let out = run(&base, &mut NullHook, RunConfig::default()).unwrap();
     assert_eq!(out.output, "142");
-    let (opt, _) = compile_and_optimize(src, Level::SmFieldTypeRefs, World::Closed).unwrap();
+    let (opt, _) = rle_pipeline(src, Level::SmFieldTypeRefs);
     let opt_out = run(&opt, &mut NullHook, RunConfig::default()).unwrap();
     assert_eq!(opt_out.output, "142");
 }

@@ -1,52 +1,85 @@
 //! Robustness properties of the front end: the lexer, parser, and
 //! checker must never panic, whatever bytes they are fed — they either
 //! succeed or return diagnostics.
+//!
+//! Random inputs come from the workspace's deterministic
+//! [`tbaa_bench::rng::XorShift64`] (fixed seeds) rather than the
+//! `proptest` crate, which the offline build cannot fetch.
+#![cfg(feature = "proptest-tests")]
 
-use proptest::prelude::*;
+use tbaa_bench::rng::XorShift64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
+const SEED: u64 = 0x7baa_0002;
 
-    /// Arbitrary unicode input never panics the full front end.
-    #[test]
-    fn compile_never_panics_on_arbitrary_text(src in ".{0,400}") {
+/// A random string of up to `max_len` mostly-printable unicode chars,
+/// with control characters and non-BMP scalars mixed in.
+fn arbitrary_text(rng: &mut XorShift64, max_len: usize) -> String {
+    let len = rng.index(max_len + 1);
+    let mut s = String::new();
+    for _ in 0..len {
+        let c = match rng.index(8) {
+            // Mostly ASCII so the lexer gets past the first byte often.
+            0..=4 => (0x20 + rng.index(0x5f)) as u8 as char,
+            5 => (rng.index(0x20)) as u8 as char, // control chars
+            6 => char::from_u32(0xA0 + rng.index(0x2000) as u32).unwrap_or('¤'),
+            _ => char::from_u32(rng.index(0x11_0000) as u32).unwrap_or('\u{FFFD}'),
+        };
+        s.push(c);
+    }
+    s
+}
+
+/// Arbitrary unicode input never panics the full front end.
+#[test]
+fn compile_never_panics_on_arbitrary_text() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(SEED + case);
+        let src = arbitrary_text(&mut rng, 400);
         let _ = mini_m3::compile(&src);
     }
+}
 
-    /// Token-shaped soup (identifiers, keywords, punctuation) never
-    /// panics — this digs deeper into the parser than raw bytes do.
-    #[test]
-    fn compile_never_panics_on_token_soup(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just("MODULE"), Just("BEGIN"), Just("END"), Just("VAR"),
-                Just("TYPE"), Just("OBJECT"), Just("IF"), Just("THEN"),
-                Just("WHILE"), Just("DO"), Just("FOR"), Just("TO"),
-                Just("WITH"), Just("RETURN"), Just(":="), Just("="),
-                Just(";"), Just("."), Just("("), Just(")"), Just("["),
-                Just("]"), Just("^"), Just("x"), Just("T"), Just("M"),
-                Just("1"), Just("+"), Just("NIL"), Just("NEW"),
-            ],
-            0..60,
-        )
-    ) {
-        let src = toks.join(" ");
+/// Token-shaped soup (identifiers, keywords, punctuation) never
+/// panics — this digs deeper into the parser than raw bytes do.
+#[test]
+fn compile_never_panics_on_token_soup() {
+    const TOKS: [&str; 29] = [
+        "MODULE", "BEGIN", "END", "VAR", "TYPE", "OBJECT", "IF", "THEN", "WHILE", "DO", "FOR",
+        "TO", "WITH", "RETURN", ":=", "=", ";", ".", "(", ")", "[", "]", "^", "x", "T", "M", "1",
+        "+", "NIL",
+    ];
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(SEED + 0x5000 + case);
+        let n = rng.index(60);
+        let src = (0..n)
+            .map(|_| *rng.pick(&TOKS))
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = mini_m3::compile(&src);
     }
+}
 
-    /// A syntactically valid skeleton with arbitrary identifiers either
-    /// compiles or produces diagnostics pointing into the source.
-    #[test]
-    fn diagnostics_have_sane_spans(name in "[A-Za-z][A-Za-z0-9]{0,8}") {
-        let src = format!(
-            "MODULE M; VAR x: INTEGER; BEGIN x := {name}; END M."
-        );
+/// A syntactically valid skeleton with arbitrary identifiers either
+/// compiles or produces diagnostics pointing into the source.
+#[test]
+fn diagnostics_have_sane_spans() {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(SEED.wrapping_add(0x1000 + case));
+        let mut name = String::new();
+        name.push(*rng.pick(FIRST) as char);
+        for _ in 0..rng.index(9) {
+            name.push(*rng.pick(REST) as char);
+        }
+        let src = format!("MODULE M; VAR x: INTEGER; BEGIN x := {name}; END M.");
         match mini_m3::compile(&src) {
             Ok(_) => {}
             Err(diags) => {
                 for d in diags.iter() {
-                    prop_assert!((d.span.start as usize) <= src.len());
-                    prop_assert!((d.span.end as usize) <= src.len() + 1);
+                    assert!((d.span.start as usize) <= src.len());
+                    assert!((d.span.end as usize) <= src.len() + 1);
                 }
             }
         }

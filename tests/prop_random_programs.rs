@@ -2,13 +2,23 @@
 //! programs*: the alias analyses must satisfy their algebraic properties
 //! and — most importantly — RLE and the full optimization pipeline must
 //! preserve program semantics on every generated program.
+//!
+//! Generation runs on the workspace's own deterministic
+//! [`tbaa_bench::rng::XorShift64`] (fixed seeds, so failures reproduce
+//! exactly) instead of the `proptest` crate, which the offline build
+//! cannot fetch.
+#![cfg(feature = "proptest-tests")]
 
-use proptest::prelude::*;
+use tbaa_bench::rng::XorShift64;
 use tbaa_repro::alias::{AliasAnalysis, Level, Tbaa, World};
 use tbaa_repro::ir::{self, Program};
 use tbaa_repro::opt::rle::run_rle;
 use tbaa_repro::opt::{optimize, OptOptions};
 use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+
+/// Cases per property; every case uses seed `SEED + case`.
+const CASES: u64 = 48;
+const SEED: u64 = 0x7baa_0001;
 
 /// A model of a small random type hierarchy: each type has one integer
 /// field and one pointer field, and optionally a supertype.
@@ -129,103 +139,115 @@ fn render(spec: &ProgSpec) -> String {
     s
 }
 
-/// Strategy for a simple (non-nested) statement.
-fn simple_stmt(types: Vec<TypeSpec>, globals: Vec<usize>) -> impl Strategy<Value = Stmt> {
+/// One random *well-typed* simple (non-nested) statement, or `None` when
+/// the drawn shape cannot be made type-correct (the caller redraws).
+fn gen_simple(rng: &mut XorShift64, types: &[TypeSpec], globals: &[usize]) -> Option<Stmt> {
     let ng = globals.len();
-    (0..5u8, 0..ng, 0..ng, any::<u8>(), -9i64..100).prop_filter_map(
-        "well-typed statement",
-        move |(kind, gi, gj, fsel, k)| {
-            let ti = globals[gi];
-            let tj = globals[gj];
-            match kind {
-                0 => {
-                    // gi := NEW(subtype of decl(gi))
-                    let subs = subtypes(&types, ti);
-                    let t = subs[fsel as usize % subs.len()];
-                    Some(Stmt::New { g: gi, t })
-                }
-                1 => {
-                    if assignable(&types, ti, tj) {
-                        Some(Stmt::Copy { dst: gi, src: gj })
-                    } else {
-                        None
-                    }
-                }
-                2 => {
-                    let anc = ancestry(&types, ti);
-                    let f = anc[fsel as usize % anc.len()];
-                    Some(Stmt::StoreInt { g: gi, f, k })
-                }
-                3 => {
-                    let anc = ancestry(&types, ti);
-                    let f = anc[fsel as usize % anc.len()];
-                    Some(Stmt::LoadInt { g: gi, f })
-                }
-                _ => {
-                    // gi.q<f> := gj if assignable to the field's target.
-                    let anc = ancestry(&types, ti);
-                    let f = anc[fsel as usize % anc.len()];
-                    let target = types[f].ptr_target;
-                    if assignable(&types, target, tj) {
-                        Some(Stmt::StorePtr { g: gi, f, src: gj })
-                    } else {
-                        None
-                    }
-                }
+    let gi = rng.index(ng);
+    let gj = rng.index(ng);
+    let fsel = rng.index(256);
+    let k = rng.range_i64(-9, 100);
+    let ti = globals[gi];
+    let tj = globals[gj];
+    match rng.index(5) {
+        0 => {
+            // gi := NEW(subtype of decl(gi))
+            let subs = subtypes(types, ti);
+            let t = subs[fsel % subs.len()];
+            Some(Stmt::New { g: gi, t })
+        }
+        1 => {
+            if assignable(types, ti, tj) {
+                Some(Stmt::Copy { dst: gi, src: gj })
+            } else {
+                None
             }
-        },
-    )
+        }
+        2 => {
+            let anc = ancestry(types, ti);
+            let f = anc[fsel % anc.len()];
+            Some(Stmt::StoreInt { g: gi, f, k })
+        }
+        3 => {
+            let anc = ancestry(types, ti);
+            let f = anc[fsel % anc.len()];
+            Some(Stmt::LoadInt { g: gi, f })
+        }
+        _ => {
+            // gi.q<f> := gj if assignable to the field's target.
+            let anc = ancestry(types, ti);
+            let f = anc[fsel % anc.len()];
+            let target = types[f].ptr_target;
+            if assignable(types, target, tj) {
+                Some(Stmt::StorePtr { g: gi, f, src: gj })
+            } else {
+                None
+            }
+        }
+    }
 }
 
-fn prog_spec() -> impl Strategy<Value = ProgSpec> {
-    // 2..6 types in a random forest; pointer targets point anywhere.
-    (2usize..6)
-        .prop_flat_map(|nt| {
-            let types =
-                proptest::collection::vec((any::<u16>(), any::<u16>()), nt).prop_map(move |raw| {
-                    raw.iter()
-                        .enumerate()
-                        .map(|(i, &(p, q))| TypeSpec {
-                            parent: if i == 0 || p % 3 == 0 {
-                                None
-                            } else {
-                                Some(p as usize % i)
-                            },
-                            ptr_target: q as usize % nt,
-                        })
-                        .collect::<Vec<_>>()
-                });
-            (types, Just(nt))
+/// Redraws until a well-typed simple statement comes out (a `New` is
+/// always valid, so this terminates quickly).
+fn gen_simple_retry(rng: &mut XorShift64, types: &[TypeSpec], globals: &[usize]) -> Stmt {
+    loop {
+        if let Some(s) = gen_simple(rng, types, globals) {
+            return s;
+        }
+    }
+}
+
+fn gen_simple_vec(
+    rng: &mut XorShift64,
+    types: &[TypeSpec],
+    globals: &[usize],
+    lo: usize,
+    hi: usize,
+) -> Vec<Stmt> {
+    let n = lo + rng.index(hi - lo);
+    (0..n).map(|_| gen_simple_retry(rng, types, globals)).collect()
+}
+
+/// A random program: 2..6 types in a random forest, 2..5 pointer
+/// globals, 3..20 statements mixing simple statements, bounded loops,
+/// and conditionals — the same distribution the proptest version drew.
+fn gen_spec(rng: &mut XorShift64) -> ProgSpec {
+    let nt = 2 + rng.index(4);
+    let types: Vec<TypeSpec> = (0..nt)
+        .map(|i| {
+            let p = rng.index(1 << 16);
+            let q = rng.index(nt);
+            TypeSpec {
+                parent: if i == 0 || p.is_multiple_of(3) {
+                    None
+                } else {
+                    Some(p % i)
+                },
+                ptr_target: q,
+            }
         })
-        .prop_flat_map(|(types, nt)| {
-            let globals = proptest::collection::vec(0usize..nt, 2..5);
-            (Just(types), globals)
+        .collect();
+    let globals: Vec<usize> = (0..2 + rng.index(3)).map(|_| rng.index(nt)).collect();
+    let ns = 3 + rng.index(17);
+    let stmts = (0..ns)
+        .map(|_| match rng.index(6) {
+            0 => Stmt::Loop {
+                n: 1 + rng.index(7) as u32,
+                body: gen_simple_vec(rng, &types, &globals, 1, 4),
+            },
+            1 => Stmt::Cond {
+                limit: rng.range_i64(0, 50),
+                then_body: gen_simple_vec(rng, &types, &globals, 1, 3),
+                else_body: gen_simple_vec(rng, &types, &globals, 1, 3),
+            },
+            _ => gen_simple_retry(rng, &types, &globals),
         })
-        .prop_flat_map(|(types, globals)| {
-            let nested = prop_oneof![
-                4 => simple_stmt(types.clone(), globals.clone()),
-                1 => (1u32..8, proptest::collection::vec(
-                        simple_stmt(types.clone(), globals.clone()), 1..4))
-                    .prop_map(|(n, body)| Stmt::Loop { n, body }),
-                1 => (0i64..50,
-                      proptest::collection::vec(
-                        simple_stmt(types.clone(), globals.clone()), 1..3),
-                      proptest::collection::vec(
-                        simple_stmt(types.clone(), globals.clone()), 1..3))
-                    .prop_map(|(limit, t, e)| Stmt::Cond {
-                        limit,
-                        then_body: t,
-                        else_body: e
-                    }),
-            ];
-            let stmts = proptest::collection::vec(nested, 3..20);
-            (Just(types), Just(globals), stmts)
-        })
-        .prop_map(|(types, globals, stmts)| ProgSpec {
-            types,
-            globals,
-            stmts,
-        })
+        .collect();
+    ProgSpec {
+        types,
+        globals,
+        stmts,
+    }
 }
 
 fn compile(spec: &ProgSpec) -> Program {
@@ -240,132 +262,149 @@ fn run_output(prog: &Program) -> (String, u64) {
     (out.output, out.counts.heap_loads)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `check` against `CASES` random programs with reproducible seeds.
+fn for_each_case(check: impl Fn(&ProgSpec)) {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(SEED + case);
+        let spec = gen_spec(&mut rng);
+        check(&spec);
+    }
+}
 
-    /// Every generated program compiles and runs deterministically.
-    #[test]
-    fn generated_programs_run(spec in prog_spec()) {
-        let prog = compile(&spec);
+/// Every generated program compiles and runs deterministically.
+#[test]
+fn generated_programs_run() {
+    for_each_case(|spec| {
+        let prog = compile(spec);
         let (o1, _) = run_output(&prog);
         let (o2, _) = run_output(&prog);
-        prop_assert_eq!(o1, o2);
-    }
+        assert_eq!(o1, o2);
+    });
+}
 
-    /// RLE at every level preserves output and never adds heap loads.
-    #[test]
-    fn rle_preserves_semantics(spec in prog_spec()) {
-        let base = compile(&spec);
+/// RLE at every level preserves output and never adds heap loads.
+#[test]
+fn rle_preserves_semantics() {
+    for_each_case(|spec| {
+        let base = compile(spec);
         let (base_out, base_loads) = run_output(&base);
         for level in Level::ALL {
-            let mut opt = compile(&spec);
+            let mut opt = compile(spec);
             let analysis = Tbaa::build(&opt, level, World::Closed);
             run_rle(&mut opt, &analysis);
             let (out, loads) = run_output(&opt);
-            prop_assert_eq!(&base_out, &out, "level {}", level);
-            prop_assert!(loads <= base_loads, "level {level}: {loads} > {base_loads}");
+            assert_eq!(base_out, out, "level {level}");
+            assert!(loads <= base_loads, "level {level}: {loads} > {base_loads}");
         }
-    }
+    });
+}
 
-    /// The full pipeline (devirt + inline + copyprop + RLE + DSE)
-    /// preserves output too.
-    #[test]
-    fn full_pipeline_preserves_semantics(spec in prog_spec()) {
-        let base = compile(&spec);
+/// The full pipeline (devirt + inline + copyprop + RLE + DSE)
+/// preserves output too.
+#[test]
+fn full_pipeline_preserves_semantics() {
+    for_each_case(|spec| {
+        let base = compile(spec);
         let (base_out, _) = run_output(&base);
-        let mut opt = compile(&spec);
+        let mut opt = compile(spec);
         let mut opts = OptOptions::full(Level::SmFieldTypeRefs);
         opts.copy_propagation = true;
         opts.dead_store_elimination = true;
         optimize(&mut opt, &opts);
         let (out, _) = run_output(&opt);
-        prop_assert_eq!(base_out, out);
-    }
+        assert_eq!(base_out, out);
+    });
+}
 
-    /// PRE and DSE individually preserve semantics on random programs.
-    #[test]
-    fn pre_and_dse_preserve_semantics(spec in prog_spec()) {
-        let base = compile(&spec);
+/// PRE and DSE individually preserve semantics on random programs.
+#[test]
+fn pre_and_dse_preserve_semantics() {
+    for_each_case(|spec| {
+        let base = compile(spec);
         let (base_out, base_loads) = run_output(&base);
         {
-            let mut opt = compile(&spec);
+            let mut opt = compile(spec);
             let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
             tbaa_repro::opt::pre::run_rle_with_pre(&mut opt, &analysis);
             let (out, loads) = run_output(&opt);
-            prop_assert_eq!(&base_out, &out, "PRE");
-            prop_assert!(loads <= base_loads, "PRE must not add loads");
+            assert_eq!(base_out, out, "PRE");
+            assert!(loads <= base_loads, "PRE must not add loads");
         }
         {
-            let mut opt = compile(&spec);
+            let mut opt = compile(spec);
             let analysis = Tbaa::build(&opt, Level::SmFieldTypeRefs, World::Closed);
             tbaa_repro::opt::dse::run_dse(&mut opt, &analysis);
             let (out, _) = run_output(&opt);
-            prop_assert_eq!(&base_out, &out, "DSE");
+            assert_eq!(base_out, out, "DSE");
         }
         {
             // Steensgaard-driven RLE is also semantics-preserving.
-            let mut opt = compile(&spec);
+            let mut opt = compile(spec);
             let st = tbaa_repro::alias::Steensgaard::build(&opt);
             run_rle(&mut opt, &st);
             let (out, _) = run_output(&opt);
-            prop_assert_eq!(&base_out, &out, "Steensgaard RLE");
+            assert_eq!(base_out, out, "Steensgaard RLE");
         }
-    }
+    });
+}
 
-    /// may_alias is symmetric and reflexive on canonical paths, and the
-    /// three levels are monotonically precise (SM ⊆ FTD ⊆ TD).
-    #[test]
-    fn alias_lattice_properties(spec in prog_spec()) {
-        let prog = compile(&spec);
+/// may_alias is symmetric and reflexive on canonical paths, and the
+/// three levels are monotonically precise (SM ⊆ FTD ⊆ TD).
+#[test]
+fn alias_lattice_properties() {
+    for_each_case(|spec| {
+        let prog = compile(spec);
         let td = Tbaa::build(&prog, Level::TypeDecl, World::Closed);
         let ftd = Tbaa::build(&prog, Level::FieldTypeDecl, World::Closed);
         let sm = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
         let sites: Vec<_> = prog.heap_ref_sites();
         for &(_, a, _) in sites.iter().take(24) {
             if prog.aps.path(a).is_canonical() {
-                prop_assert!(ftd.may_alias(&prog.aps, a, a), "reflexive");
+                assert!(ftd.may_alias(&prog.aps, a, a), "reflexive");
             }
             for &(_, b, _) in sites.iter().take(24) {
                 for an in [&td as &dyn AliasAnalysis, &ftd, &sm] {
-                    prop_assert_eq!(
+                    assert_eq!(
                         an.may_alias(&prog.aps, a, b),
                         an.may_alias(&prog.aps, b, a),
                         "symmetry"
                     );
                 }
                 if sm.may_alias(&prog.aps, a, b) {
-                    prop_assert!(ftd.may_alias(&prog.aps, a, b), "SM implies FTD");
+                    assert!(ftd.may_alias(&prog.aps, a, b), "SM implies FTD");
                 }
                 if ftd.may_alias(&prog.aps, a, b) {
-                    prop_assert!(td.may_alias(&prog.aps, a, b), "FTD implies TD");
+                    assert!(td.may_alias(&prog.aps, a, b), "FTD implies TD");
                 }
             }
         }
-    }
+    });
+}
 
-    /// The open world is conservative: it can only add alias pairs, and
-    /// RLE under it still preserves semantics.
-    #[test]
-    fn open_world_is_conservative(spec in prog_spec()) {
-        let prog = compile(&spec);
+/// The open world is conservative: it can only add alias pairs, and
+/// RLE under it still preserves semantics.
+#[test]
+fn open_world_is_conservative() {
+    for_each_case(|spec| {
+        let prog = compile(spec);
         let closed = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed);
         let open = Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Open);
         let sites: Vec<_> = prog.heap_ref_sites();
         for &(_, a, _) in sites.iter().take(24) {
             for &(_, b, _) in sites.iter().take(24) {
                 if closed.may_alias(&prog.aps, a, b) {
-                    prop_assert!(
+                    assert!(
                         open.may_alias(&prog.aps, a, b),
                         "open world must include closed-world pairs"
                     );
                 }
             }
         }
-        let base = compile(&spec);
+        let base = compile(spec);
         let (base_out, _) = run_output(&base);
-        let mut opt = compile(&spec);
+        let mut opt = compile(spec);
         run_rle(&mut opt, &open);
         let (out, _) = run_output(&opt);
-        prop_assert_eq!(base_out, out);
-    }
+        assert_eq!(base_out, out);
+    });
 }
