@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! paper-tables [table4|table5|table6|fig8|fig9|fig10|fig11|fig12|all]
-//!              [--scale N] [--threads N] [--stats]
+//!              [--scale N] [--threads N] [--stats] [--json]
 //! ```
 //!
 //! One shared [`tbaa_bench::Engine`] backs every table: each benchmark
 //! is compiled once, analyses and optimized variants are memoized, and
 //! rows are computed on a worker pool. `--threads 1` forces the serial
 //! reference order; the printed bytes are identical either way.
+//!
+//! `--json` replaces the human tables with one JSON object per row
+//! (newline-delimited, `"table"`-discriminated — see
+//! `tbaa_bench::jsonout`), ready for `jq` or a plotting script.
 
 use tbaa_bench as tb;
+use tbaa_bench::jsonout;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +24,7 @@ fn main() {
     let mut scale = tb::DEFAULT_SCALE;
     let mut threads = None;
     let mut stats = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,6 +40,7 @@ fn main() {
                 threads = args.get(i).and_then(|s| s.parse().ok());
             }
             "--stats" => stats = true,
+            "--json" => json = true,
             other => which = other.to_string(),
         }
         i += 1;
@@ -43,6 +50,13 @@ fn main() {
         None => tb::Engine::new(scale),
     };
     let all = which == "all";
+    if json {
+        emit_json(&engine, &which, all);
+        if stats {
+            print_stats(&engine);
+        }
+        return;
+    }
     println!("Type-Based Alias Analysis (PLDI 1998) — reproduction tables (scale {scale})\n");
     if all || which == "table4" {
         println!("{}", tb::render_table4(&engine.table4()));
@@ -98,14 +112,51 @@ fn main() {
         }
     }
     if stats {
-        let s = engine.stats();
-        eprintln!(
-            "engine: {} compiles, {} analyses, {} optimized variants, {} executions ({} threads)",
-            s.compiles,
-            s.analyses_built,
-            s.variants_built,
-            s.executions,
-            engine.threads()
-        );
+        print_stats(&engine);
+    }
+}
+
+fn print_stats(engine: &tb::Engine) {
+    let s = engine.stats();
+    eprintln!(
+        "engine: {} compiles, {} analyses, {} optimized variants, {} executions ({} threads)",
+        s.compiles,
+        s.analyses_built,
+        s.variants_built,
+        s.executions,
+        engine.threads()
+    );
+}
+
+/// Emits the selected tables as newline-delimited JSON rows.
+fn emit_json(engine: &tb::Engine, which: &str, all: bool) {
+    let mut rows = Vec::new();
+    if all || which == "table4" {
+        rows.extend(jsonout::table4_json(&engine.table4()));
+    }
+    if all || which == "table5" {
+        rows.extend(jsonout::table5_json(&engine.table5()));
+    }
+    if all || which == "table6" {
+        rows.extend(jsonout::table6_json(&engine.table6()));
+    }
+    if all || which == "fig8" {
+        rows.extend(jsonout::runtime_json("fig8", &engine.fig8()));
+    }
+    if all || which == "fig9" {
+        rows.extend(jsonout::fig9_json(&engine.fig9()));
+    }
+    if all || which == "fig10" {
+        rows.extend(jsonout::fig10_json(&engine.fig10()));
+    }
+    if all || which == "fig11" {
+        rows.extend(jsonout::runtime_json("fig11", &engine.fig11()));
+    }
+    if all || which == "fig12" {
+        rows.extend(jsonout::runtime_json("fig12", &engine.fig12()));
+        rows.extend(jsonout::open_world_pairs_json(&engine.open_world_pairs()));
+    }
+    for row in rows {
+        println!("{}", row.encode());
     }
 }

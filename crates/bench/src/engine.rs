@@ -21,16 +21,17 @@
 //!
 //! All caches hand out `Arc`s, so repeated lookups are pointer-equal and
 //! a table costs at most one compile / analysis / simulation per key no
-//! matter how many threads race for it (per-key [`OnceLock`] slots make
-//! the build exactly-once). Results are byte-for-byte identical to the
+//! matter how many threads race for it (the shared [`tbaa::memo::Memo`]
+//! makes the build exactly-once per key; the `tbaad` server's session
+//! cache uses the same implementation). Results are byte-for-byte
+//! identical to the
 //! single-threaded order because rows are reassembled in suite order.
 
-use std::collections::HashMap;
-use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 use tbaa::analysis::{Level, Tbaa};
+use tbaa::memo::Memo;
 use tbaa::{count_alias_pairs, World};
 use tbaa_benchsuite::{suite, Benchmark};
 use tbaa_ir::ir::Program;
@@ -44,32 +45,6 @@ use crate::{
 };
 use tbaa::AliasPairCounts;
 use tbaa_sim::LimitResult;
-
-/// A memo table: per-key `OnceLock` slots under one mutex-protected map,
-/// so concurrent lookups of the *same* key build the value exactly once
-/// (losers block on the winner's `OnceLock`), while lookups of
-/// *different* keys build concurrently.
-struct Memo<K, V> {
-    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
-}
-
-impl<K: Eq + Hash + Clone, V> Memo<K, V> {
-    fn new() -> Self {
-        Memo {
-            map: Mutex::new(HashMap::new()),
-        }
-    }
-
-    /// Returns the cached `Arc` for `key`, building it (exactly once
-    /// across all threads) on first use.
-    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
-        let slot = {
-            let mut map = self.map.lock().expect("memo poisoned");
-            map.entry(key).or_default().clone()
-        };
-        slot.get_or_init(|| Arc::new(build())).clone()
-    }
-}
 
 /// Which variant of a benchmark program a dynamic metric refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

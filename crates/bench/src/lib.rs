@@ -26,6 +26,7 @@
 //! shared across all of them.
 
 pub mod engine;
+pub mod jsonout;
 pub mod rng;
 
 pub use engine::{Engine, EngineStats};

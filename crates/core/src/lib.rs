@@ -49,12 +49,14 @@
 
 pub mod analysis;
 pub mod bitset;
+pub mod memo;
 pub mod merge;
 pub mod pairs;
 pub mod steensgaard;
 pub mod subtypes;
 
 pub use analysis::{AliasAnalysis, AlwaysAlias, Level, NoAlias, Tbaa};
+pub use memo::Memo;
 pub use merge::World;
 pub use pairs::{count_alias_pairs, AliasPairCounts};
 pub use steensgaard::Steensgaard;

@@ -1,0 +1,153 @@
+//! A concurrent build-once memo table.
+//!
+//! Shared by the evaluation [`Engine`](../../tbaa_bench/struct.Engine.html)
+//! in `crates/bench` and the `tbaad` session cache in `crates/server`:
+//! both need "many threads ask for the same expensive artifact, build it
+//! exactly once, hand everyone the same `Arc`".
+//!
+//! The design is a per-key [`OnceLock`] slot under one mutex-protected
+//! map. The mutex is held only long enough to find or insert the slot;
+//! the (expensive) build runs outside it, so lookups of *different* keys
+//! build concurrently while racing lookups of the *same* key serialize
+//! on the slot — losers block until the winner's value is ready, and
+//! the build closure runs exactly once per key.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A memo table: per-key `OnceLock` slots under one mutex-protected map,
+/// so concurrent lookups of the *same* key build the value exactly once
+/// (losers block on the winner's `OnceLock`), while lookups of
+/// *different* keys build concurrently.
+pub struct Memo<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    /// An empty memo table.
+    pub fn new() -> Self {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the cached `Arc` for `key`, building it (exactly once
+    /// across all threads) on first use.
+    pub fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        let slot = {
+            let mut map = self.map.lock().expect("memo poisoned");
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| Arc::new(build())).clone()
+    }
+
+    /// Returns the cached `Arc` for `key` if a finished build exists,
+    /// without building. A key whose build is still in flight on another
+    /// thread reads as absent.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let slot = {
+            let map = self.map.lock().expect("memo poisoned");
+            map.get(key).cloned()
+        };
+        slot.and_then(|s| s.get().cloned())
+    }
+
+    /// Drops the entry for `key`, returning its value if one was built.
+    /// Threads already blocked on the removed slot still receive the old
+    /// value; the next `get_or_build` starts fresh.
+    pub fn remove(&self, key: &K) -> Option<Arc<V>> {
+        let slot = self.map.lock().expect("memo poisoned").remove(key);
+        slot.and_then(|s| s.get().cloned())
+    }
+
+    /// Number of entries (including builds still in flight).
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo poisoned").len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the current keys, in no particular order.
+    pub fn keys(&self) -> Vec<K> {
+        self.map
+            .lock()
+            .expect("memo poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn builds_once_and_shares() {
+        let memo: Memo<u32, String> = Memo::new();
+        let builds = AtomicUsize::new(0);
+        let a = memo.get_or_build(1, || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            "one".to_string()
+        });
+        let b = memo.get_or_build(1, || {
+            builds.fetch_add(1, Ordering::Relaxed);
+            "other".to_string()
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        assert_eq!(*a, "one");
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let memo: Memo<u32, u64> = Memo::new();
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    memo.get_or_build(7, || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        42
+                    })
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn remove_allows_rebuild() {
+        let memo: Memo<&'static str, u32> = Memo::new();
+        memo.get_or_build("k", || 1);
+        assert_eq!(memo.get(&"k").as_deref(), Some(&1));
+        let old = memo.remove(&"k");
+        assert_eq!(old.as_deref(), Some(&1));
+        assert!(memo.get(&"k").is_none());
+        let rebuilt = memo.get_or_build("k", || 2);
+        assert_eq!(*rebuilt, 2);
+    }
+
+    #[test]
+    fn keys_snapshot() {
+        let memo: Memo<u32, u32> = Memo::new();
+        memo.get_or_build(1, || 1);
+        memo.get_or_build(2, || 2);
+        let mut keys = memo.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+        assert!(!memo.is_empty());
+    }
+}

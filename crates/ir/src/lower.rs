@@ -5,7 +5,7 @@
 //!
 //! * **access paths** — every heap load/store is annotated with its
 //!   canonical source path (`a.b^.c`), interned in the program's
-//!   [`ApTable`](crate::path::ApTable);
+//!   [`crate::path::ApTable`];
 //! * **AddressTaken** — VAR actuals and WITH bindings of heap designators
 //!   record `(declared type, field)` / array-element facts (§2.3);
 //! * **merges** — every explicit or implicit pointer assignment whose two

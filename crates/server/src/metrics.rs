@@ -1,0 +1,315 @@
+//! A small lock-free metrics registry — the repo's first observability
+//! layer.
+//!
+//! Three instrument kinds, all safe to update from any thread without
+//! locking:
+//!
+//! * [`Counter`] — a monotonically increasing `u64`;
+//! * [`Gauge`] — a signed up/down value (e.g. in-flight requests);
+//! * [`Histogram`] — fixed upper-bound buckets plus sum/count, for
+//!   latency distributions.
+//!
+//! A [`Registry`] names instruments and snapshots them all at once; the
+//! snapshot renders to the in-tree [`json::Value`](crate::json::Value)
+//! so `tbaad`'s `stats` verb can ship it over the wire. Nothing here is
+//! server-specific: the evaluation `Engine` in `crates/bench` (or any
+//! future subsystem) can register its own counters against the same
+//! type.
+//!
+//! Instruments are handed out as `Arc`s and updated directly — the
+//! registry is consulted only at snapshot time, so the hot path is one
+//! atomic op per event.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Value;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default histogram buckets for latencies recorded in **microseconds**:
+/// 50µs … 1s, roughly ×2–×2.5 apart. Values above the last bound land in
+/// the implicit `+Inf` bucket.
+pub const LATENCY_US_BUCKETS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// A fixed-bucket histogram (cumulative-style: `observe` finds the first
+/// bucket whose upper bound holds the value).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// One slot per bound, plus a final `+Inf` slot.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds (ascending).
+    pub fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Value {
+        let count = self.count();
+        let sum = self.sum();
+        let mean = if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        };
+        let mut buckets = Vec::new();
+        for (i, slot) in self.buckets.iter().enumerate() {
+            let n = slot.load(Ordering::Relaxed);
+            if n == 0 {
+                continue; // keep the wire format small
+            }
+            let le = match self.bounds.get(i) {
+                Some(b) => Value::Int(*b as i64),
+                None => Value::Str("inf".into()),
+            };
+            buckets.push(Value::Array(vec![le, Value::Int(n as i64)]));
+        }
+        Value::object(vec![
+            ("count", Value::Int(count as i64)),
+            ("sum", Value::Int(sum as i64)),
+            ("mean", Value::Float((mean * 1000.0).round() / 1000.0)),
+            ("buckets", Value::Array(buckets)),
+        ])
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of instruments with one-shot JSON snapshots.
+#[derive(Default)]
+pub struct Registry {
+    items: Mutex<Vec<(String, Instrument)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut items = self.items.lock().expect("registry poisoned");
+        for (n, i) in items.iter() {
+            if n == name {
+                if let Instrument::Counter(c) = i {
+                    return c.clone();
+                }
+                panic!("metric `{name}` registered with a different kind");
+            }
+        }
+        let c = Arc::new(Counter::default());
+        items.push((name.to_string(), Instrument::Counter(c.clone())));
+        c
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut items = self.items.lock().expect("registry poisoned");
+        for (n, i) in items.iter() {
+            if n == name {
+                if let Instrument::Gauge(g) = i {
+                    return g.clone();
+                }
+                panic!("metric `{name}` registered with a different kind");
+            }
+        }
+        let g = Arc::new(Gauge::default());
+        items.push((name.to_string(), Instrument::Gauge(g.clone())));
+        g
+    }
+
+    /// Returns the histogram named `name`, creating it (over `bounds`) on
+    /// first use.
+    pub fn histogram(&self, name: &str, bounds: &'static [u64]) -> Arc<Histogram> {
+        let mut items = self.items.lock().expect("registry poisoned");
+        for (n, i) in items.iter() {
+            if n == name {
+                if let Instrument::Histogram(h) = i {
+                    return h.clone();
+                }
+                panic!("metric `{name}` registered with a different kind");
+            }
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        items.push((name.to_string(), Instrument::Histogram(h.clone())));
+        h
+    }
+
+    /// Snapshots every instrument into one JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{..}}`, each section
+    /// in registration order.
+    pub fn snapshot(&self) -> Value {
+        let items = self.items.lock().expect("registry poisoned");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, inst) in items.iter() {
+            match inst {
+                Instrument::Counter(c) => {
+                    counters.push((name.clone(), Value::Int(c.get() as i64)));
+                }
+                Instrument::Gauge(g) => gauges.push((name.clone(), Value::Int(g.get()))),
+                Instrument::Histogram(h) => histograms.push((name.clone(), h.to_json())),
+            }
+        }
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("gauges".into(), Value::Object(gauges)),
+            ("histograms".into(), Value::Object(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        let c = r.counter("reqs");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("reqs").get(), 5, "same name, same instrument");
+        let g = r.gauge("inflight");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [5, 7, 50, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5062);
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_i64(), Some(4));
+        // buckets: le=10 → 2, le=100 → 1, inf → 1
+        let buckets = j.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_renders_ordered_json() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.gauge("g").set(-2);
+        r.histogram("h", &[10]).observe(3);
+        let s = r.snapshot().encode();
+        assert!(s.contains("\"counters\":{\"a\":1}"), "{s}");
+        assert!(s.contains("\"gauges\":{\"g\":-2}"), "{s}");
+        assert!(s.contains("\"h\":{\"count\":1"), "{s}");
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -1,0 +1,779 @@
+//! The `tbaad` daemon: accept loop, worker pool, request dispatch.
+//!
+//! Clients speak the newline-delimited JSON protocol of [`crate::proto`]
+//! over TCP (always) and, on unix, optionally over a Unix-domain socket.
+//! Connections are served by a bounded pool of pre-spawned workers (one
+//! live connection per worker; excess connections queue at the accept
+//! side), so a flood of clients cannot spawn unbounded threads.
+//!
+//! Failure isolation: every request is dispatched inside
+//! [`std::panic::catch_unwind`], so a panicking compile or analysis
+//! produces a structured `{"ok":false,"error":{"kind":"panic",..}}`
+//! reply and the worker lives on — one poisoned request can never take
+//! down another client's session (the session cache's memo slots are
+//! panic-safe: a panicked build leaves the slot unset for retry).
+//!
+//! Shutdown is graceful: the `shutdown` verb flips a flag; the accept
+//! loop stops taking connections, and each worker *drains* its
+//! connection — requests already sent (buffered in the socket) are still
+//! served and replied to — before closing. [`Server::run`] returns once
+//! every worker has drained.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use tbaa::analysis::AliasAnalysis;
+use tbaa::count_alias_pairs;
+use tbaa_opt::rle::run_rle;
+
+use crate::json::Value;
+use crate::metrics::{Registry, LATENCY_US_BUCKETS};
+use crate::proto::{
+    self, compile_error_reply, decode_request, error_reply, ok_reply, Request,
+};
+use crate::session::{Session, SessionStore};
+
+/// Server configuration. `Default` is suitable for tests and local use.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// TCP bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Optional Unix-domain socket path (unix only; ignored elsewhere).
+    pub unix_path: Option<std::path::PathBuf>,
+    /// Worker count == maximum concurrently served connections.
+    pub workers: usize,
+    /// Maximum live sessions (LRU beyond this).
+    pub session_capacity: usize,
+    /// Per-request I/O timeout: a peer that stalls mid-line or refuses
+    /// to accept its reply for longer than this is disconnected.
+    pub io_timeout: Duration,
+    /// How long a draining worker waits for already-sent bytes to
+    /// surface after `shutdown` before closing its connection.
+    pub drain_grace: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:0".into(),
+            unix_path: None,
+            workers: 16,
+            session_capacity: 32,
+            io_timeout: Duration::from_secs(10),
+            drain_grace: Duration::from_millis(500),
+        }
+    }
+}
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+/// Accept-loop poll interval.
+const ACCEPT_TICK: Duration = Duration::from_millis(10);
+
+/// Shared server state: sessions, metrics, the shutdown flag.
+pub struct ServerState {
+    store: SessionStore,
+    metrics: Arc<Registry>,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(config: &Config) -> Self {
+        let metrics = Arc::new(Registry::new());
+        ServerState {
+            store: SessionStore::new(config.session_capacity, metrics.clone()),
+            metrics,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown (same effect as the wire verb).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The metrics registry (for embedding or inspection).
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// The session store.
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+}
+
+/// One duplex client connection (TCP or Unix).
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn set_write_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(d),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(d),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    config: Config,
+    state: Arc<ServerState>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    #[cfg(unix)]
+    unix_listener: Option<UnixListener>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The TCP address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (metrics, store, shutdown flag).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Waits for the server to drain and exit.
+    pub fn join(self) -> std::io::Result<()> {
+        self.join.join().expect("server thread panicked")
+    }
+}
+
+impl Server {
+    /// Binds the listeners described by `config`.
+    pub fn bind(config: Config) -> std::io::Result<Server> {
+        let addrs: Vec<SocketAddr> = config.addr.to_socket_addrs()?.collect();
+        let listener = TcpListener::bind(&addrs[..])?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        #[cfg(unix)]
+        let unix_listener = match &config.unix_path {
+            Some(path) => {
+                // A stale socket file from a dead server blocks bind.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let state = Arc::new(ServerState::new(&config));
+        Ok(Server {
+            config,
+            state,
+            listener,
+            local_addr,
+            #[cfg(unix)]
+            unix_listener,
+        })
+    }
+
+    /// The bound TCP address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Runs the server on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr;
+        let state = self.state.clone();
+        let join = std::thread::Builder::new()
+            .name("tbaad-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn server thread");
+        ServerHandle { addr, state, join }
+    }
+
+    /// Serves until a `shutdown` request arrives and every worker has
+    /// drained its connection.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            config,
+            state,
+            listener,
+            #[cfg(unix)]
+            unix_listener,
+            ..
+        } = self;
+
+        let (tx, rx) = mpsc::channel::<Conn>();
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let state = state.clone();
+            let config = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tbaad-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only long enough to claim
+                        // one connection (a guard in the match scrutinee
+                        // would pin it for the whole serve).
+                        let received = {
+                            let guard = rx.lock().expect("rx poisoned");
+                            guard.recv()
+                        };
+                        let Ok(conn) = received else {
+                            break; // accept loop gone: drain done
+                        };
+                        serve_connection(conn, &state, &config);
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        // Accept loop: poll both listeners until shutdown.
+        while !state.is_shutting_down() {
+            let mut accepted = false;
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = tx.send(Conn::Tcp(stream));
+                    accepted = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(e),
+            }
+            #[cfg(unix)]
+            if let Some(l) = &unix_listener {
+                match l.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = tx.send(Conn::Unix(stream));
+                        accepted = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            if !accepted {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+        }
+
+        // Graceful drain: stop handing out work, let workers finish.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        #[cfg(unix)]
+        if let Some(path) = &config.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// What one read tick produced.
+enum Tick {
+    /// A complete request line (without the newline).
+    Line(String),
+    /// No complete line yet (timeout); `true` if a partial line is pending.
+    Idle(bool),
+    /// Peer closed the connection.
+    Eof,
+}
+
+fn read_tick(reader: &mut BufReader<Conn>, pending: &mut Vec<u8>) -> std::io::Result<Tick> {
+    match reader.read_until(b'\n', pending) {
+        Ok(0) => {
+            if pending.is_empty() {
+                Ok(Tick::Eof)
+            } else {
+                // EOF flushed a final unterminated line; serve it.
+                let line = String::from_utf8_lossy(pending).into_owned();
+                pending.clear();
+                Ok(Tick::Line(line))
+            }
+        }
+        Ok(_) => {
+            debug_assert_eq!(pending.last(), Some(&b'\n'));
+            pending.pop();
+            if pending.last() == Some(&b'\r') {
+                pending.pop();
+            }
+            let line = String::from_utf8_lossy(pending).into_owned();
+            pending.clear();
+            Ok(Tick::Line(line))
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            // `read_until` keeps partial bytes in `pending` across ticks.
+            Ok(Tick::Idle(!pending.is_empty()))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn serve_connection(conn: Conn, state: &Arc<ServerState>, config: &Config) {
+    let _ = conn.set_read_timeout(Some(POLL_TICK));
+    let _ = conn.set_write_timeout(Some(config.io_timeout));
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = conn;
+    let mut pending: Vec<u8> = Vec::new();
+    // Time of the first byte of a partial line (per-request read timeout).
+    let mut partial_since: Option<Instant> = None;
+    // When draining after shutdown, the moment of the last served line.
+    let mut drain_since: Option<Instant> = None;
+
+    loop {
+        match read_tick(&mut reader, &mut pending) {
+            Ok(Tick::Line(line)) => {
+                partial_since = None;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = handle_line(state, &line);
+                let mut bytes = reply.encode().into_bytes();
+                bytes.push(b'\n');
+                if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
+                    return; // peer gone mid-reply
+                }
+                if state.is_shutting_down() {
+                    drain_since = Some(Instant::now());
+                }
+            }
+            Ok(Tick::Idle(has_partial)) => {
+                if has_partial {
+                    let since = *partial_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > config.io_timeout {
+                        return; // stalled mid-request
+                    }
+                } else {
+                    partial_since = None;
+                }
+                if state.is_shutting_down() {
+                    // Drain: anything the peer already sent is either in
+                    // `pending` or arrives within the grace window.
+                    let since = *drain_since.get_or_insert_with(Instant::now);
+                    if !has_partial && since.elapsed() > config.drain_grace {
+                        return;
+                    }
+                }
+            }
+            Ok(Tick::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Parses and dispatches one request line; never panics.
+fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
+    let metrics = state.metrics();
+    let inflight = metrics.gauge("inflight");
+    inflight.inc();
+    let t0 = Instant::now();
+
+    let reply = match decode_request(line) {
+        Err(proto::ProtoError::Json(e)) => {
+            metrics.counter("requests.invalid").inc();
+            error_reply("parse", &e.to_string())
+        }
+        Err(proto::ProtoError::Invalid(m)) => {
+            metrics.counter("requests.invalid").inc();
+            error_reply("proto", &m)
+        }
+        Ok(req) => {
+            metrics.counter(&format!("requests.{}", proto::verb(&req))).inc();
+            match catch_unwind(AssertUnwindSafe(|| dispatch(state, req))) {
+                Ok(reply) => reply,
+                Err(payload) => {
+                    metrics.counter("requests.panics").inc();
+                    let msg = panic_message(payload.as_ref());
+                    error_reply("panic", &format!("request panicked: {msg}"))
+                }
+            }
+        }
+    };
+    if reply.get("ok").and_then(Value::as_bool) == Some(false) {
+        metrics.counter("requests.errors").inc();
+    }
+    metrics
+        .histogram("request_us", LATENCY_US_BUCKETS)
+        .observe_duration(t0.elapsed());
+    inflight.dec();
+    reply
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+fn with_session(
+    state: &ServerState,
+    id: &str,
+    f: impl FnOnce(&Session) -> Value,
+) -> Value {
+    match state.store().by_id(id) {
+        None => error_reply("no_session", &format!("no live session `{id}`")),
+        Some(slot) => match slot.as_ref() {
+            Ok(session) => f(session),
+            // Unreachable in practice: failed compiles are never admitted.
+            Err(diags) => compile_error_reply(diags),
+        },
+    }
+}
+
+fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
+    let metrics = state.metrics();
+    match req {
+        Request::Load {
+            source,
+            bench,
+            scale,
+            paths,
+        } => {
+            let loaded = match (&source, &bench) {
+                (Some(src), None) => Ok(state.store().load_source(src)),
+                (None, Some(name)) => state.store().load_bench(name, scale),
+                _ => unreachable!("decode_request enforces exactly one"),
+            };
+            match loaded {
+                Err(msg) => error_reply("no_bench", &msg),
+                Ok((slot, cached)) => match slot.as_ref() {
+                    Err(diags) => compile_error_reply(diags),
+                    Ok(session) => {
+                        let mut fields = vec![
+                            ("session", Value::Str(session.id.clone())),
+                            ("key", Value::Str(session.key.display())),
+                            ("cached", Value::Bool(cached)),
+                            ("funcs", Value::Int(session.program.funcs.len() as i64)),
+                            ("instrs", Value::Int(session.program.instr_count() as i64)),
+                            (
+                                "heap_refs",
+                                Value::Int(session.program.heap_ref_sites().len() as i64),
+                            ),
+                        ];
+                        if paths {
+                            fields.push((
+                                "paths",
+                                Value::Array(
+                                    session
+                                        .known_paths()
+                                        .into_iter()
+                                        .map(|p| Value::Str(p.to_string()))
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                        ok_reply(fields)
+                    }
+                },
+            }
+        }
+        Request::Alias {
+            session,
+            level,
+            world,
+            pairs,
+        } => with_session(state, &session, |s| {
+            let analysis = s.analysis(level, world);
+            let t0 = Instant::now();
+            let mut results = Vec::with_capacity(pairs.len());
+            for (a, b) in &pairs {
+                let (Some(ap_a), Some(ap_b)) = (s.resolve_path(a), s.resolve_path(b)) else {
+                    let missing = if s.resolve_path(a).is_none() { a } else { b };
+                    return error_reply(
+                        "unknown_path",
+                        &format!(
+                            "unknown access path `{missing}` ({} addressable paths in session `{}`)",
+                            s.known_paths().len(),
+                            s.id
+                        ),
+                    );
+                };
+                results.push(Value::Bool(analysis.may_alias(
+                    &s.program.aps,
+                    ap_a,
+                    ap_b,
+                )));
+            }
+            metrics
+                .histogram("query_us", LATENCY_US_BUCKETS)
+                .observe_duration(t0.elapsed());
+            metrics.counter("queries.alias").add(pairs.len() as u64);
+            ok_reply(vec![
+                ("session", Value::Str(s.id.clone())),
+                ("level", Value::Str(proto::level_name(level).into())),
+                ("world", Value::Str(proto::world_name(world).into())),
+                ("results", Value::Array(results)),
+            ])
+        }),
+        Request::Pairs {
+            session,
+            level,
+            world,
+        } => with_session(state, &session, |s| {
+            let analysis = s.analysis(level, world);
+            let t0 = Instant::now();
+            let counts = count_alias_pairs(&s.program, &*analysis);
+            metrics
+                .histogram("query_us", LATENCY_US_BUCKETS)
+                .observe_duration(t0.elapsed());
+            ok_reply(vec![
+                ("session", Value::Str(s.id.clone())),
+                ("level", Value::Str(proto::level_name(level).into())),
+                ("world", Value::Str(proto::world_name(world).into())),
+                ("references", Value::Int(counts.references as i64)),
+                ("local_pairs", Value::Int(counts.local_pairs as i64)),
+                ("global_pairs", Value::Int(counts.global_pairs as i64)),
+            ])
+        }),
+        Request::Rle {
+            session,
+            level,
+            world,
+        } => with_session(state, &session, |s| {
+            let analysis = s.analysis(level, world);
+            let t0 = Instant::now();
+            let mut prog = (*s.program).clone();
+            let stats = run_rle(&mut prog, &*analysis);
+            metrics
+                .histogram("rle_us", LATENCY_US_BUCKETS)
+                .observe_duration(t0.elapsed());
+            ok_reply(vec![
+                ("session", Value::Str(s.id.clone())),
+                ("level", Value::Str(proto::level_name(level).into())),
+                ("world", Value::Str(proto::world_name(world).into())),
+                ("hoisted", Value::Int(stats.hoisted as i64)),
+                ("eliminated", Value::Int(stats.eliminated as i64)),
+                ("removed", Value::Int(stats.removed() as i64)),
+            ])
+        }),
+        Request::Stats => ok_reply(vec![
+            ("stats", metrics.snapshot()),
+            (
+                "sessions",
+                Value::object(vec![
+                    ("live", Value::Int(state.store().live() as i64)),
+                    ("capacity", Value::Int(state.store().capacity() as i64)),
+                ]),
+            ),
+        ]),
+        Request::Unload { session } => ok_reply(vec![
+            ("unloaded", Value::Bool(state.store().unload(&session))),
+        ]),
+        Request::Shutdown => {
+            state.request_shutdown();
+            ok_reply(vec![("draining", Value::Bool(true))])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> Arc<ServerState> {
+        Arc::new(ServerState::new(&Config::default()))
+    }
+
+    const SMOKE: &str = "MODULE M; TYPE T = OBJECT f: INTEGER; END; VAR t: T; x: INTEGER; BEGIN t := NEW(T); t.f := 1; x := t.f; END M.";
+
+    fn load(state: &Arc<ServerState>, source: &str) -> String {
+        let reply = handle_line(
+            state,
+            &Value::object(vec![
+                ("op", Value::Str("load".into())),
+                ("source", Value::Str(source.into())),
+            ])
+            .encode(),
+        );
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true), "{reply:?}");
+        reply.get("session").unwrap().as_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn load_alias_roundtrip_in_process() {
+        let st = state();
+        let sid = load(&st, SMOKE);
+        let reply = handle_line(
+            &st,
+            &format!(r#"{{"op":"alias","session":"{sid}","pairs":[["t.f","t.f"]]}}"#),
+        );
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+        let results = reply.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results, &[Value::Bool(true)]);
+    }
+
+    #[test]
+    fn unknown_path_is_structured_error() {
+        let st = state();
+        let sid = load(&st, SMOKE);
+        let reply = handle_line(
+            &st,
+            &format!(r#"{{"op":"alias","session":"{sid}","ap1":"t.f","ap2":"nope"}}"#),
+        );
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+        let err = reply.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("unknown_path"));
+    }
+
+    #[test]
+    fn malformed_source_returns_compile_diagnostics() {
+        let st = state();
+        let reply = handle_line(
+            &st,
+            &Value::object(vec![
+                ("op", Value::Str("load".into())),
+                ("source", Value::Str("MODULE Broken".into())),
+            ])
+            .encode(),
+        );
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+        let err = reply.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("compile"));
+        assert!(!err.get("diagnostics").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_json_and_bad_ops_reply_instead_of_dropping() {
+        let st = state();
+        let r1 = handle_line(&st, "this is not json");
+        assert_eq!(
+            r1.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("parse")
+        );
+        let r2 = handle_line(&st, r#"{"op":"zap"}"#);
+        assert_eq!(
+            r2.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("proto")
+        );
+        let r3 = handle_line(&st, r#"{"op":"alias","session":"s99","ap1":"a","ap2":"b"}"#);
+        assert_eq!(
+            r3.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("no_session")
+        );
+    }
+
+    #[test]
+    fn panicking_request_is_contained() {
+        let st = state();
+        // A panic inside dispatch must become a structured reply. Force
+        // one through the catch_unwind boundary directly.
+        let reply = match catch_unwind(AssertUnwindSafe(|| -> Value {
+            panic!("boom");
+        })) {
+            Ok(v) => v,
+            Err(p) => error_reply("panic", &format!("request panicked: {}", panic_message(p.as_ref()))),
+        };
+        assert_eq!(
+            reply.get("error").unwrap().get("message").unwrap().as_str(),
+            Some("request panicked: boom")
+        );
+        // And the server state stays usable afterwards.
+        let sid = load(&st, SMOKE);
+        assert!(st.store().by_id(&sid).is_some());
+    }
+
+    #[test]
+    fn stats_reflects_requests() {
+        let st = state();
+        let sid = load(&st, SMOKE);
+        handle_line(
+            &st,
+            &format!(r#"{{"op":"alias","session":"{sid}","ap1":"t.f","ap2":"t.f"}}"#),
+        );
+        let stats = handle_line(&st, r#"{"op":"stats"}"#);
+        let counters = stats.get("stats").unwrap().get("counters").unwrap();
+        assert_eq!(counters.get("requests.load").unwrap().as_i64(), Some(1));
+        assert_eq!(counters.get("requests.alias").unwrap().as_i64(), Some(1));
+        assert_eq!(counters.get("sessions.compiles").unwrap().as_i64(), Some(1));
+        assert_eq!(
+            stats.get("sessions").unwrap().get("live").unwrap().as_i64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shutdown_flips_the_flag() {
+        let st = state();
+        let reply = handle_line(&st, r#"{"op":"shutdown"}"#);
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+        assert!(st.is_shutting_down());
+    }
+}

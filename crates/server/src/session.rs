@@ -1,0 +1,410 @@
+//! Sessions: compiled programs the server keeps warm between requests.
+//!
+//! A *session* is one compiled program (`Arc<Program>`) plus a memo of
+//! built [`Tbaa`] analyses per `(level, world)` — the same
+//! compile-once / analyze-once discipline as the evaluation `Engine` in
+//! `crates/bench`, via the shared [`tbaa::memo::Memo`].
+//!
+//! The [`SessionStore`] is keyed by **content** ([`SessionKey`]): loading
+//! the same benchsuite program (or byte-identical source) twice — even
+//! concurrently from many connections — compiles it exactly once and
+//! returns the same session id. Capacity is bounded by an LRU policy;
+//! `unload` evicts explicitly.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mini_m3::Diagnostics;
+use tbaa::analysis::{Level, Tbaa};
+use tbaa::memo::Memo;
+use tbaa::World;
+use tbaa_benchsuite::Benchmark;
+use tbaa_ir::ir::Program;
+use tbaa_ir::path::ApId;
+use tbaa_ir::pretty;
+
+use crate::metrics::{Counter, Histogram, Registry, LATENCY_US_BUCKETS};
+
+/// Content identity of a session.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SessionKey {
+    /// A named benchsuite program at a workload scale.
+    Bench {
+        /// Program name (e.g. `ktree`).
+        name: String,
+        /// Workload scale.
+        scale: u32,
+    },
+    /// Inline source, identified by a 64-bit FNV-1a hash of the bytes.
+    Source {
+        /// Content hash.
+        hash: u64,
+    },
+}
+
+impl SessionKey {
+    /// A stable, human-readable spelling (`bench:ktree@2`, `src:1a2b…`).
+    pub fn display(&self) -> String {
+        match self {
+            SessionKey::Bench { name, scale } => format!("bench:{name}@{scale}"),
+            SessionKey::Source { hash } => format!("src:{hash:016x}"),
+        }
+    }
+}
+
+/// FNV-1a, the classic 64-bit offset/prime pair.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One compiled program plus its memoized analyses.
+pub struct Session {
+    /// The id handed to clients (`s1`, `s2`, …; stable per content).
+    pub id: String,
+    /// Content identity.
+    pub key: SessionKey,
+    /// The compiled program.
+    pub program: Arc<Program>,
+    /// Pretty access-path string → interned ApId, for query resolution.
+    paths: HashMap<String, ApId>,
+    analyses: Memo<(Level, World), Tbaa>,
+    analyses_requested: Arc<Counter>,
+    analyses_built: Arc<Counter>,
+    analysis_us: Arc<Histogram>,
+}
+
+impl Session {
+    fn new(id: String, key: SessionKey, program: Program, metrics: &Registry) -> Self {
+        let program = Arc::new(program);
+        let mut paths = HashMap::new();
+        for (_f, ap, _is_store) in program.heap_ref_sites() {
+            paths
+                .entry(pretty::access_path(&program, ap))
+                .or_insert(ap);
+        }
+        Session {
+            id,
+            key,
+            program,
+            paths,
+            analyses: Memo::new(),
+            analyses_requested: metrics.counter("analyses.requested"),
+            analyses_built: metrics.counter("analyses.built"),
+            analysis_us: metrics.histogram("analysis_us", LATENCY_US_BUCKETS),
+        }
+    }
+
+    /// The analysis for `(level, world)`, built at most once per session.
+    pub fn analysis(&self, level: Level, world: World) -> Arc<Tbaa> {
+        self.analyses_requested.inc();
+        self.analyses.get_or_build((level, world), || {
+            self.analyses_built.inc();
+            let t0 = Instant::now();
+            let tbaa = Tbaa::build(&self.program, level, world);
+            self.analysis_us.observe_duration(t0.elapsed());
+            tbaa
+        })
+    }
+
+    /// Resolves a pretty access-path string (as printed by
+    /// `tbaa_ir::pretty::access_path`, e.g. `t.f` or `v^.next`) to its
+    /// interned id. Only paths that occur at heap reference sites are
+    /// addressable.
+    pub fn resolve_path(&self, path: &str) -> Option<ApId> {
+        self.paths.get(path).copied()
+    }
+
+    /// The addressable access paths, sorted (for error messages / docs).
+    pub fn known_paths(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.paths.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+type SessionSlot = Result<Session, Diagnostics>;
+
+/// A bounded, content-keyed, compile-once session cache.
+pub struct SessionStore {
+    capacity: usize,
+    sessions: Memo<SessionKey, SessionSlot>,
+    /// LRU order (front = coldest) plus the id → key index.
+    index: Mutex<StoreIndex>,
+    next_id: AtomicU64,
+    metrics: Arc<Registry>,
+    compiles: Arc<Counter>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    compile_us: Arc<Histogram>,
+}
+
+#[derive(Default)]
+struct StoreIndex {
+    lru: Vec<SessionKey>,
+    by_id: HashMap<String, SessionKey>,
+}
+
+impl SessionStore {
+    /// A store holding at most `capacity` live sessions.
+    pub fn new(capacity: usize, metrics: Arc<Registry>) -> Self {
+        SessionStore {
+            capacity: capacity.max(1),
+            sessions: Memo::new(),
+            index: Mutex::new(StoreIndex::default()),
+            next_id: AtomicU64::new(1),
+            compiles: metrics.counter("sessions.compiles"),
+            hits: metrics.counter("sessions.hits"),
+            misses: metrics.counter("sessions.misses"),
+            evictions: metrics.counter("sessions.evictions"),
+            compile_us: metrics.histogram("compile_us", LATENCY_US_BUCKETS),
+            metrics,
+        }
+    }
+
+    /// Maximum number of live sessions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live sessions.
+    pub fn live(&self) -> usize {
+        self.index.lock().expect("store poisoned").lru.len()
+    }
+
+    /// Loads a benchsuite program (compiling at most once per
+    /// `(name, scale)`, no matter how many threads race). The boolean is
+    /// `true` when the session was already warm (a cache hit).
+    pub fn load_bench(&self, name: &str, scale: u32) -> Result<(Arc<SessionSlot>, bool), String> {
+        let bench = Benchmark::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+        let key = SessionKey::Bench {
+            name: name.to_string(),
+            scale,
+        };
+        Ok(self.load_with(key, || bench.compile(scale)))
+    }
+
+    /// Loads inline source (compiling at most once per content hash).
+    /// The boolean is `true` on a cache hit.
+    pub fn load_source(&self, source: &str) -> (Arc<SessionSlot>, bool) {
+        let key = SessionKey::Source {
+            hash: content_hash(source.as_bytes()),
+        };
+        let source = source.to_string();
+        self.load_with(key, move || tbaa_ir::compile_to_ir(&source))
+    }
+
+    fn load_with(
+        &self,
+        key: SessionKey,
+        compile: impl FnOnce() -> Result<Program, Diagnostics>,
+    ) -> (Arc<SessionSlot>, bool) {
+        let mut built_here = false;
+        let slot = self.sessions.get_or_build(key.clone(), || {
+            built_here = true;
+            self.compiles.inc();
+            let t0 = Instant::now();
+            let compiled = compile();
+            self.compile_us.observe_duration(t0.elapsed());
+            compiled.map(|program| {
+                let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+                Session::new(id, key.clone(), program, &self.metrics)
+            })
+        });
+        let cached = match (&*slot, built_here) {
+            (Err(_), _) => {
+                // Don't cache failures: the client may retry with fixed
+                // source, and a failed compile holds no reusable state.
+                self.sessions.remove(&key);
+                self.misses.inc();
+                false
+            }
+            (Ok(session), true) => {
+                self.misses.inc();
+                self.admit(key, &session.id);
+                false
+            }
+            (Ok(session), false) => {
+                self.hits.inc();
+                // Admit (not just touch): a hit thread can win the memo
+                // race and reply before the builder thread has indexed
+                // the id — its client's next query must still resolve.
+                self.admit(key, &session.id);
+                true
+            }
+        };
+        (slot, cached)
+    }
+
+    /// Looks a session up by client-visible id, refreshing its LRU slot.
+    pub fn by_id(&self, id: &str) -> Option<Arc<SessionSlot>> {
+        let key = {
+            let index = self.index.lock().expect("store poisoned");
+            index.by_id.get(id)?.clone()
+        };
+        let slot = self.sessions.get(&key)?;
+        self.touch(&key);
+        Some(slot)
+    }
+
+    /// Drops a session by id. Returns whether it was live.
+    pub fn unload(&self, id: &str) -> bool {
+        let key = {
+            let mut index = self.index.lock().expect("store poisoned");
+            let Some(key) = index.by_id.remove(id) else {
+                return false;
+            };
+            index.lru.retain(|k| k != &key);
+            key
+        };
+        self.sessions.remove(&key);
+        true
+    }
+
+    fn admit(&self, key: SessionKey, id: &str) {
+        let evicted: Vec<SessionKey> = {
+            let mut index = self.index.lock().expect("store poisoned");
+            index.by_id.insert(id.to_string(), key.clone());
+            index.lru.retain(|k| k != &key);
+            index.lru.push(key);
+            let mut evicted = Vec::new();
+            while index.lru.len() > self.capacity {
+                let cold = index.lru.remove(0);
+                index.by_id.retain(|_, k| k != &cold);
+                evicted.push(cold);
+            }
+            evicted
+        };
+        for key in evicted {
+            self.evictions.inc();
+            self.sessions.remove(&key);
+        }
+    }
+
+    fn touch(&self, key: &SessionKey) {
+        let mut index = self.index.lock().expect("store poisoned");
+        if let Some(pos) = index.lru.iter().position(|k| k == key) {
+            let k = index.lru.remove(pos);
+            index.lru.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = "MODULE M;
+         TYPE T = OBJECT f: INTEGER; END;
+         VAR t: T; x, y: INTEGER;
+         BEGIN t := NEW(T); t.f := 1; x := t.f; y := t.f; END M.";
+
+    fn store(capacity: usize) -> SessionStore {
+        SessionStore::new(capacity, Arc::new(Registry::new()))
+    }
+
+    #[test]
+    fn load_is_idempotent_per_content() {
+        let store = store(8);
+        let (a, a_cached) = store.load_bench("ktree", 1).unwrap();
+        let (b, b_cached) = store.load_bench("ktree", 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!a_cached && b_cached);
+        assert_eq!(store.compiles.get(), 1);
+        assert_eq!(store.hits.get(), 1);
+        let s = a.as_ref().as_ref().unwrap();
+        assert_eq!(store.by_id(&s.id).map(|x| Arc::ptr_eq(&x, &a)), Some(true));
+        // A different scale is a different session.
+        store.load_bench("ktree", 2).unwrap();
+        assert_eq!(store.compiles.get(), 2);
+        assert_eq!(store.live(), 2);
+    }
+
+    #[test]
+    fn source_sessions_hash_content() {
+        let store = store(8);
+        let (a, _) = store.load_source(SMOKE);
+        let (b, cached) = store.load_source(SMOKE);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(cached);
+        assert_eq!(store.compiles.get(), 1);
+        let s = a.as_ref().as_ref().unwrap();
+        assert!(s.resolve_path("t.f").is_some());
+        assert!(s.resolve_path("nope").is_none());
+    }
+
+    #[test]
+    fn analyses_build_once_per_level_world() {
+        let store = store(8);
+        let (slot, _) = store.load_source(SMOKE);
+        let s = slot.as_ref().as_ref().unwrap();
+        let a1 = s.analysis(Level::SmFieldTypeRefs, World::Closed);
+        let a2 = s.analysis(Level::SmFieldTypeRefs, World::Closed);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        let open = s.analysis(Level::SmFieldTypeRefs, World::Open);
+        assert!(!Arc::ptr_eq(&a1, &open));
+        assert_eq!(s.analyses_built.get(), 2);
+        assert_eq!(s.analyses_requested.get(), 3);
+    }
+
+    #[test]
+    fn compile_failures_are_not_cached() {
+        let store = store(8);
+        let (bad, cached) = store.load_source("MODULE Broken");
+        assert!(bad.as_ref().is_err());
+        assert!(!cached);
+        assert_eq!(store.live(), 0);
+        let (again, _) = store.load_source("MODULE Broken");
+        assert!(again.as_ref().is_err());
+        assert_eq!(store.compiles.get(), 2, "failures recompile");
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let store = store(2);
+        let (a, _) = store.load_bench("ktree", 1).unwrap();
+        let a_id = a.as_ref().as_ref().unwrap().id.clone();
+        store.load_bench("format", 1).unwrap();
+        // Touch ktree so format is coldest.
+        store.load_bench("ktree", 1).unwrap();
+        store.load_bench("slisp", 1).unwrap();
+        assert_eq!(store.live(), 2);
+        assert_eq!(store.evictions.get(), 1);
+        assert!(store.by_id(&a_id).is_some(), "ktree survived (was touched)");
+        // format was evicted; reloading recompiles.
+        let before = store.compiles.get();
+        store.load_bench("format", 1).unwrap();
+        assert_eq!(store.compiles.get(), before + 1);
+    }
+
+    #[test]
+    fn unload_drops_and_allows_reload() {
+        let store = store(8);
+        let (slot, _) = store.load_bench("ktree", 1).unwrap();
+        let id = slot.as_ref().as_ref().unwrap().id.clone();
+        assert!(store.unload(&id));
+        assert!(!store.unload(&id), "second unload is a no-op");
+        assert!(store.by_id(&id).is_none());
+        assert_eq!(store.live(), 0);
+    }
+
+    #[test]
+    fn concurrent_loads_compile_once() {
+        let store = store(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| store.load_bench("ktree", 1).unwrap());
+            }
+        });
+        assert_eq!(store.compiles.get(), 1);
+        assert_eq!(store.live(), 1);
+    }
+}

@@ -16,4 +16,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== bench targets compile (feature bench-deps)"
 cargo build --release -p tbaa-bench --benches --features bench-deps
 
+echo "== tbaad server smoke test"
+scripts/server_smoke.sh
+
 echo "All checks passed."

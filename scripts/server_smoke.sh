@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke-test the tbaad daemon end to end: start it on an ephemeral port,
+# load a benchsuite program, run a batched alias query, shut down
+# cleanly, and check the daemon exits 0 after draining.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TBAAD=target/release/tbaad
+if [[ ! -x "$TBAAD" ]]; then
+    echo "== building tbaad (release)"
+    cargo build --release -p tbaa-server --bin tbaad
+fi
+
+OUT=$(mktemp)
+trap 'rm -f "$OUT"; kill "$PID" 2>/dev/null || true' EXIT
+
+"$TBAAD" --addr 127.0.0.1:0 > "$OUT" 2>/dev/null &
+PID=$!
+
+# Scrape the ephemeral port from the startup line.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^tbaad listening on //p' "$OUT")
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "tbaad did not start"; exit 1; }
+PORT=${ADDR##*:}
+echo "== tbaad up on port $PORT"
+
+# Drive the protocol with a tiny python client: load, batched alias,
+# stats, shutdown — asserting on every reply.
+python3 - "$PORT" <<'EOF'
+import json, socket, sys
+
+port = int(sys.argv[1])
+sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+io = sock.makefile("rw", newline="\n")
+
+def rpc(obj):
+    io.write(json.dumps(obj) + "\n")
+    io.flush()
+    reply = json.loads(io.readline())
+    return reply
+
+load = rpc({"op": "load", "bench": "ktree", "scale": 1, "paths": True})
+assert load["ok"], load
+assert load["heap_refs"] > 0, load
+paths = load["paths"]
+assert len(paths) >= 2, paths
+
+pairs = [[paths[0], paths[1]], [paths[0], paths[0]]]
+alias = rpc({"op": "alias", "session": load["session"], "pairs": pairs})
+assert alias["ok"], alias
+assert len(alias["results"]) == 2, alias
+assert alias["results"][1] is True, "identical paths must alias"
+
+stats = rpc({"op": "stats"})
+assert stats["ok"], stats
+assert stats["stats"]["counters"]["sessions.compiles"] == 1, stats
+
+down = rpc({"op": "shutdown"})
+assert down["ok"] and down["draining"], down
+print("smoke queries ok: %d paths, results %s" % (len(paths), alias["results"]))
+EOF
+
+# The daemon must drain and exit 0 on its own.
+for _ in $(seq 1 100); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then
+    echo "tbaad did not exit after shutdown"
+    exit 1
+fi
+wait "$PID"
+echo "== tbaad drained and exited cleanly"

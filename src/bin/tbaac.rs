@@ -6,6 +6,8 @@
 //! tbaac run    <file.m3> [opts]              execute and print counters
 //! tbaac sim    <file.m3> [opts]              simulate (cycles + cache)
 //! tbaac alias  <file.m3> [--level L]         list heap refs + alias pairs
+//! tbaac serve  [--addr A] [...]              run the tbaad daemon in-process
+//! tbaac query  [--addr A] <verb> [...]       one-shot client against tbaad
 //!
 //! opts: --level typedecl|fields|merges   (default merges)
 //!       --world closed|open              (default closed)
@@ -13,14 +15,25 @@
 //!       --pre                            run RLE + PRE
 //!       --full                           devirt + inline + RLE
 //!       --steensgaard                    drive RLE with Steensgaard
+//!
+//! query verbs (program from --bench NAME [--scale N] or --file F):
+//!       alias AP1 AP2      one may-alias verdict
+//!       pairs              Table-5 style pair counts
+//!       rle                static RLE report
+//!       paths              list addressable access paths
+//!       stats              server metrics snapshot
 //! ```
 
 use std::process::ExitCode;
 use tbaa_repro::alias::{AliasAnalysis, Level, Steensgaard, Tbaa, World};
 use tbaa_repro::ir::{self, pretty, Program};
 use tbaa_repro::opt::{self, OptOptions};
+use tbaa_repro::server;
 use tbaa_repro::sim;
 use tbaa_repro::sim::interp::{run, NullHook, RunConfig};
+
+/// Where `tbaac serve` listens and `tbaac query` connects by default.
+const DEFAULT_ADDR: &str = "127.0.0.1:4980";
 
 struct Opts {
     level: Level,
@@ -33,8 +46,13 @@ struct Opts {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return cmd_serve(&args[1..]),
+        Some("query") => return cmd_query(&args[1..]),
+        _ => {}
+    }
     let (Some(cmd), Some(file)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: tbaac <check|ir|run|sim|alias> <file.m3> [options]");
+        eprintln!("usage: tbaac <check|ir|run|sim|alias|serve|query> <file.m3> [options]");
         return ExitCode::FAILURE;
     };
     let mut opts = Opts {
@@ -177,6 +195,266 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `tbaac serve` — run the daemon in the foreground (same flags as
+/// the standalone `tbaad` binary).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut config = server::Config {
+        addr: DEFAULT_ADDR.into(),
+        ..server::Config::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--addr" => match value {
+                Some(a) => config.addr = a.clone(),
+                None => return serve_usage("--addr needs HOST:PORT"),
+            },
+            "--socket" => match value {
+                Some(p) => config.unix_path = Some(p.into()),
+                None => return serve_usage("--socket needs PATH"),
+            },
+            "--workers" => match value.and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => config.workers = n,
+                _ => return serve_usage("--workers needs a positive integer"),
+            },
+            "--capacity" => match value.and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => config.session_capacity = n,
+                _ => return serve_usage("--capacity needs a positive integer"),
+            },
+            other => return serve_usage(&format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    let srv = match server::Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tbaac serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("tbaad listening on {}", srv.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match srv.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tbaac serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_usage(msg: &str) -> ExitCode {
+    eprintln!("tbaac serve: {msg}");
+    eprintln!("usage: tbaac serve [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N]");
+    ExitCode::FAILURE
+}
+
+/// `tbaac query` — one-shot client: load a program into the daemon's
+/// session cache (warm across invocations!) and run one verb.
+fn cmd_query(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut bench: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut scale: u32 = server::proto::DEFAULT_SCALE;
+    let mut level: Option<String> = None;
+    let mut world: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--addr" => match value {
+                Some(a) => addr = a.clone(),
+                None => return query_usage("--addr needs HOST:PORT"),
+            },
+            "--bench" => match value {
+                Some(b) => bench = Some(b.clone()),
+                None => return query_usage("--bench needs a program name"),
+            },
+            "--file" => match value {
+                Some(f) => file = Some(f.clone()),
+                None => return query_usage("--file needs a path"),
+            },
+            "--scale" => match value.and_then(|s| s.parse().ok()) {
+                Some(n) if (1..=64).contains(&n) => scale = n,
+                _ => return query_usage("--scale needs 1..=64"),
+            },
+            "--level" => match value {
+                Some(l) => level = Some(l.clone()),
+                None => return query_usage("--level needs a name"),
+            },
+            "--world" => match value {
+                Some(w) => world = Some(w.clone()),
+                None => return query_usage("--world needs closed|open"),
+            },
+            positional => {
+                rest.push(positional.to_string());
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    let Some(verb) = rest.first().cloned() else {
+        return query_usage("missing verb");
+    };
+
+    let mut client = match server::Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tbaac query: cannot reach tbaad at {addr}: {e}");
+            eprintln!("hint: start one with `tbaac serve` or `tbaad`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = client.set_timeout(Some(std::time::Duration::from_secs(60)));
+
+    if verb == "stats" {
+        return match client.stats() {
+            Ok(v) => {
+                println!("{}", v.encode());
+                ExitCode::SUCCESS
+            }
+            Err(e) => query_fail(&e),
+        };
+    }
+
+    // Every other verb needs a loaded session.
+    let want_paths = verb == "paths";
+    let load = match (&bench, &file) {
+        (Some(name), None) => client.load_bench_with(name, scale, want_paths),
+        (None, Some(path)) => {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tbaac query: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if want_paths {
+                // The typed helper has no paths flag for sources; go raw.
+                client
+                    .request_raw(&format!(
+                        r#"{{"op":"load","source":{},"paths":true}}"#,
+                        server::json::Value::Str(source).encode()
+                    ))
+                    .and_then(|raw| match server::json::parse(&raw) {
+                        Ok(v) if v.get("ok").and_then(server::json::Value::as_bool)
+                            == Some(true) =>
+                        {
+                            Ok(server::LoadReply {
+                                session: v
+                                    .get("session")
+                                    .and_then(server::json::Value::as_str)
+                                    .unwrap_or("")
+                                    .to_string(),
+                                cached: false,
+                                key: String::new(),
+                                heap_refs: 0,
+                                paths: v
+                                    .get("paths")
+                                    .and_then(server::json::Value::as_array)
+                                    .map(|a| {
+                                        a.iter()
+                                            .filter_map(server::json::Value::as_str)
+                                            .map(str::to_string)
+                                            .collect()
+                                    })
+                                    .unwrap_or_default(),
+                                raw,
+                            })
+                        }
+                        _ => Err(server::ClientError::Protocol(format!(
+                            "load failed: {raw}"
+                        ))),
+                    })
+            } else {
+                client.load_source(&source)
+            }
+        }
+        _ => return query_usage("need exactly one of --bench NAME or --file F"),
+    };
+    let load = match load {
+        Ok(l) => l,
+        Err(e) => return query_fail(&e),
+    };
+
+    let level = level.as_deref();
+    let world = world.as_deref();
+    match verb.as_str() {
+        "alias" => {
+            let (Some(ap1), Some(ap2)) = (rest.get(1), rest.get(2)) else {
+                return query_usage("alias needs two access paths");
+            };
+            match client.alias(
+                &load.session,
+                level,
+                world,
+                &[(ap1.clone(), ap2.clone())],
+            ) {
+                Ok(reply) => {
+                    println!(
+                        "{} ~ {}: {}",
+                        ap1,
+                        ap2,
+                        if reply.results[0] { "may alias" } else { "no alias" }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => query_fail(&e),
+            }
+        }
+        "pairs" => match client.pairs(&load.session, level, world) {
+            Ok(p) => {
+                println!(
+                    "{} references, {} local pairs, {} global pairs",
+                    p.references, p.local_pairs, p.global_pairs
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => query_fail(&e),
+        },
+        "rle" => match client.rle(&load.session, level, world) {
+            Ok(r) => {
+                println!(
+                    "RLE: hoisted {}, eliminated {}, removed {}",
+                    r.hoisted, r.eliminated, r.removed
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => query_fail(&e),
+        },
+        "paths" => {
+            for p in &load.paths {
+                println!("{p}");
+            }
+            ExitCode::SUCCESS
+        }
+        other => query_usage(&format!("unknown verb `{other}`")),
+    }
+}
+
+fn query_fail(e: &server::ClientError) -> ExitCode {
+    eprintln!("tbaac query: {e}");
+    if let server::ClientError::Server { diagnostics, .. } = e {
+        for d in diagnostics {
+            eprintln!("  [{}..{}] {} error: {}", d.start, d.end, d.phase, d.message);
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn query_usage(msg: &str) -> ExitCode {
+    eprintln!("tbaac query: {msg}");
+    eprintln!(
+        "usage: tbaac query [--addr HOST:PORT] (--bench NAME [--scale N] | --file F.m3) \
+         <alias AP1 AP2 | pairs | rle | paths | stats> [--level L] [--world W]"
+    );
+    ExitCode::FAILURE
 }
 
 fn apply_opts(prog: &mut Program, opts: &Opts) {

@@ -16,7 +16,9 @@
 //! * [`alias`] — the paper's analyses (`tbaa`);
 //! * [`opt`] — RLE, mod-ref, devirtualization, inlining (`tbaa-opt`);
 //! * [`sim`] — interpreter, cache model, limit study (`tbaa-sim`);
-//! * [`benchsuite`] — the ten benchmark programs (`tbaa-benchsuite`).
+//! * [`benchsuite`] — the ten benchmark programs (`tbaa-benchsuite`);
+//! * [`server`] — `tbaad`, the persistent alias-query daemon, and its
+//!   client (`tbaa-server`).
 //!
 //! ## Quick start
 //!
@@ -53,6 +55,7 @@ pub use tbaa as alias;
 pub use tbaa_benchsuite as benchsuite;
 pub use tbaa_ir as ir;
 pub use tbaa_opt as opt;
+pub use tbaa_server as server;
 pub use tbaa_sim as sim;
 
 /// A builder for the compile → analyze → optimize pipeline.
@@ -78,8 +81,9 @@ pub use tbaa_sim as sim;
 /// ```
 ///
 /// The pipeline's `level`/`world` apply to every pass and to the final
-/// analysis handle; any `level`/`world` inside the passed [`OptOptions`]
-/// are overridden so there is a single source of truth.
+/// analysis handle; any `level`/`world` inside the passed
+/// [`OptOptions`](opt::OptOptions) are overridden so there is a single
+/// source of truth.
 #[derive(Debug, Clone)]
 pub struct Pipeline<'a> {
     source: &'a str,
@@ -126,8 +130,8 @@ impl<'a> Pipeline<'a> {
     }
 
     /// Enables optimization with the given pass selection. The options'
-    /// `level`/`world` are replaced by the pipeline's at [`run`]
-    /// (Pipeline::run) time.
+    /// `level`/`world` are replaced by the pipeline's at
+    /// [`run`](Pipeline::run) time.
     pub fn optimize(mut self, opts: opt::OptOptions) -> Self {
         self.opts = Some(opts);
         self

@@ -1,0 +1,101 @@
+//! Error-path coverage for the [`tbaa_repro::Pipeline`] facade and its
+//! wire-protocol twin: malformed MiniM3 must surface *structured*
+//! diagnostics — never a panic — both in-process through
+//! `Pipeline::run` and over the `tbaad` protocol, and the two must
+//! carry the same phase/span/message data.
+
+use tbaa_repro::server::{Client, ClientError, Config, Server};
+use tbaa_repro::Pipeline;
+
+/// (label, source, phase expected in at least one diagnostic)
+const BROKEN: &[(&str, &str, &str)] = &[
+    ("lex", "MODULE M; VAR x: INTEGER; BEGIN x := 1 ? 2; END M.", "lex"),
+    ("parse", "MODULE Broken", "parse"),
+    (
+        "check",
+        "MODULE M; VAR x: INTEGER; BEGIN x := nonexistent; END M.",
+        "check",
+    ),
+    (
+        "check-type",
+        "MODULE M; TYPE T = OBJECT f: INTEGER; END; VAR x: INTEGER; \
+         BEGIN x := NEW(T); END M.",
+        "check",
+    ),
+];
+
+#[test]
+fn pipeline_run_surfaces_structured_diagnostics() {
+    for (label, source, want_phase) in BROKEN {
+        let diags = match Pipeline::new(source).run() {
+            Err(d) => d,
+            Ok(_) => panic!("`{label}` source must not compile"),
+        };
+        assert!(diags.has_errors(), "{label}: diagnostics non-empty");
+        let mut phases = Vec::new();
+        for d in diags.iter() {
+            phases.push(d.phase.to_string());
+            assert!(
+                (d.span.end as usize) <= source.len() && d.span.start <= d.span.end,
+                "{label}: span {}..{} inside the {}-byte source",
+                d.span.start,
+                d.span.end,
+                source.len()
+            );
+            assert!(!d.message.is_empty(), "{label}: message non-empty");
+        }
+        assert!(
+            phases.iter().any(|p| p == want_phase),
+            "{label}: expected a `{want_phase}` diagnostic, got {phases:?}"
+        );
+    }
+}
+
+/// The wire protocol carries exactly the diagnostics `Pipeline::run`
+/// produces in-process — same phases, spans, and messages, in order.
+#[test]
+fn wire_diagnostics_match_in_process_diagnostics() {
+    let handle = Server::bind(Config::default()).expect("bind").spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+
+    for (label, source, _phase) in BROKEN {
+        let local = match Pipeline::new(source).run() {
+            Err(d) => d,
+            Ok(_) => panic!("`{label}` source must not compile"),
+        };
+        let wire = match client.load_source(source) {
+            Err(ClientError::Server {
+                kind, diagnostics, ..
+            }) => {
+                assert_eq!(kind, "compile", "{label}");
+                diagnostics
+            }
+            other => panic!("{label}: expected a compile error over the wire: {other:?}"),
+        };
+        assert_eq!(wire.len(), local.len(), "{label}: same diagnostic count");
+        for (w, l) in wire.iter().zip(local.iter()) {
+            assert_eq!(w.phase, l.phase.to_string(), "{label}");
+            assert_eq!(w.start, l.span.start as i64, "{label}");
+            assert_eq!(w.end, l.span.end as i64, "{label}");
+            assert_eq!(w.message, l.message, "{label}");
+        }
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
+}
+
+/// `Pipeline::run` with optimization requested still fails cleanly on
+/// bad source (the optimizer never sees a broken program).
+#[test]
+fn optimizing_pipeline_fails_cleanly_on_bad_source() {
+    let result = Pipeline::new("MODULE Broken")
+        .level(tbaa_repro::alias::Level::TypeDecl)
+        .world(tbaa_repro::alias::World::Open)
+        .optimize(tbaa_repro::opt::OptOptions::builder().rle(true).build())
+        .run();
+    assert!(result.is_err());
+}
