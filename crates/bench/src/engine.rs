@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex};
 
 use tbaa::analysis::{Level, Tbaa};
 use tbaa::memo::Memo;
-use tbaa::{count_alias_pairs, World};
+use tbaa::{count_alias_pairs, CompiledAliasEngine, World};
 use tbaa_benchsuite::{suite, Benchmark};
 use tbaa_ir::ir::Program;
 use tbaa_opt::rle::run_rle;
@@ -62,6 +62,8 @@ pub struct EngineStats {
     pub compiles: usize,
     /// `Tbaa::build` invocations that were cache misses.
     pub analyses_built: usize,
+    /// Compiled query engines materialized.
+    pub engines_compiled: usize,
     /// Optimized program variants materialized.
     pub variants_built: usize,
     /// Interpreter / simulator executions.
@@ -74,12 +76,14 @@ pub struct Engine {
     threads: usize,
     programs: Memo<&'static str, Program>,
     analyses: Memo<(&'static str, Level, World), Tbaa>,
+    compiled: Memo<(&'static str, Level, World), CompiledAliasEngine>,
     optimized: Memo<(&'static str, OptOptions), (Program, OptReport)>,
     counts: Memo<(&'static str, Variant), ExecCounts>,
     cycles: Memo<(&'static str, Variant), f64>,
     traces: Memo<(&'static str, Variant), RedundancyTrace>,
     compiles: AtomicUsize,
     analyses_built: AtomicUsize,
+    engines_compiled: AtomicUsize,
     variants_built: AtomicUsize,
     executions: AtomicUsize,
 }
@@ -106,12 +110,14 @@ impl Engine {
             threads: threads.max(1),
             programs: Memo::new(),
             analyses: Memo::new(),
+            compiled: Memo::new(),
             optimized: Memo::new(),
             counts: Memo::new(),
             cycles: Memo::new(),
             traces: Memo::new(),
             compiles: AtomicUsize::new(0),
             analyses_built: AtomicUsize::new(0),
+            engines_compiled: AtomicUsize::new(0),
             variants_built: AtomicUsize::new(0),
             executions: AtomicUsize::new(0),
         }
@@ -139,6 +145,7 @@ impl Engine {
         EngineStats {
             compiles: self.compiles.load(Ordering::Relaxed),
             analyses_built: self.analyses_built.load(Ordering::Relaxed),
+            engines_compiled: self.engines_compiled.load(Ordering::Relaxed),
             variants_built: self.variants_built.load(Ordering::Relaxed),
             executions: self.executions.load(Ordering::Relaxed),
         }
@@ -161,6 +168,19 @@ impl Engine {
         self.analyses.get_or_build((b.name, level, world), || {
             self.analyses_built.fetch_add(1, Ordering::Relaxed);
             Tbaa::build(&prog, level, world)
+        })
+    }
+
+    /// The compiled query engine over the benchmark's *base* program,
+    /// built once per `(program, level, world)` on top of the memoized
+    /// analysis. Alias-pair enumeration queries this instead of the
+    /// naive path walk; answers are identical.
+    pub fn compiled(&self, b: &Benchmark, level: Level, world: World) -> Arc<CompiledAliasEngine> {
+        let prog = self.program(b);
+        let analysis = self.analysis(b, level, world);
+        self.compiled.get_or_build((b.name, level, world), || {
+            self.engines_compiled.fetch_add(1, Ordering::Relaxed);
+            CompiledAliasEngine::compile(&prog, analysis)
         })
     }
 
@@ -302,8 +322,8 @@ impl Engine {
             let prog = self.program(b);
             let mut by_level = [AliasPairCounts::default(); 3];
             for (i, level) in Level::ALL.iter().enumerate() {
-                let analysis = self.analysis(b, *level, World::Closed);
-                by_level[i] = count_alias_pairs(&prog, &*analysis);
+                let engine = self.compiled(b, *level, World::Closed);
+                by_level[i] = count_alias_pairs(&prog, &*engine);
             }
             Table5Row {
                 name: b.name,
@@ -441,8 +461,8 @@ impl Engine {
         let all: Vec<&Benchmark> = suite().iter().collect();
         self.par_map(&all, |b| {
             let prog = self.program(b);
-            let closed = self.analysis(b, Level::SmFieldTypeRefs, World::Closed);
-            let open = self.analysis(b, Level::SmFieldTypeRefs, World::Open);
+            let closed = self.compiled(b, Level::SmFieldTypeRefs, World::Closed);
+            let open = self.compiled(b, Level::SmFieldTypeRefs, World::Open);
             (
                 b.name.to_string(),
                 count_alias_pairs(&prog, &*closed),
@@ -458,6 +478,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Program>();
     assert_send_sync::<Tbaa>();
+    assert_send_sync::<CompiledAliasEngine>();
     assert_send_sync::<OptReport>();
     assert_send_sync::<ExecCounts>();
     assert_send_sync::<RedundancyTrace>();

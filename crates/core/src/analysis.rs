@@ -14,12 +14,14 @@
 //! [`AlwaysAlias`] provide the optimistic and trivial oracles used by the
 //! upper-bound study and the baseline.
 
+use crate::bitset::TypeSet;
 use crate::merge::{TypeRefsTable, World};
 use crate::subtypes::SubtypeSets;
+use crate::symbols::FieldTakenSets;
 use mini_m3::types::{TypeId, TypeKind};
-use std::collections::HashSet;
 use tbaa_ir::ir::Program;
-use tbaa_ir::path::{AccessPath, ApId, ApStep, ApTable};
+use tbaa_ir::path::{AccessPath, ApId, ApStep, ApTable, ApView};
+use tbaa_ir::symbols::Symbol;
 
 /// Which of the paper's three analyses to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,6 +66,14 @@ pub trait AliasAnalysis {
     /// May the two access paths refer to the same memory location?
     fn may_alias(&self, aps: &ApTable, a: ApId, b: ApId) -> bool;
 
+    /// `may_alias` bypassing any per-pair memo the implementation keeps.
+    /// Bulk enumerations (e.g. parallel pair counting) use this to avoid
+    /// serializing on a shared cache; for memo-less analyses it is the
+    /// same as `may_alias`.
+    fn may_alias_uncached(&self, aps: &ApTable, a: ApId, b: ApId) -> bool {
+        self.may_alias(aps, a, b)
+    }
+
     /// May a *wild* indirect store (a `StoreInd` through a VAR-parameter
     /// location somewhere in the program) modify this path? Only locations
     /// whose address can be taken are reachable that way.
@@ -78,42 +88,28 @@ pub trait AliasAnalysis {
 pub struct Tbaa {
     level: Level,
     world: World,
-    subtypes: SubtypeSets,
-    typerefs: TypeRefsTable,
-    /// `(declared base type, field)` pairs whose address is taken.
-    taken_fields: HashSet<(TypeId, String)>,
-    /// Array types with a taken element address.
-    taken_elements: HashSet<TypeId>,
-    /// Types of VAR formals (open-world AddressTaken clause 2).
-    var_formal_types: HashSet<TypeId>,
-    integer: TypeId,
+    pub(crate) subtypes: SubtypeSets,
+    pub(crate) typerefs: TypeRefsTable,
+    /// Precomputed `AddressTaken` bitsets (fields, elements, VAR formals).
+    pub(crate) taken: FieldTakenSets,
+    pub(crate) integer: TypeId,
 }
 
 impl Tbaa {
     /// Builds the analysis for `prog` at the given level and world
     /// assumption. Cost: one pass over the recorded merges plus the
-    /// subtype closure — the O(instructions · types) bound of §2.5.
+    /// subtype closure and the `AddressTaken` expansion — the
+    /// O(instructions · types) bound of §2.5.
     pub fn build(prog: &Program, level: Level, world: World) -> Self {
         let subtypes = SubtypeSets::new(&prog.types);
         let typerefs = TypeRefsTable::build(&prog.types, &subtypes, &prog.merges, world);
-        let mut var_formal_types = HashSet::new();
-        if world == World::Open {
-            for f in &prog.funcs {
-                for (i, mode) in f.param_modes.iter().enumerate() {
-                    if *mode == mini_m3::types::ParamMode::Var {
-                        var_formal_types.insert(f.vars[i].ty);
-                    }
-                }
-            }
-        }
+        let taken = FieldTakenSets::build(prog, &subtypes, world);
         Tbaa {
             level,
             world,
             subtypes,
             typerefs,
-            taken_fields: prog.address_taken.fields.clone(),
-            taken_elements: prog.address_taken.elements.clone(),
-            var_formal_types,
+            taken,
             integer: prog.types.integer(),
         }
     }
@@ -141,34 +137,26 @@ impl Tbaa {
     /// The paper's `AddressTaken(p.f)` for a path ending in a field of
     /// `base_ty`: true iff the program takes the address of field `f` on a
     /// type-compatible base — plus, in the open world, iff unavailable
-    /// code could (the field's type equals some VAR formal type).
-    fn address_taken_field(&self, base_ty: TypeId, field: &str, field_ty: TypeId) -> bool {
-        if self.world == World::Open && self.var_formal_types.contains(&field_ty) {
-            return true;
-        }
-        self.taken_fields
-            .iter()
-            .any(|(t, f)| f == field && self.subtypes.compatible(*t, base_ty))
+    /// code could (the field's type equals some VAR formal type). One
+    /// bitset probe via the precomputed [`FieldTakenSets`].
+    pub(crate) fn address_taken_field(&self, base_ty: TypeId, field: Symbol, field_ty: TypeId) -> bool {
+        self.taken.field_taken(field, base_ty, field_ty)
     }
 
     /// `AddressTaken(q[i])` for an element of array type `arr_ty`.
-    fn address_taken_element(&self, arr_ty: TypeId, elem_ty: TypeId) -> bool {
-        if self.world == World::Open && self.var_formal_types.contains(&elem_ty) {
-            return true;
-        }
-        self.taken_elements
-            .iter()
-            .any(|t| self.subtypes.compatible(*t, arr_ty))
+    pub(crate) fn address_taken_element(&self, arr_ty: TypeId, elem_ty: TypeId) -> bool {
+        self.taken.element_taken(arr_ty, elem_ty)
     }
 
     /// The set of types a reference of declared type `t` may actually
     /// point at: `TypeRefsTable(t)` at the SMFieldTypeRefs level,
     /// `Subtypes(t)` otherwise. Method resolution (the paper's Minv
-    /// client, §3.7) intersects this with the allocated types.
-    pub fn possible_types(&self, t: TypeId) -> Vec<TypeId> {
+    /// client, §3.7) intersects this with the allocated types. Returns
+    /// the precomputed row — callers iterate or probe without allocating.
+    pub fn possible_types(&self, t: TypeId) -> &TypeSet {
         match self.level {
-            Level::SmFieldTypeRefs => self.typerefs.row(t).iter().collect(),
-            _ => self.subtypes.set(t).iter().collect(),
+            Level::SmFieldTypeRefs => self.typerefs.row(t),
+            _ => self.subtypes.set(t),
         }
     }
 
@@ -178,15 +166,15 @@ impl Tbaa {
         if self.level == Level::TypeDecl {
             return self.type_compatible(p.ty(self.integer), q.ty(self.integer));
         }
-        self.ftd(p, q)
+        self.ftd(p.view(), q.view())
     }
 
-    fn ftd(&self, p: &AccessPath, q: &AccessPath) -> bool {
+    fn ftd(&self, p: ApView<'_>, q: ApView<'_>) -> bool {
         // Case 1: identical access paths always alias.
-        if p == q && !matches!(p.root, tbaa_ir::path::ApRoot::Temp(_)) {
+        if p == q && !p.is_temp_rooted() {
             return true;
         }
-        match (p.steps.last(), q.steps.last()) {
+        match (p.last(), q.last()) {
             // Case 2: p.f vs q.g — alias iff same field on possibly the
             // same object.
             (Some(ApStep::Field { name: f, .. }), Some(ApStep::Field { name: g, .. })) => {
@@ -201,11 +189,8 @@ impl Tbaa {
                     ty: fty,
                 }),
                 Some(ApStep::Deref { .. }),
-            ) => {
-                self.address_taken_field(*base_ty, name, *fty)
-                    && self.type_compatible(p.ty(self.integer), q.ty(self.integer))
-            }
-            (
+            )
+            | (
                 Some(ApStep::Deref { .. }),
                 Some(ApStep::Field {
                     name,
@@ -213,7 +198,7 @@ impl Tbaa {
                     ty: fty,
                 }),
             ) => {
-                self.address_taken_field(*base_ty, name, *fty)
+                self.address_taken_field(*base_ty, *name, *fty)
                     && self.type_compatible(p.ty(self.integer), q.ty(self.integer))
             }
             // Case 4: p^ vs q[i] — only if some element address is taken
@@ -238,10 +223,10 @@ impl Tbaa {
         }
     }
 
-    fn ftd_parents(&self, p: &AccessPath, q: &AccessPath) -> bool {
+    fn ftd_parents(&self, p: ApView<'_>, q: ApView<'_>) -> bool {
         let pp = p.parent().expect("caller matched a step");
         let qp = q.parent().expect("caller matched a step");
-        self.ftd(&pp, &qp)
+        self.ftd(pp, qp)
     }
 }
 
@@ -261,7 +246,7 @@ impl AliasAnalysis for Tbaa {
                 name,
                 base_ty,
                 ty: fty,
-            }) => self.address_taken_field(*base_ty, name, *fty),
+            }) => self.address_taken_field(*base_ty, *name, *fty),
             Some(ApStep::Index { base_ty, ty, .. }) => self.address_taken_element(*base_ty, *ty),
             Some(ApStep::DopeLen { .. }) => false,
             // A dereference target's address is trivially reachable through

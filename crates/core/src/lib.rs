@@ -49,14 +49,18 @@
 
 pub mod analysis;
 pub mod bitset;
+pub mod compiled;
 pub mod memo;
 pub mod merge;
 pub mod pairs;
 pub mod steensgaard;
 pub mod subtypes;
+pub mod symbols;
 
 pub use analysis::{AliasAnalysis, AlwaysAlias, Level, NoAlias, Tbaa};
+pub use compiled::{CompiledAliasEngine, CompiledStats, DENSE_LIMIT};
 pub use memo::Memo;
 pub use merge::World;
-pub use pairs::{count_alias_pairs, AliasPairCounts};
+pub use pairs::{count_alias_pairs, count_alias_pairs_with_threads, AliasPairCounts};
 pub use steensgaard::Steensgaard;
+pub use symbols::FieldTakenSets;

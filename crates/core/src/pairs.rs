@@ -5,9 +5,13 @@
 //! (pairs of references within the same procedure that may alias), and the
 //! number of *global* alias pairs (pairs not necessarily within the same
 //! procedure). Trivial self-pairs are excluded. Computing all pairs is
-//! O(e²) in the number of memory expressions, as §2.5 notes.
+//! O(e²) in the number of memory expressions, as §2.5 notes — so the
+//! enumeration tiles the upper-triangular pair space across a scoped
+//! thread pool. Counts are pure sums of pure queries, so the result is
+//! deterministic at any thread count.
 
 use crate::analysis::AliasAnalysis;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tbaa_ir::ir::Program;
 use tbaa_ir::path::ApId;
 use tbaa_ir::FuncId;
@@ -47,8 +51,27 @@ impl AliasPairCounts {
 
 /// Counts alias pairs over all *distinct reference expressions*. Two
 /// occurrences of the same access path in the same function count as one
-/// reference, mirroring the paper's "references in the source".
-pub fn count_alias_pairs(prog: &Program, analysis: &dyn AliasAnalysis) -> AliasPairCounts {
+/// reference, mirroring the paper's "references in the source". Uses
+/// every available core; see [`count_alias_pairs_with_threads`].
+pub fn count_alias_pairs(
+    prog: &Program,
+    analysis: &(dyn AliasAnalysis + Sync),
+) -> AliasPairCounts {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    count_alias_pairs_with_threads(prog, analysis, threads)
+}
+
+/// [`count_alias_pairs`] with an explicit worker count. Workers claim
+/// rows `i` of the upper-triangular pair space off a shared atomic
+/// cursor and sum privately, so any `threads` value produces identical
+/// counts. Queries go through
+/// [`may_alias_uncached`](AliasAnalysis::may_alias_uncached) so a
+/// memoizing engine is not serialized on its cache lock.
+pub fn count_alias_pairs_with_threads(
+    prog: &Program,
+    analysis: &(dyn AliasAnalysis + Sync),
+    threads: usize,
+) -> AliasPairCounts {
     // Distinct (function, ap) reference expressions.
     let mut refs: Vec<(FuncId, ApId)> = Vec::new();
     {
@@ -59,22 +82,52 @@ pub fn count_alias_pairs(prog: &Program, analysis: &dyn AliasAnalysis) -> AliasP
             }
         }
     }
-    let mut local = 0usize;
-    let mut global = 0usize;
-    for i in 0..refs.len() {
-        for j in (i + 1)..refs.len() {
-            let (fi, ai) = refs[i];
-            let (fj, aj) = refs[j];
-            if analysis.may_alias(&prog.aps, ai, aj) {
+    let n = refs.len();
+    let count_row = |i: usize| -> (usize, usize) {
+        let (fi, ai) = refs[i];
+        let mut local = 0usize;
+        let mut global = 0usize;
+        for &(fj, aj) in &refs[i + 1..] {
+            if analysis.may_alias_uncached(&prog.aps, ai, aj) {
                 global += 1;
                 if fi == fj {
                     local += 1;
                 }
             }
         }
-    }
+        (local, global)
+    };
+    let workers = threads.clamp(1, n.max(1));
+    let (local, global) = if workers <= 1 {
+        (0..n).map(count_row).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut sums = (0usize, 0usize);
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let (l, g) = count_row(i);
+                            sums.0 += l;
+                            sums.1 += g;
+                        }
+                        sums
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pair worker panicked"))
+                .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+        })
+    };
     AliasPairCounts {
-        references: refs.len(),
+        references: n,
         local_pairs: local,
         global_pairs: global,
     }
@@ -133,6 +186,16 @@ mod tests {
                 "{level} should not be less precise than its predecessor"
             );
             last = c.global_pairs;
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_counts() {
+        let p = prog();
+        let ftd = Tbaa::build(&p, Level::FieldTypeDecl, World::Closed);
+        let serial = count_alias_pairs_with_threads(&p, &ftd, 1);
+        for t in [2, 3, 8, 64] {
+            assert_eq!(count_alias_pairs_with_threads(&p, &ftd, t), serial);
         }
     }
 

@@ -99,10 +99,20 @@ impl Graph {
     }
 }
 
-/// The built analysis.
-#[derive(Debug, Clone)]
+/// The built analysis. The union-find graph path-compresses on query,
+/// so it sits behind a mutex; concurrent callers (e.g. parallel pair
+/// counting) serialize on it, which is acceptable for a baseline.
+#[derive(Debug)]
 pub struct Steensgaard {
-    graph: std::cell::RefCell<Graph>,
+    graph: std::sync::Mutex<Graph>,
+}
+
+impl Clone for Steensgaard {
+    fn clone(&self) -> Self {
+        Steensgaard {
+            graph: std::sync::Mutex::new(self.graph.lock().expect("graph lock").clone()),
+        }
+    }
 }
 
 impl Steensgaard {
@@ -141,7 +151,7 @@ impl Steensgaard {
             }
         }
         Steensgaard {
-            graph: std::cell::RefCell::new(g),
+            graph: std::sync::Mutex::new(g),
         }
     }
 
@@ -149,7 +159,7 @@ impl Steensgaard {
     /// materialized during the unification.
     fn location(&self, aps: &ApTable, ap: ApId) -> Option<u32> {
         let path = aps.path(ap);
-        let mut g = self.graph.borrow_mut();
+        let mut g = self.graph.lock().expect("graph lock");
         let mut node = match path.root {
             ApRoot::Local { func, var } => {
                 let k = Key::Var(func.0, var.0);

@@ -14,6 +14,7 @@
 //! *Encapsulation* category of the paper's Figure 10.
 
 use crate::path::{ApId, ApTable, FuncId, VarId};
+use crate::symbols::{Symbol, SymbolTable};
 use mini_m3::ast::{BinOp, UnOp};
 use mini_m3::check::GlobalId;
 use mini_m3::types::{ParamMode, TypeId, TypeTable};
@@ -486,8 +487,8 @@ impl Function {
 /// open-world rule of §4 adds pass-by-reference formals.
 #[derive(Debug, Clone, Default)]
 pub struct AddressTakenInfo {
-    /// `(declared base type, field name)` pairs whose address is taken.
-    pub fields: HashSet<(TypeId, String)>,
+    /// `(declared base type, field symbol)` pairs whose address is taken.
+    pub fields: HashSet<(TypeId, Symbol)>,
     /// Array types some element of which has its address taken.
     pub elements: HashSet<TypeId>,
 }
@@ -515,6 +516,8 @@ pub struct Program {
     pub texts: Vec<String>,
     /// Interned access paths.
     pub aps: ApTable,
+    /// Interned field names referenced by access paths.
+    pub symbols: SymbolTable,
     /// The AddressTaken facts.
     pub address_taken: AddressTakenInfo,
     /// Dispatch table: `(object type, method) -> implementing function`.

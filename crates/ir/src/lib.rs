@@ -32,9 +32,11 @@ pub mod ir;
 pub mod lower;
 pub mod path;
 pub mod pretty;
+pub mod symbols;
 
 pub use ir::{Function, Instr, Program};
-pub use path::{AccessPath, ApId, ApTable, FuncId, VarId};
+pub use path::{AccessPath, ApId, ApTable, ApView, FuncId, VarId};
+pub use symbols::{Symbol, SymbolTable};
 
 /// Compiles MiniM3 source all the way to IR.
 ///

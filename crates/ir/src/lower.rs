@@ -18,6 +18,7 @@
 
 use crate::ir::*;
 use crate::path::*;
+use crate::symbols::SymbolTable;
 use mini_m3::ast::{BinOp, Expr, ExprId, Stmt, StmtId, UnOp};
 use mini_m3::check::{
     Builtin, CallRes, CheckedModule, ConstVal, LocalId, NameRes, ProcId, VarKind, WithKind,
@@ -57,6 +58,7 @@ pub fn lower(checked: CheckedModule) -> Result<Program, Diagnostics> {
             global_frame_size: lw.global_frame_size,
             texts: lw.texts,
             aps: lw.aps,
+            symbols: lw.symbols,
             address_taken: lw.address_taken,
             method_impls: lw
                 .checked
@@ -104,6 +106,7 @@ struct Lowerer {
     texts: Vec<String>,
     text_intern: HashMap<String, u32>,
     aps: ApTable,
+    symbols: SymbolTable,
     address_taken: AddressTakenInfo,
     merges: Vec<Merge>,
     allocated: std::collections::HashSet<TypeId>,
@@ -141,6 +144,7 @@ impl Lowerer {
             texts: Vec::new(),
             text_intern: HashMap::new(),
             aps: ApTable::new(),
+            symbols: SymbolTable::new(),
             address_taken: AddressTakenInfo::default(),
             merges: Vec::new(),
             allocated: std::collections::HashSet::new(),
@@ -235,7 +239,7 @@ impl Lowerer {
     fn record_address_taken(&mut self, ap: &AccessPath) {
         match ap.steps.last() {
             Some(ApStep::Field { name, base_ty, .. }) => {
-                self.address_taken.fields.insert((*base_ty, name.clone()));
+                self.address_taken.fields.insert((*base_ty, *name));
             }
             Some(ApStep::Index { base_ty, .. }) => {
                 self.address_taken.elements.insert(*base_ty);
@@ -656,7 +660,7 @@ impl Lowerer {
 
     /// Flattens `ty` into `(slot offset, ap steps, component type)` scalars.
     fn scalar_components(
-        &self,
+        &mut self,
         ty: TypeId,
         base_off: u32,
         base_steps: Vec<ApStep>,
@@ -667,7 +671,7 @@ impl Lowerer {
                 for f in fields {
                     let mut steps = base_steps.clone();
                     steps.push(ApStep::Field {
-                        name: f.name.clone(),
+                        name: self.symbols.intern(&f.name),
                         base_ty: ty,
                         ty: f.ty,
                     });
@@ -777,7 +781,7 @@ impl Lowerer {
                         let (b, bap) = self.lower_expr_with_ap(base);
                         let mut ap = bap;
                         ap.steps.push(ApStep::Field {
-                            name: field.clone(),
+                            name: self.symbols.intern(&field),
                             base_ty: bty,
                             ty: f.ty,
                         });
@@ -794,7 +798,7 @@ impl Lowerer {
                         // The base is itself a place; extend in place.
                         let bp = self.lower_place(base);
                         let step = ApStep::Field {
-                            name: field.clone(),
+                            name: self.symbols.intern(&field),
                             base_ty: bty,
                             ty: f.ty,
                         };
@@ -1398,7 +1402,8 @@ mod tests {
              BEGIN t := NEW(T); Bump(t.f); END M.",
         );
         let tt = p.types.by_name("T").unwrap();
-        assert!(p.address_taken.fields.contains(&(tt, "f".to_string())));
+        let f = p.symbols.lookup("f").unwrap();
+        assert!(p.address_taken.fields.contains(&(tt, f)));
     }
 
     #[test]
@@ -1410,7 +1415,8 @@ mod tests {
              BEGIN t := NEW(T); WITH w = t.f DO w := 3 END; END M.",
         );
         let tt = p.types.by_name("T").unwrap();
-        assert!(p.address_taken.fields.contains(&(tt, "f".to_string())));
+        let f = p.symbols.lookup("f").unwrap();
+        assert!(p.address_taken.fields.contains(&(tt, f)));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! APs are interned in an [`ApTable`]; two syntactically identical paths in
 //! the same function receive the same id.
 
+use crate::symbols::{Symbol, SymbolTable};
 use mini_m3::check::GlobalId;
 use mini_m3::types::TypeId;
 use std::collections::HashMap;
@@ -118,9 +119,10 @@ pub enum ApStep {
     /// `.name` — the paper's *Qualify*. `base_ty` is the declared type of
     /// the object/record being qualified, `ty` the declared field type.
     Field {
-        /// Field name (field names are globally meaningful, as the paper
-        /// assumes distinct fields have distinct names per declaring type).
-        name: String,
+        /// Interned field name (field names are globally meaningful, as the
+        /// paper assumes distinct fields have distinct names per declaring
+        /// type), so step comparisons are integer ops.
+        name: Symbol,
         /// Declared type of the base.
         base_ty: TypeId,
         /// Declared type of the field.
@@ -220,6 +222,10 @@ impl AccessPath {
     }
 
     /// The prefix path with the last step removed, or `None` for a bare root.
+    ///
+    /// This clones the step vector; query-time code should prefer
+    /// [`AccessPath::view`] + [`ApView::parent`], which walk prefixes
+    /// without allocating.
     pub fn parent(&self) -> Option<AccessPath> {
         if self.steps.is_empty() {
             return None;
@@ -227,6 +233,59 @@ impl AccessPath {
         let mut p = self.clone();
         p.steps.pop();
         Some(p)
+    }
+
+    /// A borrowed view of the whole path, for allocation-free prefix walks.
+    pub fn view(&self) -> ApView<'_> {
+        ApView {
+            root: &self.root,
+            root_ty: self.root_ty,
+            steps: &self.steps,
+        }
+    }
+}
+
+/// A borrowed view of an access path (or one of its prefixes).
+///
+/// `FieldTypeDecl` recurses from a path to its parent on every case-2/6
+/// query; materializing each parent through [`AccessPath::parent`] clones
+/// the whole step vector. An `ApView` is root + type + a step *slice*, so
+/// [`ApView::parent`] is just a slice shrink — zero allocation, usable by
+/// both the naive oracle and the compiled engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApView<'a> {
+    /// The root variable (or temp).
+    pub root: &'a ApRoot,
+    /// Declared type of the root.
+    pub root_ty: TypeId,
+    /// The step prefix this view covers.
+    pub steps: &'a [ApStep],
+}
+
+impl<'a> ApView<'a> {
+    /// The declared (static) type of the viewed prefix — `Type(p)`.
+    pub fn ty(&self, integer: TypeId) -> TypeId {
+        self.steps.last().map_or(self.root_ty, |s| s.ty(integer))
+    }
+
+    /// The last step of the viewed prefix (`None` for a bare root).
+    pub fn last(&self) -> Option<&'a ApStep> {
+        self.steps.last()
+    }
+
+    /// The view with the last step removed, or `None` for a bare root.
+    pub fn parent(&self) -> Option<ApView<'a>> {
+        let (_, init) = self.steps.split_last()?;
+        Some(ApView {
+            root: self.root,
+            root_ty: self.root_ty,
+            steps: init,
+        })
+    }
+
+    /// Whether the view is rooted at an anonymous temp.
+    pub fn is_temp_rooted(&self) -> bool {
+        matches!(self.root, ApRoot::Temp(_))
     }
 }
 
@@ -291,15 +350,21 @@ impl ApTable {
         self.next_opaque
     }
 
-    /// Renders a path for humans, with `names` supplying root names.
-    pub fn display(&self, id: ApId, root_name: impl Fn(&ApRoot) -> String) -> String {
+    /// Renders a path for humans, with `names` supplying root names and
+    /// `symbols` resolving interned field names.
+    pub fn display(
+        &self,
+        id: ApId,
+        symbols: &SymbolTable,
+        root_name: impl Fn(&ApRoot) -> String,
+    ) -> String {
         let p = self.path(id);
         let mut out = root_name(&p.root);
         for s in &p.steps {
             match s {
                 ApStep::Field { name, .. } => {
                     out.push('.');
-                    out.push_str(name);
+                    out.push_str(symbols.resolve(*name));
                 }
                 ApStep::Deref { .. } => out.push('^'),
                 ApStep::Index { index, .. } => {
@@ -341,7 +406,7 @@ mod tests {
             root_ty: TypeId(7),
             steps: vec![
                 ApStep::Field {
-                    name: "b".into(),
+                    name: Symbol(0),
                     base_ty: TypeId(7),
                     ty: TypeId(8),
                 },
@@ -439,10 +504,25 @@ mod tests {
     }
 
     #[test]
+    fn view_parent_matches_owned_parent() {
+        let p = sample_path();
+        let v = p.view();
+        assert_eq!(v.ty(int()), p.ty(int()));
+        let vp = v.parent().unwrap();
+        let op = p.parent().unwrap();
+        assert_eq!(vp.steps, op.steps.as_slice());
+        assert_eq!(vp.ty(int()), op.ty(int()));
+        assert!(vp.parent().unwrap().parent().is_none());
+        assert!(!v.is_temp_rooted());
+    }
+
+    #[test]
     fn display_renders_readably() {
+        let mut syms = SymbolTable::new();
+        assert_eq!(syms.intern("b"), Symbol(0));
         let mut t = ApTable::new();
         let id = t.intern(sample_path());
-        let s = t.display(id, |_| "a".to_string());
+        let s = t.display(id, &syms, |_| "a".to_string());
         assert_eq!(s, "a.b^");
     }
 }

@@ -42,7 +42,7 @@ pub fn program(prog: &Program) -> String {
 
 /// Renders an access path with variable names.
 pub fn access_path(prog: &Program, ap: crate::path::ApId) -> String {
-    prog.aps.display(ap, |root| match root {
+    prog.aps.display(ap, &prog.symbols, |root| match root {
         ApRoot::Local { func, var } => prog
             .func(*func)
             .vars

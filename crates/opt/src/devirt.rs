@@ -41,14 +41,13 @@ pub fn devirtualize(prog: &mut Program, analysis: &Tbaa) -> DevirtStats {
                     continue;
                 };
                 stats.sites += 1;
-                let feasible: Vec<_> = analysis
-                    .possible_types(*recv_ty)
-                    .into_iter()
-                    .filter(|t| allocated.contains(t))
-                    .collect();
                 let mut targets: HashSet<FuncId> = HashSet::new();
-                for t in &feasible {
-                    if let Some(&f) = prog.method_impls.get(&(*t, method.clone())) {
+                for t in analysis
+                    .possible_types(*recv_ty)
+                    .iter()
+                    .filter(|t| allocated.contains(t))
+                {
+                    if let Some(&f) = prog.method_impls.get(&(t, method.clone())) {
                         targets.insert(f);
                     }
                 }

@@ -48,7 +48,7 @@ pub use modref::ModRef;
 pub use rle::{run_rle, RleStats};
 
 use tbaa::analysis::{Level, Tbaa};
-use tbaa::World;
+use tbaa::{CompiledAliasEngine, World};
 use tbaa_ir::ir::Program;
 
 /// Which optimizations to run, mirroring the paper's configurations.
@@ -174,6 +174,12 @@ pub struct OptReport {
 
 /// Runs the selected optimizations in the paper's order: method
 /// resolution, inlining, (optional copy propagation), then RLE.
+///
+/// The alias-query-heavy passes (copy propagation, RLE, DSE) run
+/// against a [`CompiledAliasEngine`] so their per-store kill scans hit
+/// precomputed node chains and the pair memo instead of re-walking raw
+/// paths. Each pass still compiles a fresh engine because the previous
+/// pass may have rewritten the program (and interned new paths).
 pub fn optimize(prog: &mut Program, opts: &OptOptions) -> OptReport {
     let mut report = OptReport::default();
     if opts.devirt_inline {
@@ -182,16 +188,16 @@ pub fn optimize(prog: &mut Program, opts: &OptOptions) -> OptReport {
         report.inline = inline::inline_small(prog, 60, 20_000);
     }
     if opts.copy_propagation {
-        let analysis = Tbaa::build(prog, opts.level, opts.world);
-        report.copy_propagated = copyprop::propagate_access_paths(prog, &analysis);
+        let engine = CompiledAliasEngine::build(prog, opts.level, opts.world);
+        report.copy_propagated = copyprop::propagate_access_paths(prog, &engine);
     }
     if opts.rle {
-        let analysis = Tbaa::build(prog, opts.level, opts.world);
-        report.rle = rle::run_rle(prog, &analysis);
+        let engine = CompiledAliasEngine::build(prog, opts.level, opts.world);
+        report.rle = rle::run_rle(prog, &engine);
     }
     if opts.dead_store_elimination {
-        let analysis = Tbaa::build(prog, opts.level, opts.world);
-        report.dse = dse::run_dse(prog, &analysis);
+        let engine = CompiledAliasEngine::build(prog, opts.level, opts.world);
+        report.dse = dse::run_dse(prog, &engine);
     }
     report
 }

@@ -551,7 +551,7 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
             world,
             pairs,
         } => with_session(state, &session, |s| {
-            let analysis = s.analysis(level, world);
+            let engine = s.engine(level, world);
             let t0 = Instant::now();
             let mut results = Vec::with_capacity(pairs.len());
             for (a, b) in &pairs {
@@ -566,16 +566,13 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                         ),
                     );
                 };
-                results.push(Value::Bool(analysis.may_alias(
-                    &s.program.aps,
-                    ap_a,
-                    ap_b,
-                )));
+                results.push(Value::Bool(engine.may_alias(&s.program.aps, ap_a, ap_b)));
             }
             metrics
                 .histogram("query_us", LATENCY_US_BUCKETS)
                 .observe_duration(t0.elapsed());
             metrics.counter("queries.alias").add(pairs.len() as u64);
+            s.note_queries_served(pairs.len() as u64);
             ok_reply(vec![
                 ("session", Value::Str(s.id.clone())),
                 ("level", Value::Str(proto::level_name(level).into())),
@@ -588,9 +585,9 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
             level,
             world,
         } => with_session(state, &session, |s| {
-            let analysis = s.analysis(level, world);
+            let engine = s.engine(level, world);
             let t0 = Instant::now();
-            let counts = count_alias_pairs(&s.program, &*analysis);
+            let counts = count_alias_pairs(&s.program, &*engine);
             metrics
                 .histogram("query_us", LATENCY_US_BUCKETS)
                 .observe_duration(t0.elapsed());
@@ -608,10 +605,13 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
             level,
             world,
         } => with_session(state, &session, |s| {
-            let analysis = s.analysis(level, world);
+            // RLE rewrites its program clone and interns new access
+            // paths; the engine answers post-compile ids through its
+            // naive-oracle fallback.
+            let engine = s.engine(level, world);
             let t0 = Instant::now();
             let mut prog = (*s.program).clone();
-            let stats = run_rle(&mut prog, &*analysis);
+            let stats = run_rle(&mut prog, &*engine);
             metrics
                 .histogram("rle_us", LATENCY_US_BUCKETS)
                 .observe_duration(t0.elapsed());
@@ -624,16 +624,39 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                 ("removed", Value::Int(stats.removed() as i64)),
             ])
         }),
-        Request::Stats => ok_reply(vec![
-            ("stats", metrics.snapshot()),
-            (
-                "sessions",
-                Value::object(vec![
-                    ("live", Value::Int(state.store().live() as i64)),
-                    ("capacity", Value::Int(state.store().capacity() as i64)),
-                ]),
-            ),
-        ]),
+        Request::Stats => {
+            let engines: Vec<(String, Value)> = state
+                .store()
+                .engine_stats()
+                .into_iter()
+                .map(|(id, served, s)| {
+                    (
+                        id,
+                        Value::object(vec![
+                            ("queries_served", Value::Int(served as i64)),
+                            ("dense_pairs", Value::Int(s.dense_pairs as i64)),
+                            ("memo_hits", Value::Int(s.memo_hits as i64)),
+                            ("memo_misses", Value::Int(s.memo_misses as i64)),
+                            ("fallbacks", Value::Int(s.fallbacks as i64)),
+                            ("memo_len", Value::Int(s.memo_len as i64)),
+                            ("nodes", Value::Int(s.nodes as i64)),
+                            ("build_us", Value::Int(s.build_us as i64)),
+                        ]),
+                    )
+                })
+                .collect();
+            ok_reply(vec![
+                ("stats", metrics.snapshot()),
+                (
+                    "sessions",
+                    Value::object(vec![
+                        ("live", Value::Int(state.store().live() as i64)),
+                        ("capacity", Value::Int(state.store().capacity() as i64)),
+                    ]),
+                ),
+                ("engines", Value::Object(engines)),
+            ])
+        }
         Request::Unload { session } => ok_reply(vec![
             ("unloaded", Value::Bool(state.store().unload(&session))),
         ]),
@@ -763,10 +786,16 @@ mod tests {
         assert_eq!(counters.get("requests.load").unwrap().as_i64(), Some(1));
         assert_eq!(counters.get("requests.alias").unwrap().as_i64(), Some(1));
         assert_eq!(counters.get("sessions.compiles").unwrap().as_i64(), Some(1));
+        assert_eq!(counters.get("engines.built").unwrap().as_i64(), Some(1));
         assert_eq!(
             stats.get("sessions").unwrap().get("live").unwrap().as_i64(),
             Some(1)
         );
+        let engine = stats.get("engines").unwrap().get(&sid).unwrap();
+        assert_eq!(engine.get("queries_served").unwrap().as_i64(), Some(1));
+        assert!(engine.get("dense_pairs").unwrap().as_i64().unwrap() > 0);
+        assert_eq!(engine.get("fallbacks").unwrap().as_i64(), Some(0));
+        assert!(engine.get("nodes").unwrap().as_i64().unwrap() > 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::time::Instant;
 use mini_m3::Diagnostics;
 use tbaa::analysis::{Level, Tbaa};
 use tbaa::memo::Memo;
-use tbaa::World;
+use tbaa::{CompiledAliasEngine, CompiledStats, World};
 use tbaa_benchsuite::Benchmark;
 use tbaa_ir::ir::Program;
 use tbaa_ir::path::ApId;
@@ -75,9 +75,16 @@ pub struct Session {
     /// Pretty access-path string → interned ApId, for query resolution.
     paths: HashMap<String, ApId>,
     analyses: Memo<(Level, World), Tbaa>,
+    engines: Memo<(Level, World), CompiledAliasEngine>,
     analyses_requested: Arc<Counter>,
     analyses_built: Arc<Counter>,
     analysis_us: Arc<Histogram>,
+    engines_built: Arc<Counter>,
+    engine_build_us: Arc<Histogram>,
+    /// Alias queries served against this session's engines. Counted
+    /// here (per session) because the engine's dense query path is
+    /// deliberately uninstrumented.
+    queries_served: AtomicU64,
 }
 
 impl Session {
@@ -95,9 +102,13 @@ impl Session {
             program,
             paths,
             analyses: Memo::new(),
+            engines: Memo::new(),
             analyses_requested: metrics.counter("analyses.requested"),
             analyses_built: metrics.counter("analyses.built"),
             analysis_us: metrics.histogram("analysis_us", LATENCY_US_BUCKETS),
+            engines_built: metrics.counter("engines.built"),
+            engine_build_us: metrics.histogram("engine_build_us", LATENCY_US_BUCKETS),
+            queries_served: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +122,52 @@ impl Session {
             self.analysis_us.observe_duration(t0.elapsed());
             tbaa
         })
+    }
+
+    /// The compiled query engine for `(level, world)`, built at most
+    /// once per session on top of the memoized [`Tbaa`] analysis. Alias
+    /// and pair queries route through this; the raw analysis stays
+    /// available for clients that need the naive oracle.
+    pub fn engine(&self, level: Level, world: World) -> Arc<CompiledAliasEngine> {
+        let analysis = self.analysis(level, world);
+        self.engines.get_or_build((level, world), || {
+            self.engines_built.inc();
+            let t0 = Instant::now();
+            let engine = CompiledAliasEngine::compile(&self.program, analysis);
+            self.engine_build_us.observe_duration(t0.elapsed());
+            engine
+        })
+    }
+
+    /// Records `n` alias queries served against this session's engines.
+    pub fn note_queries_served(&self, n: u64) {
+        self.queries_served.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Alias queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated query-engine counters across every engine this session
+    /// has compiled (all `(level, world)` variants summed).
+    pub fn engine_stats(&self) -> CompiledStats {
+        let mut total = CompiledStats::default();
+        for key in self.engines.keys() {
+            let Some(engine) = self.engines.get(&key) else {
+                continue;
+            };
+            let s = engine.stats();
+            total.queries += s.queries;
+            total.memo_hits += s.memo_hits;
+            total.memo_misses += s.memo_misses;
+            total.fallbacks += s.fallbacks;
+            total.dense_pairs += s.dense_pairs;
+            total.memo_len += s.memo_len;
+            total.nodes += s.nodes;
+            total.build_us += s.build_us;
+        }
+        total
     }
 
     /// Resolves a pretty access-path string (as printed by
@@ -255,6 +312,30 @@ impl SessionStore {
         Some(slot)
     }
 
+    /// Per-session query-engine counters for every live session —
+    /// `(id, queries served, aggregated engine stats)` — sorted by id
+    /// (so `stats` replies are deterministic).
+    pub fn engine_stats(&self) -> Vec<(String, u64, CompiledStats)> {
+        let ids: Vec<(String, SessionKey)> = {
+            let index = self.index.lock().expect("store poisoned");
+            index
+                .by_id
+                .iter()
+                .map(|(id, key)| (id.clone(), key.clone()))
+                .collect()
+        };
+        let mut out: Vec<(String, u64, CompiledStats)> = ids
+            .into_iter()
+            .filter_map(|(id, key)| {
+                let slot = self.sessions.get(&key)?;
+                let session = slot.as_ref().as_ref().ok()?;
+                Some((id, session.queries_served(), session.engine_stats()))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Drops a session by id. Returns whether it was live.
     pub fn unload(&self, id: &str) -> bool {
         let key = {
@@ -301,6 +382,7 @@ impl SessionStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tbaa::AliasAnalysis;
 
     const SMOKE: &str = "MODULE M;
          TYPE T = OBJECT f: INTEGER; END;
@@ -353,6 +435,30 @@ mod tests {
         assert!(!Arc::ptr_eq(&a1, &open));
         assert_eq!(s.analyses_built.get(), 2);
         assert_eq!(s.analyses_requested.get(), 3);
+    }
+
+    #[test]
+    fn engines_build_once_and_report_stats() {
+        let store = store(8);
+        let (slot, _) = store.load_source(SMOKE);
+        let s = slot.as_ref().as_ref().unwrap();
+        let e1 = s.engine(Level::SmFieldTypeRefs, World::Closed);
+        let e2 = s.engine(Level::SmFieldTypeRefs, World::Closed);
+        assert!(Arc::ptr_eq(&e1, &e2));
+        assert_eq!(s.engines_built.get(), 1);
+        // Building the engine goes through the analysis memo too.
+        assert_eq!(s.analyses_built.get(), 1);
+        let ap = s.resolve_path("t.f").unwrap();
+        assert!(e1.may_alias(&s.program.aps, ap, ap));
+        s.note_queries_served(1);
+        let per_session = store.engine_stats();
+        assert_eq!(per_session.len(), 1);
+        let (id, served, stats) = &per_session[0];
+        assert_eq!(id, &s.id);
+        assert_eq!(*served, 1);
+        assert!(stats.dense_pairs > 0, "small programs precompute densely");
+        assert_eq!(stats.fallbacks, 0);
+        assert!(stats.nodes > 0);
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             analysis
                 .possible_types(t)
                 .iter()
-                .map(|&ty| prog.types.display(ty))
+                .map(|ty| prog.types.display(ty))
                 .collect::<Vec<_>>()
         );
         println!(

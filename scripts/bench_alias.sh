@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Alias-query throughput benchmark: compiled engine vs the naive walk on
+# the largest benchsuite program, plus count_alias_pairs thread scaling.
+# Writes BENCH_alias_query.json in the repo root.
+#
+#   scripts/bench_alias.sh            # full run (fails below 5x speedup)
+#   scripts/bench_alias.sh --smoke    # quick correctness-only pass (CI)
+#
+# Extra arguments are forwarded to the bench-alias binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/bench-alias
+if [[ ! -x "$BIN" ]]; then
+    echo "== building bench-alias (release)"
+    cargo build --release -p tbaa-bench --bin bench-alias
+fi
+
+"$BIN" "$@"

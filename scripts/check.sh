@@ -19,4 +19,7 @@ cargo build --release -p tbaa-bench --benches --features bench-deps
 echo "== tbaad server smoke test"
 scripts/server_smoke.sh
 
+echo "== alias-query bench smoke (engines agree, harness runs)"
+scripts/bench_alias.sh --smoke --out target/bench_alias_smoke.json
+
 echo "All checks passed."

@@ -166,7 +166,7 @@ fn main() -> ExitCode {
             }
         },
         "alias" => {
-            let analysis: Box<dyn AliasAnalysis> = if opts.steensgaard {
+            let analysis: Box<dyn AliasAnalysis + Sync> = if opts.steensgaard {
                 Box::new(Steensgaard::build(&prog))
             } else {
                 Box::new(Tbaa::build(&prog, opts.level, opts.world))

@@ -1,0 +1,147 @@
+//! Differential suite for the compiled alias-query engine.
+//!
+//! [`CompiledAliasEngine`] is a pure performance artifact: for every
+//! access-path pair it must return *exactly* what the naive
+//! tree-walking `Tbaa::may_alias_paths` returns, at every precision
+//! level, under both world assumptions, on every benchsuite program.
+//! These tests enumerate that whole space (the suite's AP tables are
+//! small enough to afford the full cross product) and then stress the
+//! memo with seeded random interleavings.
+
+use std::sync::Arc;
+
+use tbaa::analysis::{Level, Tbaa};
+use tbaa::{AliasAnalysis, CompiledAliasEngine, World, DENSE_LIMIT};
+use tbaa_bench::rng::XorShift64;
+use tbaa_benchsuite::suite;
+use tbaa_ir::ir::Program;
+use tbaa_ir::path::ApId;
+
+const SCALE: u32 = 1;
+const WORLDS: [World; 2] = [World::Closed, World::Open];
+
+fn all_ids(prog: &Program) -> Vec<ApId> {
+    (0..prog.aps.len() as u32).map(ApId).collect()
+}
+
+/// Every pair, every level, every world, every program: compiled ==
+/// naive, for both the memoized and the uncached entry points, plus the
+/// `wild_may_modify` leaf classification.
+#[test]
+fn compiled_engine_matches_naive_across_the_suite() {
+    for bench in suite() {
+        let prog = bench.compile(SCALE).expect("benchsuite compiles");
+        let ids = all_ids(&prog);
+        for level in Level::ALL {
+            for world in WORLDS {
+                let naive = Arc::new(Tbaa::build(&prog, level, world));
+                // Dense matrix and lazy memo must both match.
+                for dense_limit in [DENSE_LIMIT, 0] {
+                    let engine = CompiledAliasEngine::compile_with_dense_limit(
+                        &prog,
+                        naive.clone(),
+                        dense_limit,
+                    );
+                    for &a in &ids {
+                        assert_eq!(
+                            engine.wild_may_modify(&prog.aps, a),
+                            naive.wild_may_modify(&prog.aps, a),
+                            "wild_may_modify diverged: {} {level:?} {world:?} {a:?}",
+                            bench.name
+                        );
+                        for &b in &ids {
+                            let want = naive.may_alias(&prog.aps, a, b);
+                            assert_eq!(
+                                engine.may_alias(&prog.aps, a, b),
+                                want,
+                                "memoized walk diverged: {} {level:?} {world:?} limit \
+                                 {dense_limit} {a:?} vs {b:?}",
+                                bench.name
+                            );
+                            assert_eq!(
+                                engine.may_alias_uncached(&prog.aps, a, b),
+                                want,
+                                "uncached walk diverged: {} {level:?} {world:?} limit \
+                                 {dense_limit} {a:?} vs {b:?}",
+                                bench.name
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Seeded fuzz: random query interleavings (memoized and uncached mixed
+/// in random order, with repeats, forced into the lazy memo regime)
+/// never desynchronize the memo from the naive answers.
+#[test]
+fn random_query_interleavings_stay_consistent() {
+    let mut rng = XorShift64::new(0xB1A5_0F75);
+    for bench in suite() {
+        let prog = bench.compile(SCALE).expect("benchsuite compiles");
+        let ids = all_ids(&prog);
+        let naive = Arc::new(Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed));
+        let engine = CompiledAliasEngine::compile_with_dense_limit(&prog, naive.clone(), 0);
+        for _ in 0..2_000 {
+            let a = ids[rng.index(ids.len())];
+            let b = ids[rng.index(ids.len())];
+            let want = naive.may_alias(&prog.aps, a, b);
+            let got = if rng.below(2) == 0 {
+                engine.may_alias(&prog.aps, a, b)
+            } else {
+                engine.may_alias_uncached(&prog.aps, a, b)
+            };
+            assert_eq!(got, want, "{}: {a:?} vs {b:?}", bench.name);
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.fallbacks, 0,
+            "all ids were compiled, nothing should fall back"
+        );
+        assert!(stats.memo_hits > 0, "repeat queries must hit the memo");
+    }
+}
+
+/// Access paths interned *after* compilation (as optimization passes do
+/// when they rewrite programs) are answered through the naive-oracle
+/// fallback and still agree with a from-scratch naive analysis.
+#[test]
+fn post_compile_paths_use_the_fallback_and_stay_correct() {
+    for bench in suite() {
+        let prog = bench.compile(SCALE).expect("benchsuite compiles");
+        let naive = Arc::new(Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed));
+        let engine = CompiledAliasEngine::compile(&prog, naive.clone());
+
+        // Simulate a pass: clone the table and intern parents of every
+        // multi-step path — new ids the engine has never seen.
+        let mut aps = prog.aps.clone();
+        let fresh: Vec<ApId> = all_ids(&prog)
+            .iter()
+            .filter_map(|&id| {
+                let parent = aps.path(id).parent()?;
+                let fresh = aps.intern(parent);
+                (fresh.0 as usize >= prog.aps.len()).then_some(fresh)
+            })
+            .collect();
+        if fresh.is_empty() {
+            continue;
+        }
+        let mut fallbacks_expected: u64 = 0;
+        for &a in &fresh {
+            for &b in all_ids(&prog).iter().chain(&fresh) {
+                fallbacks_expected += 2;
+                let want = naive.may_alias(&aps, a, b);
+                assert_eq!(engine.may_alias(&aps, a, b), want, "{}", bench.name);
+                assert_eq!(engine.may_alias(&aps, b, a), want, "{}", bench.name);
+            }
+        }
+        assert_eq!(
+            engine.stats().fallbacks,
+            fallbacks_expected,
+            "{}: every fresh-id query must take the oracle path",
+            bench.name
+        );
+    }
+}
