@@ -33,6 +33,7 @@ struct Config {
     pair_reps: u32,
     out: String,
     smoke: bool,
+    sweep_dense_limit: bool,
 }
 
 fn parse_args() -> Config {
@@ -44,6 +45,7 @@ fn parse_args() -> Config {
         pair_reps: 20,
         out: "BENCH_alias_query.json".to_string(),
         smoke: false,
+        sweep_dense_limit: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +67,7 @@ fn parse_args() -> Config {
                 cfg.out = args.get(i).cloned().unwrap_or(cfg.out);
             }
             "--smoke" => cfg.smoke = true,
+            "--sweep-dense-limit" => cfg.sweep_dense_limit = true,
             other => {
                 eprintln!("bench-alias: unknown argument `{other}`");
                 std::process::exit(2);
@@ -146,6 +149,95 @@ fn synthetic_source(types: usize, vars: usize, fields: usize) -> String {
     src
 }
 
+/// Build-time vs query-time sweep for the dense pair matrix, to put
+/// [`DENSE_LIMIT`](tbaa::DENSE_LIMIT) on data instead of folklore.
+///
+/// For a ladder of synthetic snapshot sizes, both regimes are compiled
+/// from the same analysis — `compile_with_dense_limit(.., usize::MAX)`
+/// forces the dense matrix, `0` forces the lazy memo — and the sweep
+/// records the build cost and the steady-state query rate of each. The
+/// published figure of merit is `break_even_queries`: the query volume
+/// at which the dense matrix has amortized its extra build time,
+/// `(dense_build - lazy_build) / (1/lazy_qps - 1/dense_qps)`. A limit
+/// is well placed when snapshots under it break even within the query
+/// volume a session actually sees (one `pairs` census alone is `n²`
+/// queries) and snapshots over it would spend more on the matrix than
+/// queries can recoup.
+fn dense_limit_sweep(smoke: bool) -> Value {
+    use tbaa_bench::rng::XorShift64;
+    // (types, vars, fields) shapes whose interned-path counts ladder
+    // from well under the current limit to ~2x over it.
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(2, 2, 4), (4, 2, 8)]
+    } else {
+        &[
+            (4, 2, 4),
+            (4, 4, 8),
+            (8, 4, 16),
+            (8, 8, 16),
+            (16, 8, 16),
+            (16, 8, 32),
+        ]
+    };
+    let reps = if smoke { 2 } else { 40 };
+    const SAMPLE_CAP: usize = 32_768;
+    let mut rows = Vec::new();
+    for &(types, vars, fields) in shapes {
+        let prog = tbaa_ir::compile_to_ir(&synthetic_source(types, vars, fields))
+            .expect("synthetic program compiles");
+        let tbaa = Arc::new(Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed));
+        let n = prog.aps.len();
+        // Deterministic pair sample, capped so the biggest snapshots
+        // don't swamp the sweep with workload-size effects.
+        let mut rng = XorShift64::new(0xD15E + n as u64);
+        let pairs: Vec<(ApId, ApId)> = (0..(n * n).min(SAMPLE_CAP))
+            .map(|_| (ApId(rng.index(n) as u32), ApId(rng.index(n) as u32)))
+            .collect();
+
+        let dense = CompiledAliasEngine::compile_with_dense_limit(&prog, tbaa.clone(), usize::MAX);
+        let lazy = CompiledAliasEngine::compile_with_dense_limit(&prog, tbaa.clone(), 0);
+        for &(a, b) in &pairs {
+            assert_eq!(
+                dense.may_alias(&prog.aps, a, b),
+                lazy.may_alias(&prog.aps, a, b),
+                "regimes disagree on {a:?} vs {b:?} at {n} paths"
+            );
+        }
+        let dense_qps = throughput(reps, &pairs, |a, b| dense.may_alias(&prog.aps, a, b));
+        let lazy_qps = throughput(reps, &pairs, |a, b| lazy.may_alias(&prog.aps, a, b));
+        let dense_build = dense.stats().build_us;
+        let lazy_build = lazy.stats().build_us;
+        let per_query_saving_s = 1.0 / lazy_qps.max(1e-9) - 1.0 / dense_qps.max(1e-9);
+        let break_even = if per_query_saving_s > 0.0 {
+            (dense_build.saturating_sub(lazy_build) as f64 / 1e6 / per_query_saving_s).round()
+                as i64
+        } else {
+            -1 // lazy queries at least as fast: dense never pays here
+        };
+        println!(
+            "  sweep n={n:>5}: build {dense_build}us dense / {lazy_build}us lazy, \
+             qps {dense_qps:.2e} dense / {lazy_qps:.2e} lazy, break-even {break_even} queries"
+        );
+        rows.push(Value::object(vec![
+            ("aps", Value::Int(n as i64)),
+            ("synthetic_types", Value::Int(types as i64)),
+            ("synthetic_vars", Value::Int(vars as i64)),
+            ("synthetic_fields", Value::Int(fields as i64)),
+            ("sampled_pairs", Value::Int(pairs.len() as i64)),
+            ("dense_build_us", Value::Int(dense_build as i64)),
+            ("lazy_build_us", Value::Int(lazy_build as i64)),
+            ("dense_qps", Value::Float(dense_qps)),
+            ("lazy_memo_qps", Value::Float(lazy_qps)),
+            ("break_even_queries", Value::Int(break_even)),
+        ]));
+    }
+    Value::object(vec![
+        ("current_dense_limit", Value::Int(tbaa::DENSE_LIMIT as i64)),
+        ("sample_pairs_cap", Value::Int(SAMPLE_CAP as i64)),
+        ("rows", Value::Array(rows)),
+    ])
+}
+
 fn main() {
     let cfg = parse_args();
     let Some(bench) = Benchmark::by_name(&cfg.bench) else {
@@ -211,8 +303,13 @@ fn main() {
         ]));
     }
 
+    let sweep = cfg.sweep_dense_limit.then(|| {
+        println!("bench-alias: dense-limit sweep (build cost vs query rate)");
+        dense_limit_sweep(cfg.smoke)
+    });
+
     let stats = engine.stats();
-    let report = Value::object(vec![
+    let mut fields = vec![
         ("bench", Value::Str(cfg.bench.clone())),
         ("scale", Value::Int(cfg.scale as i64)),
         ("smoke", Value::Bool(cfg.smoke)),
@@ -250,7 +347,11 @@ fn main() {
                 ("build_us", Value::Int(stats.build_us as i64)),
             ]),
         ),
-    ]);
+    ];
+    if let Some(sweep) = sweep {
+        fields.push(("dense_limit_sweep", sweep));
+    }
+    let report = Value::object(fields);
     std::fs::write(&cfg.out, format!("{}\n", report.encode())).expect("write report");
 
     println!(

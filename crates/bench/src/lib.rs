@@ -27,6 +27,7 @@
 
 pub mod engine;
 pub mod jsonout;
+pub mod load;
 pub mod rng;
 
 pub use engine::{Engine, EngineStats};

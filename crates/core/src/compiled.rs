@@ -87,9 +87,16 @@ struct Node {
 
 /// Snapshots larger than this many access paths skip the dense pair
 /// matrix (quadratic bits and build-time walks) and use the lazy memo
-/// regime instead. 2048 paths = 512 KiB of matrix and ~2M build-time
-/// walks — still a few tens of milliseconds; the benchsuite tops out
-/// near 70 paths.
+/// regime instead.
+///
+/// Placed by the `bench-alias --sweep-dense-limit` crossover sweep
+/// (data in `BENCH_alias_query.json` under `dense_limit_sweep`): at
+/// 2048 paths the matrix costs ~10.7 ms to build and pays for itself
+/// after ~152k queries — under 4% of the `n²` queries a single `pairs`
+/// census issues — while the build cost grows roughly quadratically
+/// (~47 ms at 4096 paths) with no matching gain over the ~1.4e7 q/s
+/// lazy memo for interactive traffic. The benchsuite tops out near 70
+/// paths, so the limit only gates large synthetic/user programs.
 pub const DENSE_LIMIT: usize = 2048;
 
 /// Counters exported through the `tbaad` metrics registry.

@@ -81,6 +81,7 @@ pub struct ServerState {
     store: SessionStore,
     metrics: Arc<Registry>,
     shutdown: AtomicBool,
+    started: Instant,
 }
 
 impl ServerState {
@@ -90,6 +91,7 @@ impl ServerState {
             store: SessionStore::new(config.session_capacity, metrics.clone()),
             metrics,
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
         }
     }
 
@@ -382,6 +384,17 @@ fn read_tick(reader: &mut BufReader<Conn>, pending: &mut Vec<u8>) -> std::io::Re
 }
 
 fn serve_connection(conn: Conn, state: &Arc<ServerState>, config: &Config) {
+    state.metrics().counter("connections.accepted").inc();
+    let active = state.metrics().gauge("connections.active");
+    active.inc();
+    // Balance the gauge on every exit path (early returns included).
+    struct ActiveGuard(Arc<crate::metrics::Gauge>);
+    impl Drop for ActiveGuard {
+        fn drop(&mut self) {
+            self.0.dec();
+        }
+    }
+    let _guard = ActiveGuard(active);
     let _ = conn.set_read_timeout(Some(POLL_TICK));
     let _ = conn.set_write_timeout(Some(config.io_timeout));
     let Ok(read_half) = conn.try_clone() else {
@@ -442,6 +455,7 @@ fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
     inflight.inc();
     let t0 = Instant::now();
 
+    let mut verb: Option<&'static str> = None;
     let reply = match decode_request(line) {
         Err(proto::ProtoError::Json(e)) => {
             metrics.counter("requests.invalid").inc();
@@ -452,6 +466,7 @@ fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
             error_reply("proto", &m)
         }
         Ok(req) => {
+            verb = Some(proto::verb(&req));
             metrics.counter(&format!("requests.{}", proto::verb(&req))).inc();
             match catch_unwind(AssertUnwindSafe(|| dispatch(state, req))) {
                 Ok(reply) => reply,
@@ -466,9 +481,17 @@ fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
     if reply.get("ok").and_then(Value::as_bool) == Some(false) {
         metrics.counter("requests.errors").inc();
     }
+    let elapsed = t0.elapsed();
     metrics
         .histogram("request_us", LATENCY_US_BUCKETS)
-        .observe_duration(t0.elapsed());
+        .observe_duration(elapsed);
+    // Per-verb service-time histograms: the load harness correlates these
+    // with its client-observed latencies to separate queueing from service.
+    if let Some(v) = verb {
+        metrics
+            .histogram(&format!("request_us.{v}"), LATENCY_US_BUCKETS)
+            .observe_duration(elapsed);
+    }
     inflight.dec();
     reply
 }
@@ -573,8 +596,12 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                 .observe_duration(t0.elapsed());
             metrics.counter("queries.alias").add(pairs.len() as u64);
             s.note_queries_served(pairs.len() as u64);
+            // Echo the id the client addressed, not `s.id`: a stale id can
+            // legitimately resolve to a recompiled session of the same
+            // content (load/evict races re-admit old ids), and the reply
+            // must stay deterministic for the requester.
             ok_reply(vec![
-                ("session", Value::Str(s.id.clone())),
+                ("session", Value::Str(session.clone())),
                 ("level", Value::Str(proto::level_name(level).into())),
                 ("world", Value::Str(proto::world_name(world).into())),
                 ("results", Value::Array(results)),
@@ -592,7 +619,7 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                 .histogram("query_us", LATENCY_US_BUCKETS)
                 .observe_duration(t0.elapsed());
             ok_reply(vec![
-                ("session", Value::Str(s.id.clone())),
+                ("session", Value::Str(session.clone())),
                 ("level", Value::Str(proto::level_name(level).into())),
                 ("world", Value::Str(proto::world_name(world).into())),
                 ("references", Value::Int(counts.references as i64)),
@@ -616,7 +643,7 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                 .histogram("rle_us", LATENCY_US_BUCKETS)
                 .observe_duration(t0.elapsed());
             ok_reply(vec![
-                ("session", Value::Str(s.id.clone())),
+                ("session", Value::Str(session.clone())),
                 ("level", Value::Str(proto::level_name(level).into())),
                 ("world", Value::Str(proto::world_name(world).into())),
                 ("hoisted", Value::Int(stats.hoisted as i64)),
@@ -646,6 +673,7 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                 })
                 .collect();
             ok_reply(vec![
+                ("uptime_us", Value::Int(state.started.elapsed().as_micros() as i64)),
                 ("stats", metrics.snapshot()),
                 (
                     "sessions",

@@ -1,0 +1,145 @@
+//! Property/fuzz tests for the hand-rolled JSON codec.
+//!
+//! The daemon's byte-differential story rests on this codec, so it gets
+//! the adversarial treatment: seeded-random encode→decode round-trips
+//! over generated values, a corpus of malformed frames that must error
+//! (never panic, never abort), and mutation fuzzing of valid documents.
+//! Randomness comes from `tbaa_bench::rng::XorShift64` (the workspace
+//! is offline; no `proptest`), so every failure reproduces from the
+//! printed seed.
+
+use tbaa_bench::rng::XorShift64;
+use tbaa_server::json::{parse, Value, MAX_DEPTH};
+
+/// A random value whose encoding round-trips to the *same* `Value`.
+///
+/// Two codec asymmetries are deliberately avoided rather than papered
+/// over, because they are documented one-way conversions:
+/// * non-finite floats encode as `null`;
+/// * integral floats (`3.0`, `-0.0`) encode without a fraction and
+///   reparse as `Int`.
+///
+/// Generated floats therefore always carry a real fraction.
+fn gen_value(rng: &mut XorShift64, depth: usize) -> Value {
+    let scalar_only = depth >= 4;
+    match rng.below(if scalar_only { 5 } else { 7 }) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.chance(1, 2)),
+        2 => Value::Int(rng.range_i64(i64::MIN / 2, i64::MAX / 2)),
+        3 => {
+            // Offset by a dyadic fraction: exactly representable, so the
+            // shortest-repr encoder and the parser agree bit-for-bit.
+            let frac = [0.5, 0.25, 0.125, 0.75][rng.index(4)];
+            Value::Float(rng.range_i64(-1_000_000, 1_000_000) as f64 + frac)
+        }
+        4 => Value::Str(gen_string(rng)),
+        5 => {
+            let n = rng.index(4);
+            Value::Array((0..n).map(|_| gen_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.index(4);
+            Value::Object(
+                (0..n)
+                    .map(|i| (format!("k{i}_{}", gen_string(rng)), gen_value(rng, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn gen_string(rng: &mut XorShift64) -> String {
+    const POOL: [char; 16] = [
+        'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{7f}', 'é', '–', '漢',
+        '😀',
+    ];
+    let n = rng.index(12);
+    (0..n).map(|_| POOL[rng.index(POOL.len())]).collect()
+}
+
+#[test]
+fn encode_decode_round_trips_generated_values() {
+    for seed in 1..=40u64 {
+        let mut rng = XorShift64::new(seed);
+        for case in 0..50 {
+            let v = gen_value(&mut rng, 0);
+            let enc = v.encode();
+            let back = parse(&enc).unwrap_or_else(|e| {
+                panic!("seed {seed} case {case}: {enc} failed to reparse: {e}")
+            });
+            assert_eq!(back, v, "seed {seed} case {case}: {enc}");
+            // Encoding is a fixed point: decode(encode(v)) encodes the same.
+            assert_eq!(back.encode(), enc, "seed {seed} case {case}");
+        }
+    }
+}
+
+#[test]
+fn malformed_corpus_errors_without_panicking() {
+    let deep_array = "[".repeat(MAX_DEPTH * 8);
+    let deep_object = "{\"k\":".repeat(MAX_DEPTH * 8);
+    let long_string = format!("\"{}", "a".repeat(1 << 16)); // unterminated
+    let corpus: Vec<String> = [
+        "", " ", "nul", "truE", "+1", "01x", "--2", "1.2.3", ".5",
+        "\"", "\"\\", "\"\\u", "\"\\u00", "\"\\uD800\"", "\"\\uD800\\uD800\"",
+        "\"\\x41\"", "[", "[,", "[1 2]", "[1,,2]", "{", "{]", "{\"a\"",
+        "{\"a\":", "{\"a\":1,", "{\"a\":1 \"b\":2}", "{1:2}", "{\"a\" 1}",
+        "[}", "}{", "1}", "[1]]", "{\"a\":1}}", "\u{0}", "\t\t\t",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([deep_array, deep_object, long_string])
+    .collect();
+    for bad in &corpus {
+        // The assertion is twofold: an Err comes back, and we got here at
+        // all (a stack overflow would abort the process).
+        let r = parse(bad);
+        assert!(r.is_err(), "{:?} should fail, got {r:?}", &bad[..bad.len().min(60)]);
+    }
+}
+
+#[test]
+fn mutation_fuzz_never_panics() {
+    // Start from realistic protocol frames and hammer them with random
+    // byte edits. Any outcome is acceptable except a panic/abort.
+    let seeds = [
+        r#"{"op":"alias","session":"s1","level":"merges","pairs":[["a.b","c.d"]]}"#,
+        r#"{"ok":true,"results":[true,false],"n":-12,"f":3.75}"#,
+        r#"{"op":"load","bench":"ktree","scale":2}"#,
+        r#"[{"k":[1,2,{"x":null}]},"tail"]"#,
+    ];
+    let mut rng = XorShift64::new(0xF422);
+    let mut parsed_ok = 0u32;
+    for _ in 0..4000 {
+        let mut bytes = seeds[rng.index(seeds.len())].as_bytes().to_vec();
+        for _ in 0..1 + rng.index(4) {
+            let i = rng.index(bytes.len());
+            match rng.below(3) {
+                0 => bytes[i] = rng.below(256) as u8,
+                1 => {
+                    bytes.remove(i);
+                }
+                _ => bytes.insert(i, rng.below(128) as u8),
+            }
+            if bytes.is_empty() {
+                bytes.push(b'{');
+            }
+        }
+        // The wire layer lossy-decodes, so mirror that here.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if parse(&text).is_ok() {
+            parsed_ok += 1;
+        }
+    }
+    // Sanity: the fuzzer is not so destructive that nothing ever parses.
+    assert!(parsed_ok > 0, "mutator never produced valid JSON");
+}
+
+#[test]
+fn parser_depth_limit_matches_constant() {
+    let at = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+    assert!(parse(&at).is_ok());
+    let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+    let err = parse(&over).unwrap_err();
+    assert!(err.message.contains("nesting"), "{err}");
+}

@@ -1,0 +1,264 @@
+//! LRU-churn: drive the session store past capacity and prove the
+//! eviction machinery honest.
+//!
+//! A capacity-2 daemon is walked through a deterministic load sequence
+//! that forces two evictions, asserting after each step that
+//! * evicted sessions recompile correctly (fresh id, `cached:false`,
+//!   byte-exact query replies against the `tbaa_bench::load` oracle),
+//! * the `stats` eviction/compile/hit counters match the hand-counted
+//!   sequence exactly, and
+//! * no stale engine is ever served: a purged session id answers
+//!   `no_session`, and the recompiled session's replies match the
+//!   oracle byte-for-byte.
+
+use std::sync::Arc;
+
+use tbaa::analysis::Level;
+use tbaa::World;
+use tbaa_bench::load::{CheckOutcome, Content, DiffChecker, LineSource, ReqKind, Wire};
+use tbaa_server::json::{parse, Value};
+use tbaa_server::{Config, Server};
+
+fn counter(stats: &Value, name: &str) -> i64 {
+    stats
+        .get("stats")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_i64)
+        .unwrap_or(0)
+}
+
+struct Driver {
+    writer: Wire,
+    src: LineSource,
+}
+
+impl Driver {
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_line(line).expect("send");
+        self.src.read_line_blocking().expect("reply")
+    }
+
+    fn stats(&mut self) -> Value {
+        parse(&self.request(r#"{"op":"stats"}"#)).expect("stats parses")
+    }
+}
+
+#[test]
+fn eviction_recompile_counters_and_no_stale_engines() {
+    let contents = vec![
+        Content::Bench { name: "ktree".into(), scale: 1 },
+        Content::Bench { name: "format".into(), scale: 1 },
+        Content::Bench { name: "slisp".into(), scale: 1 },
+    ];
+    let checker = DiffChecker::new(&contents);
+    let [a, b, c] = [&contents[0], &contents[1], &contents[2]];
+
+    let handle = Server::bind(Config {
+        session_capacity: 2,
+        ..Config::default()
+    })
+    .expect("bind")
+    .spawn();
+    let wire = Wire::connect_tcp(handle.addr()).expect("connect");
+    let writer = wire.try_clone().expect("clone");
+    let mut d = Driver {
+        writer,
+        src: LineSource::new(wire),
+    };
+
+    // One sequential connection → a fully deterministic LRU walk.
+    let load = |d: &mut Driver, content: &Content, checker: &DiffChecker| -> (String, bool) {
+        let raw = d.request(&content.load_line());
+        let kind = ReqKind::Load { key: content.key() };
+        let CheckOutcome::Loaded { sid } = checker.check(&kind, &raw) else {
+            panic!("load failed: {raw}");
+        };
+        let cached = parse(&raw)
+            .unwrap()
+            .get("cached")
+            .and_then(Value::as_bool)
+            .unwrap();
+        (sid, cached)
+    };
+
+    // Load A, B: fills capacity. Compiles 1, 2; no evictions.
+    let (sid_a, cached) = load(&mut d, a, &checker);
+    assert!(!cached, "first load of A compiles");
+    let (_sid_b, cached) = load(&mut d, b, &checker);
+    assert!(!cached);
+    let s = d.stats();
+    assert_eq!(counter(&s, "sessions.compiles"), 2);
+    assert_eq!(counter(&s, "sessions.evictions"), 0);
+    assert_eq!(
+        s.get("sessions").unwrap().get("live").unwrap().as_i64(),
+        Some(2)
+    );
+
+    // Warm A's engine so an engine exists to go stale.
+    let paths_a = checker.oracle().paths(&a.key());
+    let pairs = vec![(paths_a[0].clone(), paths_a.last().unwrap().clone())];
+    let alias_line = |sid: &str, p: &[(String, String)]| {
+        format!(
+            r#"{{"op":"alias","session":"{sid}","level":"merges","world":"closed","pairs":[["{}","{}"]]}}"#,
+            p[0].0, p[0].1
+        )
+    };
+    let raw = d.request(&alias_line(&sid_a, &pairs));
+    let kind_a = |sid: &str, p: Vec<(String, String)>| ReqKind::Alias {
+        key: a.key(),
+        sid: sid.to_string(),
+        level: Level::SmFieldTypeRefs,
+        world: World::Closed,
+        pairs: p,
+    };
+    assert!(matches!(
+        checker.check(&kind_a(&sid_a, pairs.clone()), &raw),
+        CheckOutcome::Ok
+    ));
+
+    // Touch B (so A is coldest), then load C: A must be evicted.
+    let (_sid_b2, cached) = load(&mut d, b, &checker);
+    assert!(cached, "B is still live");
+    let (_sid_c, cached) = load(&mut d, c, &checker);
+    assert!(!cached);
+    let s = d.stats();
+    assert_eq!(counter(&s, "sessions.compiles"), 3);
+    assert_eq!(counter(&s, "sessions.evictions"), 1, "A evicted");
+    assert_eq!(counter(&s, "sessions.hits"), 1, "the cached B reload");
+
+    // Stale engine check #1: A's purged id must answer no_session —
+    // never a stale (or crossed) engine.
+    let raw = d.request(&alias_line(&sid_a, &pairs));
+    let err = parse(&raw).expect("error reply parses");
+    assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        err.get("error").unwrap().get("kind").and_then(Value::as_str),
+        Some("no_session"),
+        "{raw}"
+    );
+
+    // Reload A: recompile (cached:false, fresh id), evicting B.
+    let (sid_a2, cached) = load(&mut d, a, &checker);
+    assert!(!cached, "evicted A must recompile, not hit");
+    assert_ne!(sid_a2, sid_a, "recompiled session gets a fresh id");
+    let s = d.stats();
+    assert_eq!(counter(&s, "sessions.compiles"), 4);
+    assert_eq!(counter(&s, "sessions.evictions"), 2, "B evicted in turn");
+    assert_eq!(
+        s.get("sessions").unwrap().get("live").unwrap().as_i64(),
+        Some(2),
+        "capacity bound holds"
+    );
+
+    // Stale engine check #2: the recompiled A serves byte-exact answers
+    // for a fresh engine build — all levels, both worlds.
+    for (level_str, level) in [
+        ("typedecl", Level::TypeDecl),
+        ("fields", Level::FieldTypeDecl),
+        ("merges", Level::SmFieldTypeRefs),
+    ] {
+        for (world_str, world) in [("closed", World::Closed), ("open", World::Open)] {
+            let line = format!(
+                r#"{{"op":"alias","session":"{sid_a2}","level":"{level_str}","world":"{world_str}","pairs":[["{}","{}"]]}}"#,
+                pairs[0].0, pairs[0].1
+            );
+            let raw = d.request(&line);
+            let kind = ReqKind::Alias {
+                key: a.key(),
+                sid: sid_a2.clone(),
+                level,
+                world,
+                pairs: pairs.clone(),
+            };
+            assert!(
+                matches!(checker.check(&kind, &raw), CheckOutcome::Ok),
+                "recompiled A diverged at {level_str}/{world_str}:\n{}",
+                checker.details().join("\n")
+            );
+        }
+    }
+
+    // The engine table in `stats` lists only live ids — evicted ids gone.
+    let s = d.stats();
+    let engines = s.get("engines").expect("engines listed");
+    assert!(engines.get(&sid_a2).is_some(), "live session listed");
+    assert!(engines.get(&sid_a).is_none(), "evicted id not listed");
+
+    assert_eq!(checker.mismatches(), 0, "{:?}", checker.details());
+
+    handle.state().request_shutdown();
+    handle.join().expect("clean shutdown");
+}
+
+/// Churn from many threads: hammer a capacity-1 store with competing
+/// contents and assert global counter consistency at the end — every
+/// miss compiled, every admit beyond capacity evicted, and the server
+/// survives with zero panics.
+#[test]
+fn concurrent_churn_keeps_counters_consistent() {
+    let contents: Arc<Vec<Content>> = Arc::new(vec![
+        Content::Bench { name: "ktree".into(), scale: 1 },
+        Content::Bench { name: "format".into(), scale: 1 },
+    ]);
+    let handle = Server::bind(Config {
+        session_capacity: 1,
+        ..Config::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let contents = contents.clone();
+            scope.spawn(move || {
+                let wire = Wire::connect_tcp(addr).expect("connect");
+                let mut writer = wire.try_clone().expect("clone");
+                let mut src = LineSource::new(wire);
+                for i in 0..25 {
+                    let content = &contents[(t + i) % contents.len()];
+                    writer.write_line(&content.load_line()).expect("send");
+                    let raw = src.read_line_blocking().expect("reply");
+                    assert!(raw.contains("\"ok\":true"), "{raw}");
+                }
+            });
+        }
+    });
+
+    let wire = Wire::connect_tcp(addr).expect("connect");
+    let writer = wire.try_clone().expect("clone");
+    let mut d = Driver {
+        writer,
+        src: LineSource::new(wire),
+    };
+    let s = d.stats();
+    let compiles = counter(&s, "sessions.compiles");
+    let hits = counter(&s, "sessions.hits");
+    let misses = counter(&s, "sessions.misses");
+    let evictions = counter(&s, "sessions.evictions");
+    let live = s
+        .get("sessions")
+        .unwrap()
+        .get("live")
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(hits + misses, 100, "every load classified");
+    assert!(compiles >= 2, "both contents compiled at least once");
+    assert!(compiles <= misses, "every compile was a miss");
+    // Exact conservation (compiles - evictions == live) holds only
+    // sequentially: a hit thread may re-admit a key whose slot a racing
+    // eviction just removed, so one compile can be evicted twice. What
+    // must hold at quiescence is the one-sided bound — every compiled
+    // session not currently live was evicted at least once.
+    assert!(
+        evictions >= compiles - live,
+        "evicted at least compiles - live times ({evictions} vs {compiles} - {live})"
+    );
+    assert!(live <= 1, "capacity bound holds under concurrency");
+    assert_eq!(counter(&s, "requests.panics"), 0);
+
+    handle.state().request_shutdown();
+    handle.join().expect("clean shutdown");
+}

@@ -22,4 +22,7 @@ scripts/server_smoke.sh
 echo "== alias-query bench smoke (engines agree, harness runs)"
 scripts/bench_alias.sh --smoke --out target/bench_alias_smoke.json
 
+echo "== loadgen smoke (chaos on, differential gates)"
+scripts/load_smoke.sh
+
 echo "All checks passed."

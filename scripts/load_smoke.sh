@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Load-generator smoke: spawn a real tbaad, drive it with mixed traffic
+# plus chaos clients for ~2s, and fail on any differential mismatch,
+# daemon panic, unanswered request, or unclean daemon exit. This is the
+# CI-sized version of the full `tbaa-loadgen` run; the gates are
+# identical, only the duration and fleet are shrunk.
+#
+#   scripts/load_smoke.sh                       # smoke params, chaos on
+#   scripts/load_smoke.sh --duration 10 ...     # extra args forwarded
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for BIN in tbaad tbaa-loadgen; do
+    if [[ ! -x "target/release/$BIN" ]]; then
+        echo "== building $BIN (release)"
+        cargo build --release -p tbaa-server --bin tbaad
+        cargo build --release -p tbaa-bench --bin tbaa-loadgen
+        break
+    fi
+done
+
+OUT=${LOAD_SMOKE_OUT:-target/bench_server_load_smoke.json}
+target/release/tbaa-loadgen --smoke --out "$OUT" "$@"
