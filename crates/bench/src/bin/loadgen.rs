@@ -16,8 +16,8 @@
 //!              [--rate R] [--chaos] [--chaos-clients N] [--sample N]
 //!              [--seed S] [--benches a,b,c] [--scale N]
 //!              [--server-workers N] [--server-capacity N]
-//!              [--daemon PATH | --connect HOST:PORT] [--tcp]
-//!              [--out PATH] [--smoke]
+//!              [--daemon PATH | --connect HOST:PORT | --router N] [--tcp]
+//!              [--kill-backend] [--out PATH] [--smoke]
 //! ```
 //!
 //! * `--mode closed` (default): each client sends one request, waits
@@ -26,6 +26,14 @@
 //! * `--mode open`: each client fires at a fixed `--rate` requests/sec
 //!   regardless of replies (pipelined on its connection), so queueing
 //!   delay shows up in the latency when the daemon saturates.
+//! * `--router N`: drive an in-process `tbaa-router` front tier over
+//!   `N` in-process `tbaad` shards instead of a single daemon — the
+//!   same differential gates apply end to end through the proxy, and
+//!   the artifact gains a `router` section (per-shard latency,
+//!   retries, respawns, imbalance).
+//! * `--kill-backend`: with `--router`, murder one backend shard
+//!   halfway through the run; the gates then also demand ≥ 1 respawn
+//!   and still zero divergences.
 //! * `--chaos`: adds misbehaving clients (malformed JSON, nesting
 //!   bombs, half-written requests, mid-request disconnects, slow
 //!   readers) alongside the well-behaved ones; the gates still demand
@@ -46,7 +54,9 @@ use tbaa_bench::load::{
     WorkloadGen,
 };
 use tbaa_bench::rng::XorShift64;
+use tbaa_router::{BackendSpec, Router, RouterConfig, RouterHandle, RouterState};
 use tbaa_server::json::{parse, Value};
+use tbaa_server::ServerConfig;
 
 // ---- configuration ---------------------------------------------------------
 
@@ -66,6 +76,8 @@ struct Config {
     server_capacity: usize,
     daemon: Option<String>,
     connect: Option<String>,
+    router: Option<usize>,
+    kill_backend: bool,
     force_tcp: bool,
     out: String,
     smoke: bool,
@@ -76,8 +88,8 @@ fn usage() -> ! {
         "usage: tbaa-loadgen [--clients N] [--duration SECS] [--mode closed|open] [--rate R]\n\
          \u{20}                   [--chaos] [--chaos-clients N] [--sample N] [--seed S]\n\
          \u{20}                   [--benches a,b,c] [--scale N] [--server-workers N]\n\
-         \u{20}                   [--server-capacity N] [--daemon PATH | --connect HOST:PORT]\n\
-         \u{20}                   [--tcp] [--out PATH] [--smoke]"
+         \u{20}                   [--server-capacity N] [--daemon PATH | --connect HOST:PORT |\n\
+         \u{20}                   --router N] [--kill-backend] [--tcp] [--out PATH] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -99,6 +111,8 @@ fn parse_args() -> Config {
         server_capacity: 32,
         daemon: None,
         connect: None,
+        router: None,
+        kill_backend: false,
         force_tcp: false,
         out: "BENCH_server_load.json".into(),
         smoke: false,
@@ -141,6 +155,10 @@ fn parse_args() -> Config {
             }
             "--daemon" => cfg.daemon = Some(take(&mut i)),
             "--connect" => cfg.connect = Some(take(&mut i)),
+            "--router" => {
+                cfg.router = Some(take(&mut i).parse::<usize>().unwrap_or_else(|_| usage()).max(1))
+            }
+            "--kill-backend" => cfg.kill_backend = true,
             "--tcp" => cfg.force_tcp = true,
             "--out" => cfg.out = take(&mut i),
             "--smoke" => cfg.smoke = true,
@@ -158,6 +176,10 @@ fn parse_args() -> Config {
         cfg.duration = Duration::from_secs(2);
         cfg.chaos = true;
         cfg.scale = 1;
+    }
+    if cfg.kill_backend && cfg.router.is_none() {
+        eprintln!("tbaa-loadgen: --kill-backend requires --router N");
+        usage();
     }
     cfg
 }
@@ -190,9 +212,11 @@ impl Endpoint {
     }
 }
 
-/// A spawned daemon (or a connection to an external one).
+/// A spawned daemon, an in-process router front tier, or a connection
+/// to an external daemon.
 struct Daemon {
     child: Option<Child>,
+    router: Option<RouterHandle>,
     endpoint: Endpoint,
     #[cfg(unix)]
     sock_path: Option<std::path::PathBuf>,
@@ -257,6 +281,7 @@ impl Daemon {
         let endpoint = Endpoint::Tcp(addr);
         Ok(Daemon {
             child: Some(child),
+            router: None,
             endpoint,
             #[cfg(unix)]
             sock_path,
@@ -266,15 +291,52 @@ impl Daemon {
     fn external(addr: &str) -> Daemon {
         Daemon {
             child: None,
+            router: None,
             endpoint: Endpoint::Tcp(addr.to_string()),
             #[cfg(unix)]
             sock_path: None,
         }
     }
 
+    /// An in-process `tbaa-router` over `shards` in-process `tbaad`
+    /// backends — the `--router N` deployment.
+    fn router(cfg: &Config, shards: usize) -> Result<Daemon, String> {
+        let config = RouterConfig::builder()
+            .addr("127.0.0.1:0")
+            .shards(shards)
+            .workers(cfg.server_workers)
+            .io_timeout(Duration::from_secs(30))
+            .backend(BackendSpec::InProcess {
+                config: ServerConfig::builder()
+                    .workers(cfg.server_workers)
+                    .session_capacity(cfg.server_capacity)
+                    .build(),
+            })
+            .build();
+        let handle = Router::bind(config)
+            .map_err(|e| format!("bind router: {e}"))?
+            .spawn();
+        let endpoint = Endpoint::Tcp(handle.addr().to_string());
+        Ok(Daemon {
+            child: None,
+            router: Some(handle),
+            endpoint,
+            #[cfg(unix)]
+            sock_path: None,
+        })
+    }
+
+    /// The router's shared state, when running in `--router` mode.
+    fn router_state(&self) -> Option<Arc<RouterState>> {
+        self.router.as_ref().map(|h| h.state().clone())
+    }
+
     /// True while the spawned daemon process is still alive (external
     /// daemons always read as alive).
     fn alive(&mut self) -> bool {
+        if let Some(r) = &self.router {
+            return !r.is_finished();
+        }
         match &mut self.child {
             None => true,
             Some(c) => matches!(c.try_wait(), Ok(None)),
@@ -288,6 +350,11 @@ impl Daemon {
             let _ = wire.write_line(r#"{"op":"shutdown"}"#);
             let mut src = LineSource::new(wire);
             let _ = src.read_line_blocking();
+        }
+        if let Some(handle) = self.router.take() {
+            return handle
+                .join()
+                .map_err(|e| format!("router exited dirty: {e}"));
         }
         let Some(child) = &mut self.child else {
             return Ok(());
@@ -452,7 +519,7 @@ fn run_open(
                     }
                 }
             }
-            Ok(Tick::Idle) => {}
+            Ok(Tick::Idle(_)) => {}
             Ok(Tick::Eof) | Err(_) => {
                 if !inflight.is_empty() || Instant::now() < deadline {
                     out.io_errors += 1;
@@ -667,6 +734,66 @@ fn run_stats_poller(endpoint: &Endpoint, deadline: Instant) -> StatsPoll {
 
 // ---- driver ----------------------------------------------------------------
 
+/// A quantile estimate from a server-side histogram snapshot
+/// (`{count, sum, buckets: [[le|"inf", n], ...]}`): the upper bound of
+/// the bucket where the cumulative count crosses the quantile. The
+/// open-ended bucket reports the last finite bound (1s).
+fn bucket_quantile_us(hist: &Value, q: f64) -> i64 {
+    let count = hist.get("count").and_then(Value::as_i64).unwrap_or(0);
+    if count == 0 {
+        return 0;
+    }
+    let target = ((q * count as f64).ceil() as i64).max(1);
+    let mut seen = 0i64;
+    if let Some(buckets) = hist.get("buckets").and_then(Value::as_array) {
+        for b in buckets {
+            let Some(pair) = b.as_array() else { continue };
+            seen += pair.get(1).and_then(Value::as_i64).unwrap_or(0);
+            if seen >= target {
+                return pair.first().and_then(Value::as_i64).unwrap_or(1_000_000);
+            }
+        }
+    }
+    1_000_000
+}
+
+/// The artifact's `router` section: the router's own stats fields plus
+/// per-shard p50/p95/p99 derived from the per-shard request histograms.
+fn router_report(final_stats: Option<&Value>, kill_backend: bool) -> Option<Value> {
+    let r = final_stats?.get("router")?;
+    let carry = |name: &str| r.get(name).cloned().unwrap_or(Value::Null);
+    let per_shard: Vec<Value> = r
+        .get("per_shard")
+        .and_then(Value::as_array)
+        .map(|shards| {
+            shards
+                .iter()
+                .map(|sh| {
+                    let hist = sh.get("request_us").cloned().unwrap_or(Value::Null);
+                    let field = |name: &str| sh.get(name).cloned().unwrap_or(Value::Null);
+                    Value::object(vec![
+                        ("index", field("index")),
+                        ("addr", field("addr")),
+                        ("requests", field("requests")),
+                        ("p50_us", Value::Int(bucket_quantile_us(&hist, 0.50))),
+                        ("p95_us", Value::Int(bucket_quantile_us(&hist, 0.95))),
+                        ("p99_us", Value::Int(bucket_quantile_us(&hist, 0.99))),
+                    ])
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(Value::object(vec![
+        ("shards", carry("shards")),
+        ("sessions", carry("sessions")),
+        ("retries", carry("retries")),
+        ("respawns", carry("respawns")),
+        ("imbalance_pct", carry("imbalance_pct")),
+        ("kill_backend", Value::Bool(kill_backend)),
+        ("per_shard", Value::Array(per_shard)),
+    ]))
+}
+
 fn counter_of(stats: &Value, name: &str) -> i64 {
     stats
         .get("stats")
@@ -699,9 +826,16 @@ fn main() -> ExitCode {
         let _ = checker.oracle().paths(&c.key());
     }
 
-    let mut daemon = match &cfg.connect {
-        Some(addr) => Daemon::external(addr),
-        None => match Daemon::spawn(&cfg) {
+    let mut daemon = match (&cfg.connect, cfg.router) {
+        (Some(addr), _) => Daemon::external(addr),
+        (None, Some(shards)) => match Daemon::router(&cfg, shards) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("tbaa-loadgen: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, None) => match Daemon::spawn(&cfg) {
             Ok(d) => d,
             Err(e) => {
                 eprintln!("tbaa-loadgen: {e}");
@@ -721,6 +855,23 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let deadline = started + cfg.duration;
     let endpoint = daemon.endpoint.clone();
+    let router_state = daemon.router_state();
+
+    // Fault injection: halfway through the run, murder the backend
+    // shard that owns the first content. The router must respawn it and
+    // replay the journal; the gates below demand it.
+    let killer = if cfg.kill_backend {
+        let state = router_state.clone().expect("--kill-backend requires --router");
+        let victim = state.shard_of(&contents[0].key().display());
+        let delay = cfg.duration / 2;
+        eprintln!("tbaa-loadgen: will kill backend shard {victim} after {delay:?}");
+        Some(std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            state.kill_backend(victim);
+        }))
+    } else {
+        None
+    };
 
     let mut client_handles = Vec::new();
     for c in 0..cfg.clients {
@@ -800,6 +951,9 @@ fn main() -> ExitCode {
         chaos.samples.extend(r.samples);
     }
     let poll = poller.join().expect("poller thread panicked");
+    if let Some(k) = killer {
+        k.join().expect("killer thread panicked");
+    }
     let wall = started.elapsed();
 
     // Final server-side snapshot after the fleet has gone quiet.
@@ -842,10 +996,16 @@ fn main() -> ExitCode {
     if let Err(e) = &shutdown_result {
         failures.push(e.clone());
     }
+    if cfg.kill_backend {
+        let respawns = router_state.as_ref().map_or(0, |st| st.respawns());
+        if respawns == 0 {
+            failures.push("backend was killed but never respawned".into());
+        }
+    }
 
     // ---- artifact ----
     let atom = |n: u64| Value::Int(n as i64);
-    let report = Value::object(vec![
+    let mut report_fields: Vec<(&str, Value)> = vec![
         ("harness", Value::Str("tbaa-loadgen".into())),
         (
             "config",
@@ -921,17 +1081,21 @@ fn main() -> ExitCode {
                 ("final_stats", final_stats.clone().unwrap_or(Value::Null)),
             ]),
         ),
-        (
-            "gates",
-            Value::object(vec![
-                ("passed", Value::Bool(failures.is_empty())),
-                (
-                    "failures",
-                    Value::Array(failures.iter().map(|f| Value::Str(f.clone())).collect()),
-                ),
-            ]),
-        ),
-    ]);
+    ];
+    if let Some(r) = router_report(final_stats.as_ref(), cfg.kill_backend) {
+        report_fields.push(("router", r));
+    }
+    report_fields.push((
+        "gates",
+        Value::object(vec![
+            ("passed", Value::Bool(failures.is_empty())),
+            (
+                "failures",
+                Value::Array(failures.iter().map(|f| Value::Str(f.clone())).collect()),
+            ),
+        ]),
+    ));
+    let report = Value::object(report_fields);
     if let Err(e) = std::fs::write(&cfg.out, report.encode() + "\n") {
         eprintln!("tbaa-loadgen: cannot write {}: {e}", cfg.out);
         return ExitCode::FAILURE;
@@ -955,6 +1119,13 @@ fn main() -> ExitCode {
             counter_of(stats, "requests.panics"),
             counter_of(stats, "sessions.compiles"),
             counter_of(stats, "sessions.evictions"),
+        );
+    }
+    if let Some(state) = &router_state {
+        eprintln!(
+            "tbaa-loadgen: router: {} shards, {} respawns",
+            state.shard_count(),
+            state.respawns(),
         );
     }
     eprintln!("tbaa-loadgen: wrote {}", cfg.out);

@@ -31,10 +31,6 @@
 //! [`CompiledAliasEngine`]: tbaa::CompiledAliasEngine
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-#[cfg(unix)]
-use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -236,166 +232,14 @@ impl VerbLatencies {
 }
 
 // ---- wire helpers ----------------------------------------------------------
+//
+// The transport layer used to live here; it is now the server crate's
+// [`tbaa_server::net`] module, shared by `tbaad`, `tbaa-router`, and
+// this harness. The old names are kept as aliases so harness code reads
+// the same: note that [`Tick::Idle`] now carries whether partial bytes
+// are buffered (`Tick::Idle(_)` in matches).
 
-/// One duplex connection to a daemon (TCP or, on unix, a Unix socket).
-pub enum Wire {
-    /// TCP.
-    Tcp(TcpStream),
-    /// Unix-domain socket.
-    #[cfg(unix)]
-    Unix(UnixStream),
-}
-
-impl Wire {
-    /// Connects over TCP.
-    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Wire> {
-        let s = TcpStream::connect(addr)?;
-        s.set_nodelay(true).ok();
-        Ok(Wire::Tcp(s))
-    }
-
-    /// Connects over a Unix-domain socket.
-    #[cfg(unix)]
-    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> std::io::Result<Wire> {
-        Ok(Wire::Unix(UnixStream::connect(path)?))
-    }
-
-    /// Clones the underlying socket handle.
-    pub fn try_clone(&self) -> std::io::Result<Wire> {
-        Ok(match self {
-            Wire::Tcp(s) => Wire::Tcp(s.try_clone()?),
-            #[cfg(unix)]
-            Wire::Unix(s) => Wire::Unix(s.try_clone()?),
-        })
-    }
-
-    /// Sets the read timeout (None = block).
-    pub fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
-        match self {
-            Wire::Tcp(s) => s.set_read_timeout(d),
-            #[cfg(unix)]
-            Wire::Unix(s) => s.set_read_timeout(d),
-        }
-    }
-
-    /// Writes one request line (appending the newline) and flushes.
-    pub fn write_line(&mut self, line: &str) -> std::io::Result<()> {
-        debug_assert!(!line.contains('\n'));
-        self.write_all(line.as_bytes())?;
-        self.write_all(b"\n")?;
-        self.flush()
-    }
-}
-
-impl Read for Wire {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Wire::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Wire::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for Wire {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Wire::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Wire::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            Wire::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Wire::Unix(s) => s.flush(),
-        }
-    }
-}
-
-/// What one [`LineSource::tick`] produced.
-#[derive(Debug)]
-pub enum Tick {
-    /// A complete reply line (newline stripped).
-    Line(String),
-    /// No complete line within the socket's read timeout; any partial
-    /// bytes stay buffered for the next tick.
-    Idle,
-    /// Peer closed the connection.
-    Eof,
-}
-
-/// A reply-line reader that survives read timeouts mid-line.
-///
-/// `BufReader::read_line` into a local buffer loses partial bytes when a
-/// timeout interrupts it; this keeps the partial line in `pending`
-/// across ticks (the same discipline as the server's own read loop), so
-/// open-loop clients can poll with tiny timeouts without corrupting the
-/// stream.
-pub struct LineSource {
-    reader: BufReader<Wire>,
-    pending: Vec<u8>,
-}
-
-impl LineSource {
-    /// Wraps the read half of a connection.
-    pub fn new(wire: Wire) -> Self {
-        LineSource {
-            reader: BufReader::new(wire),
-            pending: Vec::new(),
-        }
-    }
-
-    /// Attempts to read one complete line.
-    pub fn tick(&mut self) -> std::io::Result<Tick> {
-        match self.reader.read_until(b'\n', &mut self.pending) {
-            Ok(0) => {
-                if self.pending.is_empty() {
-                    Ok(Tick::Eof)
-                } else {
-                    let line = String::from_utf8_lossy(&self.pending).into_owned();
-                    self.pending.clear();
-                    Ok(Tick::Line(line))
-                }
-            }
-            Ok(_) => {
-                self.pending.pop();
-                if self.pending.last() == Some(&b'\r') {
-                    self.pending.pop();
-                }
-                let line = String::from_utf8_lossy(&self.pending).into_owned();
-                self.pending.clear();
-                Ok(Tick::Line(line))
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Ok(Tick::Idle)
-            }
-            Err(e) => Err(e),
-        }
-    }
-
-    /// Blocks (modulo the socket timeout, retried) until a full line
-    /// arrives. Errors on EOF.
-    pub fn read_line_blocking(&mut self) -> std::io::Result<String> {
-        loop {
-            match self.tick()? {
-                Tick::Line(l) => return Ok(l),
-                Tick::Idle => continue,
-                Tick::Eof => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "server closed the connection",
-                    ))
-                }
-            }
-        }
-    }
-}
+pub use tbaa_server::net::{Conn as Wire, LineReader as LineSource, Tick};
 
 // ---- workload --------------------------------------------------------------
 

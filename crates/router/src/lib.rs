@@ -1,0 +1,34 @@
+//! tbaa-router: a session-sharded front tier over `tbaad` backends.
+//!
+//! The router speaks the same newline-delimited JSON protocol as a
+//! single `tbaad` and fans sessions out across N backends by
+//! consistently hashing each session's *content key* (`bench:NAME@SCALE`
+//! or `src:HASH`). Clients keep using [`tbaa_server::Client`] —
+//! unchanged — and get horizontal scale, per-backend connection
+//! pooling, request pipelining, and transparent recovery (respawn +
+//! journal re-`load`) when an owned backend dies.
+//!
+//! ```no_run
+//! use tbaa_router::{BackendSpec, Router, RouterConfig};
+//!
+//! let config = RouterConfig::builder()
+//!     .addr("127.0.0.1:0")
+//!     .shards(3)
+//!     .backend(BackendSpec::InProcess {
+//!         config: tbaa_server::ServerConfig::default(),
+//!     })
+//!     .build();
+//! let handle = Router::bind(config).unwrap().spawn();
+//! let mut client = tbaa_server::Client::connect(handle.addr()).unwrap();
+//! let loaded = client.load_bench("ktree", 2).unwrap();
+//! let alias = client.alias(&loaded.session, None, None, &[]).unwrap();
+//! assert!(alias.results.is_empty()); // empty batch, routed and answered
+//! ```
+
+mod backend;
+mod ring;
+mod router;
+
+pub use backend::BackendSpec;
+pub use ring::Ring;
+pub use router::{Router, RouterConfig, RouterConfigBuilder, RouterHandle, RouterState};

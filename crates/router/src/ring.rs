@@ -1,0 +1,103 @@
+//! Consistent hash ring over session content keys.
+//!
+//! Each shard contributes `vnodes` points to the ring, hashed from
+//! `"{shard}#{vnode}"` — a function of the shard *index*, not its
+//! address, so a respawned backend (new port) keeps exactly the same
+//! key ownership and the session journal replays onto the right shard.
+
+use tbaa_server::session::content_hash;
+
+/// A fixed-membership consistent hash ring.
+pub struct Ring {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+/// FNV-1a clusters short same-shape strings (vnode labels, `src:` keys)
+/// into narrow high-bit bands, which collapses ring ownership onto one
+/// shard. The splitmix64 finalizer spreads those bands across the full
+/// u64 space; both ring points and lookups go through it.
+fn spread(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^ (h >> 31)
+}
+
+impl Ring {
+    /// A ring of `shards` members with `vnodes` points each.
+    pub fn new(shards: usize, vnodes: usize) -> Ring {
+        assert!(shards >= 1, "a ring needs at least one shard");
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for vnode in 0..vnodes {
+                points.push((spread(content_hash(format!("{shard}#{vnode}").as_bytes())), shard));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|p| p.0);
+        Ring { points, shards }
+    }
+
+    /// Member count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key` (display form of a session content key):
+    /// the first ring point at or after the key's hash, wrapping around.
+    pub fn shard_of(&self, key: &str) -> usize {
+        let h = spread(content_hash(key.as_bytes()));
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points[idx % self.points.len()].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_deterministic_and_total() {
+        let a = Ring::new(3, 64);
+        let b = Ring::new(3, 64);
+        for i in 0..200 {
+            let key = format!("bench:prog{i}@2");
+            let shard = a.shard_of(&key);
+            assert!(shard < 3);
+            assert_eq!(shard, b.shard_of(&key), "ring must be a pure function");
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_some_keys() {
+        let ring = Ring::new(4, 64);
+        let mut seen = [false; 4];
+        for i in 0..500 {
+            seen[ring.shard_of(&format!("src:{i:016x}"))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "owners: {seen:?}");
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        let ring = Ring::new(3, 64);
+        let mut counts = [0usize; 3];
+        for i in 0..3000 {
+            counts[ring.shard_of(&format!("bench:p{i}@1"))] += 1;
+        }
+        // With 64 vnodes the worst shard should still hold well under
+        // 2/3 of the keyspace.
+        assert!(counts.iter().all(|&c| c < 2000), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn single_shard_ring_owns_everything() {
+        let ring = Ring::new(1, 8);
+        assert_eq!(ring.shard_of("bench:ktree@1"), 0);
+        assert_eq!(ring.shard_of("src:0000000000000000"), 0);
+    }
+}

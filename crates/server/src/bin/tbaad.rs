@@ -21,13 +21,10 @@
 
 use std::process::ExitCode;
 
-use tbaa_server::{Config, Server};
+use tbaa_server::{Server, ServerConfig};
 
 fn main() -> ExitCode {
-    let mut config = Config {
-        addr: "127.0.0.1:4980".into(),
-        ..Config::default()
-    };
+    let mut config = ServerConfig::builder().addr("127.0.0.1:4980").build();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {

@@ -1,17 +1,20 @@
 //! A blocking client for the `tbaad` protocol.
 //!
 //! [`Client`] wraps one connection (TCP or, on unix, a Unix-domain
-//! socket) and exposes one method per protocol verb. Raw reply lines are
-//! kept on the typed results so callers — the integration tests in
-//! particular — can compare wire bytes, not just decoded values.
+//! socket) and exposes one method per protocol verb, each returning the
+//! typed replies of [`crate::reply`]. Raw reply lines stay available —
+//! on every typed reply's `raw` field and through
+//! [`Client::request_raw`]/[`Client::send_raw`] — so byte-differential
+//! harnesses can compare wire bytes, not just decoded values.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-#[cfg(unix)]
-use std::os::unix::net::UnixStream;
+use std::net::ToSocketAddrs;
 use std::time::Duration;
 
-use crate::json::{parse, Value};
+use crate::json::Value;
+use crate::net::{Conn, LineReader, Tick};
+use crate::reply::{
+    AliasReply, ErrorReply, LoadReply, PairsReply, Reply, RleReply, StatsReply,
+};
 
 /// What a client call can fail with.
 #[derive(Debug)]
@@ -21,29 +24,7 @@ pub enum ClientError {
     /// The reply was not a valid protocol reply.
     Protocol(String),
     /// The server answered `{"ok":false,...}`.
-    Server {
-        /// Error kind (`parse`, `proto`, `compile`, `no_session`, …).
-        kind: String,
-        /// Human-readable message.
-        message: String,
-        /// Structured compiler diagnostics, when `kind == "compile"`.
-        diagnostics: Vec<WireDiagnostic>,
-        /// The raw reply line.
-        raw: String,
-    },
-}
-
-/// One front-end diagnostic as carried over the wire.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireDiagnostic {
-    /// Compiler phase (`lex`, `parse`, `check`, `lower`).
-    pub phase: String,
-    /// Byte span start.
-    pub start: i64,
-    /// Byte span end.
-    pub end: i64,
-    /// The message.
-    pub message: String,
+    Server(ErrorReply),
 }
 
 impl std::fmt::Display for ClientError {
@@ -51,8 +32,8 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
-            ClientError::Server { kind, message, .. } => {
-                write!(f, "server error ({kind}): {message}")
+            ClientError::Server(e) => {
+                write!(f, "server error ({}): {}", e.kind, e.message)
             }
         }
     }
@@ -66,169 +47,60 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-enum Stream {
-    Tcp(TcpStream),
-    #[cfg(unix)]
-    Unix(UnixStream),
-}
-
-impl Stream {
-    fn try_clone(&self) -> std::io::Result<Stream> {
-        Ok(match self {
-            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
-            #[cfg(unix)]
-            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
-        })
-    }
-}
-
-impl Read for Stream {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Stream::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for Stream {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Stream::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Stream::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            Stream::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Stream::Unix(s) => s.flush(),
-        }
-    }
-}
-
-/// A successful `load` reply.
-#[derive(Debug, Clone)]
-pub struct LoadReply {
-    /// Session id to use in subsequent queries.
-    pub session: String,
-    /// Whether the program was already warm in the server's cache.
-    pub cached: bool,
-    /// Stable content key (`bench:ktree@2`, `src:…`).
-    pub key: String,
-    /// Heap reference sites in the program.
-    pub heap_refs: i64,
-    /// Addressable access paths (only when requested via `paths:true`).
-    pub paths: Vec<String>,
-    /// The raw reply line.
-    pub raw: String,
-}
-
-/// A successful `alias` reply.
-#[derive(Debug, Clone)]
-pub struct AliasReply {
-    /// One verdict per queried pair, in request order.
-    pub results: Vec<bool>,
-    /// The raw reply line.
-    pub raw: String,
-}
-
-/// A successful `pairs` reply (Table-5 style counts).
-#[derive(Debug, Clone)]
-pub struct PairsReply {
-    /// Heap reference expressions in the program.
-    pub references: i64,
-    /// Intraprocedural may-alias pairs.
-    pub local_pairs: i64,
-    /// Whole-program may-alias pairs.
-    pub global_pairs: i64,
-    /// The raw reply line.
-    pub raw: String,
-}
-
-/// A successful `rle` reply (static RLE report).
-#[derive(Debug, Clone)]
-pub struct RleReply {
-    /// Loads hoisted out of loops.
-    pub hoisted: i64,
-    /// Loads replaced by register references.
-    pub eliminated: i64,
-    /// Total removed (the Table 6 metric).
-    pub removed: i64,
-    /// The raw reply line.
-    pub raw: String,
-}
-
-/// One connection to a `tbaad` server.
+/// One connection to a `tbaad` server (or a `tbaa-router` front tier —
+/// the wire protocol is identical).
 pub struct Client {
-    reader: BufReader<Stream>,
-    writer: Stream,
+    reader: LineReader,
+    writer: Conn,
 }
 
 impl Client {
     /// Connects over TCP.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Self::over(Stream::Tcp(stream))
+        Self::over(Conn::connect_tcp(addr)?)
     }
 
     /// Connects over a Unix-domain socket.
     #[cfg(unix)]
     pub fn connect_unix(path: impl AsRef<std::path::Path>) -> std::io::Result<Client> {
-        Self::over(Stream::Unix(UnixStream::connect(path)?))
+        Self::over(Conn::connect_unix(path)?)
     }
 
-    fn over(stream: Stream) -> std::io::Result<Client> {
-        let reader = BufReader::new(stream.try_clone()?);
+    fn over(conn: Conn) -> std::io::Result<Client> {
+        let reader = LineReader::new(conn.try_clone()?);
         Ok(Client {
             reader,
-            writer: stream,
+            writer: conn,
         })
     }
 
     /// Sets the read timeout for replies (None = block forever).
     pub fn set_timeout(&mut self, d: Option<Duration>) -> std::io::Result<()> {
-        match self.reader.get_ref() {
-            Stream::Tcp(s) => s.set_read_timeout(d),
-            #[cfg(unix)]
-            Stream::Unix(s) => s.set_read_timeout(d),
-        }
+        self.reader.get_ref().set_read_timeout(d)
     }
 
     /// Sends one raw request line and returns the raw reply line
     /// (newlines stripped). The lowest-level entry point; the typed
     /// helpers below are built on it.
     pub fn request_raw(&mut self, line: &str) -> Result<String, ClientError> {
-        debug_assert!(!line.contains('\n'), "requests are single lines");
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        self.writer.write_line(line)?;
         self.read_reply_line()
     }
 
     /// Sends several request lines at once, then reads that many
     /// replies. Useful for pipelining independent queries.
     pub fn pipeline_raw(&mut self, lines: &[String]) -> Result<Vec<String>, ClientError> {
-        let mut batch = String::new();
-        for line in lines {
-            debug_assert!(!line.contains('\n'));
-            batch.push_str(line);
-            batch.push('\n');
-        }
-        self.writer.write_all(batch.as_bytes())?;
-        self.writer.flush()?;
+        self.send_raw(lines)?;
         lines.iter().map(|_| self.read_reply_line()).collect()
     }
 
     /// Writes request lines without reading replies (for shutdown-drain
     /// testing). Pair with [`Client::read_reply_line`].
     pub fn send_raw(&mut self, lines: &[String]) -> Result<(), ClientError> {
+        use std::io::Write;
         let mut batch = String::new();
         for line in lines {
+            debug_assert!(!line.contains('\n'));
             batch.push_str(line);
             batch.push('\n');
         }
@@ -239,66 +111,32 @@ impl Client {
 
     /// Reads one reply line.
     pub fn read_reply_line(&mut self) -> Result<String, ClientError> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
+        match self.reader.tick() {
+            Ok(Tick::Line(line)) => Ok(line),
+            // With no read timeout set, Idle cannot occur; with one
+            // set via `set_timeout`, its expiry is an error, matching
+            // blocking-read semantics.
+            Ok(Tick::Idle(_)) => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out waiting for reply",
+            ))),
+            Ok(Tick::Eof) => Err(ClientError::Protocol("server closed the connection".into())),
+            Err(e) => Err(ClientError::Io(e)),
         }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
-        }
-        Ok(line)
     }
 
-    fn checked(&mut self, request: Value) -> Result<(Value, String), ClientError> {
+    /// Sends one request and decodes the typed [`Reply`]. A structured
+    /// server error decodes to `Ok(Reply::Err(..))`; use
+    /// [`Client::request_ok`] to promote those to [`ClientError`].
+    pub fn request(&mut self, request: &Value) -> Result<Reply, ClientError> {
         let raw = self.request_raw(&request.encode())?;
-        let value =
-            parse(&raw).map_err(|e| ClientError::Protocol(format!("bad reply: {e}: {raw}")))?;
-        match value.get("ok").and_then(Value::as_bool) {
-            Some(true) => Ok((value, raw)),
-            Some(false) => {
-                let err = value.get("error");
-                let get = |k: &str| {
-                    err.and_then(|e| e.get(k))
-                        .and_then(Value::as_str)
-                        .unwrap_or("")
-                        .to_string()
-                };
-                let diagnostics = err
-                    .and_then(|e| e.get("diagnostics"))
-                    .and_then(Value::as_array)
-                    .map(|ds| {
-                        ds.iter()
-                            .map(|d| WireDiagnostic {
-                                phase: d
-                                    .get("phase")
-                                    .and_then(Value::as_str)
-                                    .unwrap_or("")
-                                    .to_string(),
-                                start: d.get("start").and_then(Value::as_i64).unwrap_or(-1),
-                                end: d.get("end").and_then(Value::as_i64).unwrap_or(-1),
-                                message: d
-                                    .get("message")
-                                    .and_then(Value::as_str)
-                                    .unwrap_or("")
-                                    .to_string(),
-                            })
-                            .collect()
-                    })
-                    .unwrap_or_default();
-                Err(ClientError::Server {
-                    kind: get("kind"),
-                    message: get("message"),
-                    diagnostics,
-                    raw,
-                })
-            }
-            None => Err(ClientError::Protocol(format!("reply without `ok`: {raw}"))),
-        }
+        Reply::decode(&raw).map_err(ClientError::Protocol)
     }
 
-    fn int(v: &Value, key: &str) -> i64 {
-        v.get(key).and_then(Value::as_i64).unwrap_or(-1)
+    /// Like [`Client::request`], but a server error reply becomes
+    /// [`ClientError::Server`].
+    pub fn request_ok(&mut self, request: &Value) -> Result<Reply, ClientError> {
+        self.request(request)?.into_result().map_err(ClientError::Server)
     }
 
     /// Loads a benchsuite program into a (possibly shared) session.
@@ -327,35 +165,35 @@ impl Client {
 
     /// Compiles inline MiniM3 source into a session.
     pub fn load_source(&mut self, source: &str) -> Result<LoadReply, ClientError> {
-        self.load_request(Value::object(vec![
+        self.load_source_with(source, false)
+    }
+
+    /// Like [`Client::load_source`], optionally asking the server to
+    /// list the session's addressable access paths in the reply.
+    pub fn load_source_with(
+        &mut self,
+        source: &str,
+        want_paths: bool,
+    ) -> Result<LoadReply, ClientError> {
+        let mut fields = vec![
             ("op", Value::Str("load".into())),
             ("source", Value::Str(source.into())),
-        ]))
+        ];
+        if want_paths {
+            fields.push(("paths", Value::Bool(true)));
+        }
+        self.load_request(Value::object(fields))
     }
 
     fn load_request(&mut self, req: Value) -> Result<LoadReply, ClientError> {
-        let (v, raw) = self.checked(req)?;
-        Ok(LoadReply {
-            session: v
-                .get("session")
-                .and_then(Value::as_str)
-                .unwrap_or("")
-                .to_string(),
-            cached: v.get("cached").and_then(Value::as_bool).unwrap_or(false),
-            key: v.get("key").and_then(Value::as_str).unwrap_or("").to_string(),
-            heap_refs: Self::int(&v, "heap_refs"),
-            paths: v
-                .get("paths")
-                .and_then(Value::as_array)
-                .map(|a| {
-                    a.iter()
-                        .filter_map(Value::as_str)
-                        .map(str::to_string)
-                        .collect()
-                })
-                .unwrap_or_default(),
-            raw,
-        })
+        match self.request_ok(&req)? {
+            Reply::Loaded(r) => Ok(r),
+            other => Err(Self::unexpected("load", &other)),
+        }
+    }
+
+    fn unexpected(verb: &str, reply: &Reply) -> ClientError {
+        ClientError::Protocol(format!("unexpected {verb} reply: {}", reply.raw()))
     }
 
     fn query_base(op: &str, session: &str, level: Option<&str>, world: Option<&str>) -> Vec<(String, Value)> {
@@ -394,15 +232,10 @@ impl Client {
                     .collect(),
             ),
         ));
-        let (v, raw) = self.checked(Value::Object(fields))?;
-        let results = v
-            .get("results")
-            .and_then(Value::as_array)
-            .ok_or_else(|| ClientError::Protocol(format!("alias reply without results: {raw}")))?
-            .iter()
-            .map(|r| r.as_bool().unwrap_or(false))
-            .collect();
-        Ok(AliasReply { results, raw })
+        match self.request_ok(&Value::Object(fields))? {
+            Reply::Alias(r) => Ok(r),
+            other => Err(Self::unexpected("alias", &other)),
+        }
     }
 
     /// Table-5 style static pair counts for the session's program.
@@ -412,14 +245,10 @@ impl Client {
         level: Option<&str>,
         world: Option<&str>,
     ) -> Result<PairsReply, ClientError> {
-        let (v, raw) =
-            self.checked(Value::Object(Self::query_base("pairs", session, level, world)))?;
-        Ok(PairsReply {
-            references: Self::int(&v, "references"),
-            local_pairs: Self::int(&v, "local_pairs"),
-            global_pairs: Self::int(&v, "global_pairs"),
-            raw,
-        })
+        match self.request_ok(&Value::Object(Self::query_base("pairs", session, level, world)))? {
+            Reply::Pairs(r) => Ok(r),
+            other => Err(Self::unexpected("pairs", &other)),
+        }
     }
 
     /// Runs RLE on a scratch copy of the session's program and returns
@@ -430,34 +259,36 @@ impl Client {
         level: Option<&str>,
         world: Option<&str>,
     ) -> Result<RleReply, ClientError> {
-        let (v, raw) =
-            self.checked(Value::Object(Self::query_base("rle", session, level, world)))?;
-        Ok(RleReply {
-            hoisted: Self::int(&v, "hoisted"),
-            eliminated: Self::int(&v, "eliminated"),
-            removed: Self::int(&v, "removed"),
-            raw,
-        })
+        match self.request_ok(&Value::Object(Self::query_base("rle", session, level, world)))? {
+            Reply::Rle(r) => Ok(r),
+            other => Err(Self::unexpected("rle", &other)),
+        }
     }
 
-    /// The server's metrics snapshot (the full `stats` reply object).
-    pub fn stats(&mut self) -> Result<Value, ClientError> {
-        let (v, _raw) = self.checked(Value::object(vec![("op", Value::Str("stats".into()))]))?;
-        Ok(v)
+    /// The server's metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.request_ok(&Value::object(vec![("op", Value::Str("stats".into()))]))? {
+            Reply::Stats(r) => Ok(r),
+            other => Err(Self::unexpected("stats", &other)),
+        }
     }
 
     /// Drops a session. Returns whether it was live.
     pub fn unload(&mut self, session: &str) -> Result<bool, ClientError> {
-        let (v, _raw) = self.checked(Value::object(vec![
+        match self.request_ok(&Value::object(vec![
             ("op", Value::Str("unload".into())),
             ("session", Value::Str(session.into())),
-        ]))?;
-        Ok(v.get("unloaded").and_then(Value::as_bool).unwrap_or(false))
+        ]))? {
+            Reply::Unloaded { unloaded, .. } => Ok(unloaded),
+            other => Err(Self::unexpected("unload", &other)),
+        }
     }
 
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        self.checked(Value::object(vec![("op", Value::Str("shutdown".into()))]))?;
-        Ok(())
+        match self.request_ok(&Value::object(vec![("op", Value::Str("shutdown".into()))]))? {
+            Reply::Draining { .. } => Ok(()),
+            other => Err(Self::unexpected("shutdown", &other)),
+        }
     }
 }

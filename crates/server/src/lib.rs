@@ -34,10 +34,14 @@
 //! * [`session`] — content-keyed LRU session cache built on the shared
 //!   [`tbaa::memo::Memo`] (the same exactly-once discipline as the
 //!   evaluation engine in `crates/bench`);
-//! * [`server`] — accept loop, bounded worker pool, `catch_unwind`
-//!   request isolation, graceful drain on `shutdown`;
-//! * [`client`] — a blocking [`Client`] used by `tbaac query` and the
-//!   integration tests.
+//! * [`net`] — the shared transport layer (duplex connections, line
+//!   readers, dual TCP/Unix listeners, the accept-loop/worker-pool
+//!   skeleton) used by both `tbaad` and `tbaa-router`;
+//! * [`reply`] — typed reply decoding ([`Reply`], [`ErrCode`]);
+//! * [`server`] — request dispatch, `catch_unwind` request isolation,
+//!   graceful drain on `shutdown`, on top of [`net::serve`];
+//! * [`client`] — a blocking [`Client`] used by `tbaac query`, the
+//!   router, and the integration tests.
 //!
 //! Run it: `tbaad --addr 127.0.0.1:4980` (or `tbaac serve`), then
 //! `tbaac query --bench ktree alias n.left n.right`.
@@ -45,11 +49,20 @@
 pub mod client;
 pub mod json;
 pub mod metrics;
+pub mod net;
 pub mod proto;
+pub mod reply;
 pub mod server;
 pub mod session;
 
-pub use client::{AliasReply, Client, ClientError, LoadReply, PairsReply, RleReply, WireDiagnostic};
+#[allow(deprecated)]
+pub use server::Config;
+
+pub use client::{Client, ClientError};
 pub use metrics::Registry;
-pub use server::{Config, Server, ServerHandle, ServerState};
+pub use reply::{
+    AliasReply, ErrCode, ErrorReply, LoadReply, PairsReply, Reply, RleReply, StatsReply,
+    WireDiagnostic,
+};
+pub use server::{Server, ServerConfig, ServerConfigBuilder, ServerHandle, ServerState};
 pub use session::{Session, SessionKey, SessionStore};

@@ -130,7 +130,11 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    fn to_json(&self) -> Value {
+    /// The snapshot encoding of this histogram: `count`, `sum`, `mean`,
+    /// and the non-empty `[le, n]` buckets. Public so aggregators (the
+    /// router's per-shard stats) can render histograms outside a
+    /// [`Registry`] snapshot.
+    pub fn to_json(&self) -> Value {
         let count = self.count();
         let sum = self.sum();
         let mean = if count == 0 {

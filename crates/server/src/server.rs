@@ -2,9 +2,9 @@
 //!
 //! Clients speak the newline-delimited JSON protocol of [`crate::proto`]
 //! over TCP (always) and, on unix, optionally over a Unix-domain socket.
-//! Connections are served by a bounded pool of pre-spawned workers (one
-//! live connection per worker; excess connections queue at the accept
-//! side), so a flood of clients cannot spawn unbounded threads.
+//! The accept loop, worker pool, and connection plumbing live in
+//! [`crate::net`] (shared with `tbaa-router`); this module owns request
+//! dispatch against the session store.
 //!
 //! Failure isolation: every request is dispatched inside
 //! [`std::panic::catch_unwind`], so a panicking compile or analysis
@@ -19,13 +19,10 @@
 //! served and replied to — before closing. [`Server::run`] returns once
 //! every worker has drained.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-#[cfg(unix)]
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tbaa::analysis::AliasAnalysis;
@@ -34,14 +31,16 @@ use tbaa_opt::rle::run_rle;
 
 use crate::json::Value;
 use crate::metrics::{Registry, LATENCY_US_BUCKETS};
+use crate::net::{self, DualListener, LineService, ServeOptions};
 use crate::proto::{
     self, compile_error_reply, decode_request, error_reply, ok_reply, Request,
 };
 use crate::session::{Session, SessionStore};
 
-/// Server configuration. `Default` is suitable for tests and local use.
+/// Server configuration. `Default` is suitable for tests and local use;
+/// for anything else, prefer [`ServerConfig::builder`].
 #[derive(Debug, Clone)]
-pub struct Config {
+pub struct ServerConfig {
     /// TCP bind address; use port 0 for an ephemeral port.
     pub addr: String,
     /// Optional Unix-domain socket path (unix only; ignored elsewhere).
@@ -58,9 +57,13 @@ pub struct Config {
     pub drain_grace: Duration,
 }
 
-impl Default for Config {
+/// The old name of [`ServerConfig`].
+#[deprecated(since = "0.2.0", note = "renamed to `ServerConfig`; build one with `ServerConfig::builder()`")]
+pub type Config = ServerConfig;
+
+impl Default for ServerConfig {
     fn default() -> Self {
-        Config {
+        ServerConfig {
             addr: "127.0.0.1:0".into(),
             unix_path: None,
             workers: 16,
@@ -71,10 +74,65 @@ impl Default for Config {
     }
 }
 
-/// How often blocked reads wake up to check the shutdown flag.
-const POLL_TICK: Duration = Duration::from_millis(50);
-/// Accept-loop poll interval.
-const ACCEPT_TICK: Duration = Duration::from_millis(10);
+impl ServerConfig {
+    /// A builder starting from [`ServerConfig::default`], mirroring
+    /// `OptOptions::builder()` so daemon and router share one config
+    /// idiom.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`]; see [`ServerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// TCP bind address (port 0 for ephemeral).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Unix-domain socket path (unix only; ignored elsewhere).
+    pub fn unix_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.unix_path = Some(path.into());
+        self
+    }
+
+    /// Worker count == maximum concurrently served connections.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Maximum live sessions (LRU beyond this).
+    pub fn session_capacity(mut self, n: usize) -> Self {
+        self.config.session_capacity = n;
+        self
+    }
+
+    /// Per-request I/O timeout.
+    pub fn io_timeout(mut self, d: Duration) -> Self {
+        self.config.io_timeout = d;
+        self
+    }
+
+    /// Post-shutdown drain window per connection.
+    pub fn drain_grace(mut self, d: Duration) -> Self {
+        self.config.drain_grace = d;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ServerConfig {
+        self.config
+    }
+}
 
 /// Shared server state: sessions, metrics, the shutdown flag.
 pub struct ServerState {
@@ -85,13 +143,16 @@ pub struct ServerState {
 }
 
 impl ServerState {
-    fn new(config: &Config) -> Self {
+    /// `started` is the uptime epoch: [`Server::bind`] passes the moment
+    /// the listeners were bound, so `stats` reports a meaningful
+    /// `uptime_us` from the very first request.
+    fn new(config: &ServerConfig, started: Instant) -> Self {
         let metrics = Arc::new(Registry::new());
         ServerState {
             store: SessionStore::new(config.session_capacity, metrics.clone()),
             metrics,
             shutdown: AtomicBool::new(false),
-            started: Instant::now(),
+            started,
         }
     }
 
@@ -116,75 +177,11 @@ impl ServerState {
     }
 }
 
-/// One duplex client connection (TCP or Unix).
-enum Conn {
-    Tcp(TcpStream),
-    #[cfg(unix)]
-    Unix(UnixStream),
-}
-
-impl Conn {
-    fn try_clone(&self) -> std::io::Result<Conn> {
-        Ok(match self {
-            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
-            #[cfg(unix)]
-            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
-        })
-    }
-
-    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.set_read_timeout(d),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.set_read_timeout(d),
-        }
-    }
-
-    fn set_write_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.set_write_timeout(d),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.set_write_timeout(d),
-        }
-    }
-}
-
-impl Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.flush(),
-        }
-    }
-}
-
 /// A bound, not-yet-running server.
 pub struct Server {
-    config: Config,
+    config: ServerConfig,
     state: Arc<ServerState>,
-    listener: TcpListener,
-    local_addr: SocketAddr,
-    #[cfg(unix)]
-    unix_listener: Option<UnixListener>,
+    listener: DualListener,
 }
 
 /// Handle to a server running on a background thread.
@@ -205,44 +202,73 @@ impl ServerHandle {
         &self.state
     }
 
+    /// Whether the server thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.join.is_finished()
+    }
+
     /// Waits for the server to drain and exit.
     pub fn join(self) -> std::io::Result<()> {
         self.join.join().expect("server thread panicked")
     }
 }
 
+/// Adapts [`ServerState`] dispatch to the generic serve loop.
+struct TbaadService {
+    state: Arc<ServerState>,
+}
+
+impl LineService for TbaadService {
+    fn handle(&self, line: &str) -> String {
+        handle_line(&self.state, line).encode()
+    }
+
+    fn draining(&self) -> bool {
+        self.state.is_shutting_down()
+    }
+
+    fn on_connect(&self) {
+        self.state.metrics().counter("connections.accepted").inc();
+        self.state.metrics().gauge("connections.active").inc();
+    }
+
+    fn on_disconnect(&self) {
+        self.state.metrics().gauge("connections.active").dec();
+    }
+}
+
 impl Server {
-    /// Binds the listeners described by `config`.
-    pub fn bind(config: Config) -> std::io::Result<Server> {
-        let addrs: Vec<SocketAddr> = config.addr.to_socket_addrs()?.collect();
-        let listener = TcpListener::bind(&addrs[..])?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
-        #[cfg(unix)]
-        let unix_listener = match &config.unix_path {
-            Some(path) => {
-                // A stale socket file from a dead server blocks bind.
-                let _ = std::fs::remove_file(path);
-                let l = UnixListener::bind(path)?;
-                l.set_nonblocking(true)?;
-                Some(l)
-            }
-            None => None,
-        };
-        let state = Arc::new(ServerState::new(&config));
+    /// Binds the listeners described by `config`. The uptime clock
+    /// starts here, not at the first request.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let started = Instant::now();
+        let listener = DualListener::bind(&config.addr, config.unix_path.as_deref())?;
+        let state = Arc::new(ServerState::new(&config, started));
         Ok(Server {
             config,
             state,
             listener,
-            local_addr,
-            #[cfg(unix)]
-            unix_listener,
         })
+    }
+
+    /// Positional constructor from the pre-builder era.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Server::bind(ServerConfig::builder().addr(..).workers(..).session_capacity(..).build())`"
+    )]
+    pub fn new(addr: &str, workers: usize, session_capacity: usize) -> std::io::Result<Server> {
+        Server::bind(
+            ServerConfig::builder()
+                .addr(addr)
+                .workers(workers)
+                .session_capacity(session_capacity)
+                .build(),
+        )
     }
 
     /// The bound TCP address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        self.listener.local_addr()
     }
 
     /// The shared state.
@@ -252,7 +278,7 @@ impl Server {
 
     /// Runs the server on a background thread.
     pub fn spawn(self) -> ServerHandle {
-        let addr = self.local_addr;
+        let addr = self.local_addr();
         let state = self.state.clone();
         let join = std::thread::Builder::new()
             .name("tbaad-accept".into())
@@ -268,183 +294,13 @@ impl Server {
             config,
             state,
             listener,
-            #[cfg(unix)]
-            unix_listener,
-            ..
         } = self;
-
-        let (tx, rx) = mpsc::channel::<Conn>();
-        let rx = Arc::new(std::sync::Mutex::new(rx));
-        let mut workers = Vec::with_capacity(config.workers);
-        for i in 0..config.workers.max(1) {
-            let rx = rx.clone();
-            let state = state.clone();
-            let config = config.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("tbaad-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the receiver lock only long enough to claim
-                        // one connection (a guard in the match scrutinee
-                        // would pin it for the whole serve).
-                        let received = {
-                            let guard = rx.lock().expect("rx poisoned");
-                            guard.recv()
-                        };
-                        let Ok(conn) = received else {
-                            break; // accept loop gone: drain done
-                        };
-                        serve_connection(conn, &state, &config);
-                    })
-                    .expect("spawn worker"),
-            );
-        }
-
-        // Accept loop: poll both listeners until shutdown.
-        while !state.is_shutting_down() {
-            let mut accepted = false;
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let _ = tx.send(Conn::Tcp(stream));
-                    accepted = true;
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-                Err(e) => return Err(e),
-            }
-            #[cfg(unix)]
-            if let Some(l) = &unix_listener {
-                match l.accept() {
-                    Ok((stream, _peer)) => {
-                        let _ = tx.send(Conn::Unix(stream));
-                        accepted = true;
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-                    Err(e) => return Err(e),
-                }
-            }
-            if !accepted {
-                std::thread::sleep(ACCEPT_TICK);
-            }
-        }
-
-        // Graceful drain: stop handing out work, let workers finish.
-        drop(tx);
-        for w in workers {
-            let _ = w.join();
-        }
-        #[cfg(unix)]
-        if let Some(path) = &config.unix_path {
-            let _ = std::fs::remove_file(path);
-        }
-        Ok(())
-    }
-}
-
-/// What one read tick produced.
-enum Tick {
-    /// A complete request line (without the newline).
-    Line(String),
-    /// No complete line yet (timeout); `true` if a partial line is pending.
-    Idle(bool),
-    /// Peer closed the connection.
-    Eof,
-}
-
-fn read_tick(reader: &mut BufReader<Conn>, pending: &mut Vec<u8>) -> std::io::Result<Tick> {
-    match reader.read_until(b'\n', pending) {
-        Ok(0) => {
-            if pending.is_empty() {
-                Ok(Tick::Eof)
-            } else {
-                // EOF flushed a final unterminated line; serve it.
-                let line = String::from_utf8_lossy(pending).into_owned();
-                pending.clear();
-                Ok(Tick::Line(line))
-            }
-        }
-        Ok(_) => {
-            debug_assert_eq!(pending.last(), Some(&b'\n'));
-            pending.pop();
-            if pending.last() == Some(&b'\r') {
-                pending.pop();
-            }
-            let line = String::from_utf8_lossy(pending).into_owned();
-            pending.clear();
-            Ok(Tick::Line(line))
-        }
-        Err(e)
-            if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
-        {
-            // `read_until` keeps partial bytes in `pending` across ticks.
-            Ok(Tick::Idle(!pending.is_empty()))
-        }
-        Err(e) => Err(e),
-    }
-}
-
-fn serve_connection(conn: Conn, state: &Arc<ServerState>, config: &Config) {
-    state.metrics().counter("connections.accepted").inc();
-    let active = state.metrics().gauge("connections.active");
-    active.inc();
-    // Balance the gauge on every exit path (early returns included).
-    struct ActiveGuard(Arc<crate::metrics::Gauge>);
-    impl Drop for ActiveGuard {
-        fn drop(&mut self) {
-            self.0.dec();
-        }
-    }
-    let _guard = ActiveGuard(active);
-    let _ = conn.set_read_timeout(Some(POLL_TICK));
-    let _ = conn.set_write_timeout(Some(config.io_timeout));
-    let Ok(read_half) = conn.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = conn;
-    let mut pending: Vec<u8> = Vec::new();
-    // Time of the first byte of a partial line (per-request read timeout).
-    let mut partial_since: Option<Instant> = None;
-    // When draining after shutdown, the moment of the last served line.
-    let mut drain_since: Option<Instant> = None;
-
-    loop {
-        match read_tick(&mut reader, &mut pending) {
-            Ok(Tick::Line(line)) => {
-                partial_since = None;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let reply = handle_line(state, &line);
-                let mut bytes = reply.encode().into_bytes();
-                bytes.push(b'\n');
-                if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
-                    return; // peer gone mid-reply
-                }
-                if state.is_shutting_down() {
-                    drain_since = Some(Instant::now());
-                }
-            }
-            Ok(Tick::Idle(has_partial)) => {
-                if has_partial {
-                    let since = *partial_since.get_or_insert_with(Instant::now);
-                    if since.elapsed() > config.io_timeout {
-                        return; // stalled mid-request
-                    }
-                } else {
-                    partial_since = None;
-                }
-                if state.is_shutting_down() {
-                    // Drain: anything the peer already sent is either in
-                    // `pending` or arrives within the grace window.
-                    let since = *drain_since.get_or_insert_with(Instant::now);
-                    if !has_partial && since.elapsed() > config.drain_grace {
-                        return;
-                    }
-                }
-            }
-            Ok(Tick::Eof) | Err(_) => return,
-        }
+        let opts = ServeOptions {
+            workers: config.workers,
+            io_timeout: config.io_timeout,
+            drain_grace: config.drain_grace,
+        };
+        net::serve(listener, opts, Arc::new(TbaadService { state }))
     }
 }
 
@@ -673,7 +529,12 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                 })
                 .collect();
             ok_reply(vec![
-                ("uptime_us", Value::Int(state.started.elapsed().as_micros() as i64)),
+                // Clamped to ≥ 1 so the field is present *and positive*
+                // from the very first request after bind.
+                (
+                    "uptime_us",
+                    Value::Int((state.started.elapsed().as_micros() as i64).max(1)),
+                ),
                 ("stats", metrics.snapshot()),
                 (
                     "sessions",
@@ -700,7 +561,7 @@ mod tests {
     use super::*;
 
     fn state() -> Arc<ServerState> {
-        Arc::new(ServerState::new(&Config::default()))
+        Arc::new(ServerState::new(&ServerConfig::default(), Instant::now()))
     }
 
     const SMOKE: &str = "MODULE M; TYPE T = OBJECT f: INTEGER; END; VAR t: T; x: INTEGER; BEGIN t := NEW(T); t.f := 1; x := t.f; END M.";
@@ -827,10 +688,44 @@ mod tests {
     }
 
     #[test]
+    fn uptime_is_present_and_positive_from_the_first_request() {
+        // The clock starts when the state is created (bind time), not
+        // when the first request lands — and the clamp guarantees a
+        // positive value even if the two are nanoseconds apart.
+        let st = state();
+        let stats = handle_line(&st, r#"{"op":"stats"}"#);
+        let uptime = stats.get("uptime_us").unwrap().as_i64().unwrap();
+        assert!(uptime >= 1, "uptime_us must be positive, got {uptime}");
+    }
+
+    #[test]
     fn shutdown_flips_the_flag() {
         let st = state();
         let reply = handle_line(&st, r#"{"op":"shutdown"}"#);
         assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
         assert!(st.is_shutting_down());
+    }
+
+    #[test]
+    fn builder_mirrors_field_assignment() {
+        let built = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(3)
+            .session_capacity(7)
+            .io_timeout(Duration::from_secs(2))
+            .drain_grace(Duration::from_millis(10))
+            .build();
+        assert_eq!(built.workers, 3);
+        assert_eq!(built.session_capacity, 7);
+        assert_eq!(built.io_timeout, Duration::from_secs(2));
+        assert_eq!(built.drain_grace, Duration::from_millis(10));
+        assert!(built.unix_path.is_none());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_constructor_still_binds() {
+        let server = Server::new("127.0.0.1:0", 2, 4).expect("bind");
+        assert_ne!(server.local_addr().port(), 0);
     }
 }

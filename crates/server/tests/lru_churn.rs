@@ -17,7 +17,7 @@ use tbaa::analysis::Level;
 use tbaa::World;
 use tbaa_bench::load::{CheckOutcome, Content, DiffChecker, LineSource, ReqKind, Wire};
 use tbaa_server::json::{parse, Value};
-use tbaa_server::{Config, Server};
+use tbaa_server::{Server, ServerConfig};
 
 fn counter(stats: &Value, name: &str) -> i64 {
     stats
@@ -54,18 +54,22 @@ fn eviction_recompile_counters_and_no_stale_engines() {
     let checker = DiffChecker::new(&contents);
     let [a, b, c] = [&contents[0], &contents[1], &contents[2]];
 
-    let handle = Server::bind(Config {
-        session_capacity: 2,
-        ..Config::default()
-    })
-    .expect("bind")
-    .spawn();
+    let handle = Server::bind(ServerConfig::builder().session_capacity(2).build())
+        .expect("bind")
+        .spawn();
     let wire = Wire::connect_tcp(handle.addr()).expect("connect");
     let writer = wire.try_clone().expect("clone");
     let mut d = Driver {
         writer,
         src: LineSource::new(wire),
     };
+
+    // Regression pin: the uptime clock starts at *bind* time, so the
+    // very first reply the daemon ever sends already reports a positive
+    // uptime (it used to be possible to observe a zero).
+    let first = d.stats();
+    let uptime = first.get("uptime_us").and_then(Value::as_i64).unwrap_or(0);
+    assert!(uptime > 0, "uptime_us must be positive from the first reply: {first:?}");
 
     // One sequential connection → a fully deterministic LRU walk.
     let load = |d: &mut Driver, content: &Content, checker: &DiffChecker| -> (String, bool) {
@@ -201,12 +205,9 @@ fn concurrent_churn_keeps_counters_consistent() {
         Content::Bench { name: "ktree".into(), scale: 1 },
         Content::Bench { name: "format".into(), scale: 1 },
     ]);
-    let handle = Server::bind(Config {
-        session_capacity: 1,
-        ..Config::default()
-    })
-    .expect("bind")
-    .spawn();
+    let handle = Server::bind(ServerConfig::builder().session_capacity(1).build())
+        .expect("bind")
+        .spawn();
     let addr = handle.addr();
 
     std::thread::scope(|scope| {

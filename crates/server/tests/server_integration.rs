@@ -9,11 +9,11 @@
 
 use std::time::Duration;
 
-use tbaa_server::{Client, ClientError, Config, Server, ServerHandle};
+use tbaa_server::{Client, ClientError, ErrCode, Server, ServerConfig, ServerHandle};
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
-fn spawn_server(config: Config) -> ServerHandle {
+fn spawn_server(config: ServerConfig) -> ServerHandle {
     Server::bind(config).expect("bind ephemeral server").spawn()
 }
 
@@ -49,7 +49,7 @@ fn query_pairs(paths: &[String]) -> Vec<(String, String)> {
 /// ISSUE acceptance test: ≥ 8 concurrent connections, ≥ 2 sessions.
 #[test]
 fn concurrent_clients_share_compilation() {
-    let handle = spawn_server(Config::default());
+    let handle = spawn_server(ServerConfig::default());
     const PROGRAMS: [&str; 2] = ["ktree", "format"];
     const CLIENTS: usize = 8;
 
@@ -114,19 +114,16 @@ fn concurrent_clients_share_compilation() {
     // (a) each program compiled exactly once, via the stats verb.
     let mut observer = connect(&handle);
     let stats = observer.stats().expect("stats");
-    let counters = stats.get("stats").unwrap().get("counters").unwrap();
     assert_eq!(
-        counters.get("sessions.compiles").unwrap().as_i64(),
-        Some(PROGRAMS.len() as i64),
-        "each of the {} programs must compile exactly once: {stats:?}",
-        PROGRAMS.len()
+        stats.counter("sessions.compiles"),
+        PROGRAMS.len() as i64,
+        "each of the {} programs must compile exactly once: {}",
+        PROGRAMS.len(),
+        stats.raw
     );
-    let hits = counters.get("sessions.hits").unwrap().as_i64().unwrap();
+    let hits = stats.counter("sessions.hits");
     assert!(hits >= CLIENTS as i64, "expected ≥{CLIENTS} cache hits, got {hits}");
-    assert_eq!(
-        stats.get("sessions").unwrap().get("live").unwrap().as_i64(),
-        Some(PROGRAMS.len() as i64)
-    );
+    assert_eq!(stats.live_sessions, PROGRAMS.len() as i64);
 
     // (c) shutdown drains in-flight requests without dropping a reply:
     // every client writes its query *before* anyone reads, a separate
@@ -172,7 +169,7 @@ fn concurrent_clients_share_compilation() {
 /// Sessions persist across connections: load in one, query in another.
 #[test]
 fn sessions_survive_reconnects() {
-    let handle = spawn_server(Config::default());
+    let handle = spawn_server(ServerConfig::default());
     let session = {
         let mut c = connect(&handle);
         c.load_bench("slisp", 1).expect("load").session
@@ -184,7 +181,7 @@ fn sessions_survive_reconnects() {
     assert!(rle.removed >= rle.eliminated);
     assert!(c2.unload(&session).expect("unload"));
     match c2.pairs(&session, None, None) {
-        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no_session"),
+        Err(ClientError::Server(err)) => assert_eq!(err.code, ErrCode::NoSession),
         other => panic!("query after unload must fail: {other:?}"),
     }
     c2.shutdown().expect("shutdown");
@@ -195,15 +192,13 @@ fn sessions_survive_reconnects() {
 /// and the connection stays usable afterwards.
 #[test]
 fn compile_errors_are_structured_and_non_fatal() {
-    let handle = spawn_server(Config::default());
+    let handle = spawn_server(ServerConfig::default());
     let mut c = connect(&handle);
     match c.load_source("MODULE Broken := ;") {
-        Err(ClientError::Server {
-            kind, diagnostics, ..
-        }) => {
-            assert_eq!(kind, "compile");
-            assert!(!diagnostics.is_empty());
-            let d = &diagnostics[0];
+        Err(ClientError::Server(err)) => {
+            assert_eq!(err.code, ErrCode::Compile);
+            assert!(!err.diagnostics.is_empty());
+            let d = &err.diagnostics[0];
             assert!(!d.phase.is_empty());
             assert!(d.start >= 0 && d.end >= d.start);
             assert!(!d.message.is_empty());
@@ -233,7 +228,7 @@ fn compile_errors_are_structured_and_non_fatal() {
 /// Garbage lines get error replies; the worker does not hang or die.
 #[test]
 fn malformed_lines_get_error_replies() {
-    let handle = spawn_server(Config::default());
+    let handle = spawn_server(ServerConfig::default());
     let mut c = connect(&handle);
     let replies = c
         .pipeline_raw(&[
@@ -254,10 +249,7 @@ fn malformed_lines_get_error_replies() {
 /// More connections than workers: excess connections queue, none starve.
 #[test]
 fn connection_queue_exceeding_workers() {
-    let handle = spawn_server(Config {
-        workers: 2,
-        ..Config::default()
-    });
+    let handle = spawn_server(ServerConfig::builder().workers(2).build());
     std::thread::scope(|scope| {
         for _ in 0..6 {
             let handle = &handle;
@@ -281,10 +273,7 @@ fn connection_queue_exceeding_workers() {
 #[test]
 fn unix_socket_roundtrip() {
     let sock = std::env::temp_dir().join(format!("tbaad-test-{}.sock", std::process::id()));
-    let handle = spawn_server(Config {
-        unix_path: Some(sock.clone()),
-        ..Config::default()
-    });
+    let handle = spawn_server(ServerConfig::builder().unix_path(sock.clone()).build());
     let mut c = Client::connect_unix(&sock).expect("connect over unix socket");
     c.set_timeout(Some(CLIENT_TIMEOUT)).unwrap();
     let load = c.load_bench("dom", 1).expect("load over unix socket");

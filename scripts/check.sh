@@ -25,4 +25,7 @@ scripts/bench_alias.sh --smoke --out target/bench_alias_smoke.json
 echo "== loadgen smoke (chaos on, differential gates)"
 scripts/load_smoke.sh
 
+echo "== router smoke (2 shards, backend kill, differential gates)"
+scripts/router_smoke.sh
+
 echo "All checks passed."

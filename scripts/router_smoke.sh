@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Router smoke: stand up a tbaa-router over two in-process tbaad shards,
+# drive it with mixed + chaos traffic for ~2s, kill one backend halfway
+# through, and fail on any differential mismatch, missed respawn,
+# unanswered request, or unclean exit. The differential checker compares
+# every reply byte-for-byte against the in-process Pipeline oracle, so a
+# pass means the sharded deployment is indistinguishable from one daemon.
+#
+#   scripts/router_smoke.sh                     # smoke params, chaos on
+#   scripts/router_smoke.sh --duration 10 ...   # extra args forwarded
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -x target/release/tbaa-loadgen ]]; then
+    echo "== building tbaa-loadgen (release)"
+    cargo build --release -p tbaa-bench --bin tbaa-loadgen
+fi
+
+OUT=${ROUTER_SMOKE_OUT:-target/bench_router_smoke.json}
+target/release/tbaa-loadgen --smoke --router 2 --kill-backend --out "$OUT" "$@"

@@ -7,6 +7,7 @@
 //! tbaac sim    <file.m3> [opts]              simulate (cycles + cache)
 //! tbaac alias  <file.m3> [--level L]         list heap refs + alias pairs
 //! tbaac serve  [--addr A] [...]              run the tbaad daemon in-process
+//! tbaac route  [--addr A] [--shards N] [...] run the tbaa-router front tier
 //! tbaac query  [--addr A] <verb> [...]       one-shot client against tbaad
 //!
 //! opts: --level typedecl|fields|merges   (default merges)
@@ -48,11 +49,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => return cmd_serve(&args[1..]),
+        Some("route") => return cmd_route(&args[1..]),
         Some("query") => return cmd_query(&args[1..]),
         _ => {}
     }
     let (Some(cmd), Some(file)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: tbaac <check|ir|run|sim|alias|serve|query> <file.m3> [options]");
+        eprintln!("usage: tbaac <check|ir|run|sim|alias|serve|route|query> <file.m3> [options]");
         return ExitCode::FAILURE;
     };
     let mut opts = Opts {
@@ -200,10 +202,7 @@ fn main() -> ExitCode {
 /// `tbaac serve` — run the daemon in the foreground (same flags as
 /// the standalone `tbaad` binary).
 fn cmd_serve(args: &[String]) -> ExitCode {
-    let mut config = server::Config {
-        addr: DEFAULT_ADDR.into(),
-        ..server::Config::default()
-    };
+    let mut config = server::ServerConfig::builder().addr(DEFAULT_ADDR).build();
     let mut i = 0;
     while i < args.len() {
         let value = args.get(i + 1);
@@ -250,6 +249,102 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 fn serve_usage(msg: &str) -> ExitCode {
     eprintln!("tbaac serve: {msg}");
     eprintln!("usage: tbaac serve [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N]");
+    ExitCode::FAILURE
+}
+
+/// `tbaac route` — run the session-sharded front tier: one listener,
+/// N `tbaad` backends (in-process by default; spawned with
+/// `--backend-bin`; external with `--attach`).
+fn cmd_route(args: &[String]) -> ExitCode {
+    use tbaa_repro::router::{BackendSpec, Router, RouterConfig};
+
+    let mut builder = RouterConfig::builder().addr(DEFAULT_ADDR);
+    let mut shards: usize = 2;
+    let mut workers: usize = 16;
+    let mut capacity: usize = 64;
+    let mut backend_bin: Option<std::path::PathBuf> = None;
+    let mut attach: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--addr" => match value {
+                Some(a) => builder = builder.addr(a.clone()),
+                None => return route_usage("--addr needs HOST:PORT"),
+            },
+            "--socket" => match value {
+                Some(p) => builder = builder.unix_path(p),
+                None => return route_usage("--socket needs PATH"),
+            },
+            "--shards" => match value.and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => return route_usage("--shards needs a positive integer"),
+            },
+            "--workers" => match value.and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return route_usage("--workers needs a positive integer"),
+            },
+            "--capacity" => match value.and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => capacity = n,
+                _ => return route_usage("--capacity needs a positive integer"),
+            },
+            "--backend-bin" => match value {
+                Some(p) => backend_bin = Some(p.into()),
+                None => return route_usage("--backend-bin needs a path to tbaad"),
+            },
+            "--attach" => match value {
+                Some(list) => {
+                    attach = Some(list.split(',').map(str::to_string).collect())
+                }
+                None => return route_usage("--attach needs ADDR[,ADDR...]"),
+            },
+            other => return route_usage(&format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    let backend = match (backend_bin, attach) {
+        (Some(_), Some(_)) => {
+            return route_usage("--backend-bin and --attach are mutually exclusive")
+        }
+        (Some(bin), None) => BackendSpec::Spawn {
+            bin,
+            workers,
+            capacity,
+        },
+        (None, Some(addrs)) => BackendSpec::Attach { addrs },
+        (None, None) => BackendSpec::InProcess {
+            config: server::ServerConfig::builder()
+                .workers(workers)
+                .session_capacity(capacity)
+                .build(),
+        },
+    };
+    let config = builder.shards(shards).workers(workers).backend(backend).build();
+    let router = match Router::bind(config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tbaac route: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("tbaa-router listening on {}", router.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match router.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tbaac route: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn route_usage(msg: &str) -> ExitCode {
+    eprintln!("tbaac route: {msg}");
+    eprintln!(
+        "usage: tbaac route [--addr HOST:PORT] [--socket PATH] [--shards N] [--workers N] \
+         [--capacity N] [--backend-bin TBAAD | --attach ADDR[,ADDR...]]"
+    );
     ExitCode::FAILURE
 }
 
@@ -316,7 +411,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
     if verb == "stats" {
         return match client.stats() {
             Ok(v) => {
-                println!("{}", v.encode());
+                println!("{}", v.raw);
                 ExitCode::SUCCESS
             }
             Err(e) => query_fail(&e),
@@ -335,46 +430,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if want_paths {
-                // The typed helper has no paths flag for sources; go raw.
-                client
-                    .request_raw(&format!(
-                        r#"{{"op":"load","source":{},"paths":true}}"#,
-                        server::json::Value::Str(source).encode()
-                    ))
-                    .and_then(|raw| match server::json::parse(&raw) {
-                        Ok(v) if v.get("ok").and_then(server::json::Value::as_bool)
-                            == Some(true) =>
-                        {
-                            Ok(server::LoadReply {
-                                session: v
-                                    .get("session")
-                                    .and_then(server::json::Value::as_str)
-                                    .unwrap_or("")
-                                    .to_string(),
-                                cached: false,
-                                key: String::new(),
-                                heap_refs: 0,
-                                paths: v
-                                    .get("paths")
-                                    .and_then(server::json::Value::as_array)
-                                    .map(|a| {
-                                        a.iter()
-                                            .filter_map(server::json::Value::as_str)
-                                            .map(str::to_string)
-                                            .collect()
-                                    })
-                                    .unwrap_or_default(),
-                                raw,
-                            })
-                        }
-                        _ => Err(server::ClientError::Protocol(format!(
-                            "load failed: {raw}"
-                        ))),
-                    })
-            } else {
-                client.load_source(&source)
-            }
+            client.load_source_with(&source, want_paths)
         }
         _ => return query_usage("need exactly one of --bench NAME or --file F"),
     };
@@ -440,8 +496,8 @@ fn cmd_query(args: &[String]) -> ExitCode {
 
 fn query_fail(e: &server::ClientError) -> ExitCode {
     eprintln!("tbaac query: {e}");
-    if let server::ClientError::Server { diagnostics, .. } = e {
-        for d in diagnostics {
+    if let server::ClientError::Server(err) = e {
+        for d in &err.diagnostics {
             eprintln!("  [{}..{}] {} error: {}", d.start, d.end, d.phase, d.message);
         }
     }

@@ -18,7 +18,10 @@
 //! * [`sim`] — interpreter, cache model, limit study (`tbaa-sim`);
 //! * [`benchsuite`] — the ten benchmark programs (`tbaa-benchsuite`);
 //! * [`server`] — `tbaad`, the persistent alias-query daemon, and its
-//!   client (`tbaa-server`).
+//!   client (`tbaa-server`);
+//! * [`router`] — `tbaa-router`, a session-sharded front tier that
+//!   scales `tbaad` horizontally behind the same wire protocol
+//!   (`tbaa-router`).
 //!
 //! ## Quick start
 //!
@@ -55,8 +58,14 @@ pub use tbaa as alias;
 pub use tbaa_benchsuite as benchsuite;
 pub use tbaa_ir as ir;
 pub use tbaa_opt as opt;
+pub use tbaa_router as router;
 pub use tbaa_server as server;
 pub use tbaa_sim as sim;
+
+// The daemon/router API most callers want, at the crate root: the typed
+// reply enum and the two config builders.
+pub use tbaa_router::{BackendSpec, RouterConfig, RouterConfigBuilder};
+pub use tbaa_server::{Reply, ServerConfig, ServerConfigBuilder};
 
 /// A builder for the compile → analyze → optimize pipeline.
 ///

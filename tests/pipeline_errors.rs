@@ -4,7 +4,7 @@
 //! `Pipeline::run` and over the `tbaad` protocol, and the two must
 //! carry the same phase/span/message data.
 
-use tbaa_repro::server::{Client, ClientError, Config, Server};
+use tbaa_repro::server::{Client, ClientError, ErrCode, Server, ServerConfig};
 use tbaa_repro::Pipeline;
 
 /// (label, source, phase expected in at least one diagnostic)
@@ -55,7 +55,7 @@ fn pipeline_run_surfaces_structured_diagnostics() {
 /// produces in-process — same phases, spans, and messages, in order.
 #[test]
 fn wire_diagnostics_match_in_process_diagnostics() {
-    let handle = Server::bind(Config::default()).expect("bind").spawn();
+    let handle = Server::bind(ServerConfig::default()).expect("bind").spawn();
     let mut client = Client::connect(handle.addr()).expect("connect");
     client
         .set_timeout(Some(std::time::Duration::from_secs(30)))
@@ -67,11 +67,9 @@ fn wire_diagnostics_match_in_process_diagnostics() {
             Ok(_) => panic!("`{label}` source must not compile"),
         };
         let wire = match client.load_source(source) {
-            Err(ClientError::Server {
-                kind, diagnostics, ..
-            }) => {
-                assert_eq!(kind, "compile", "{label}");
-                diagnostics
+            Err(ClientError::Server(err)) => {
+                assert_eq!(err.code, ErrCode::Compile, "{label}");
+                err.diagnostics
             }
             other => panic!("{label}: expected a compile error over the wire: {other:?}"),
         };

@@ -1,0 +1,208 @@
+//! Differential soak for the `tbaa-router` front tier: a sharded
+//! deployment must be byte-identical to the in-process `Pipeline`
+//! oracle — the same property `tests/server_differential.rs` proves for
+//! a single daemon, now through consistent hashing, session-id
+//! rewriting, connection pooling, and pipelined proxying.
+//!
+//! The second test kills one backend mid-traffic and requires the
+//! router to recover transparently: respawn the shard, re-`load` its
+//! sessions from the content journal, and keep answering with the same
+//! router-minted session ids — still byte-identical, zero divergences.
+
+use std::sync::{Arc, Barrier};
+
+use tbaa_bench::load::{CheckOutcome, Content, DiffChecker, LineSource, ReqKind, Wire, WorkloadGen};
+use tbaa_repro::router::{BackendSpec, Router, RouterConfig, RouterHandle};
+use tbaa_server::ServerConfig;
+
+const CLIENTS: usize = 8;
+const REQS_PER_CLIENT: usize = 100;
+
+fn spawn_router(shards: usize) -> RouterHandle {
+    let config = RouterConfig::builder()
+        .addr("127.0.0.1:0")
+        .shards(shards)
+        .io_timeout(std::time::Duration::from_secs(30))
+        .backend(BackendSpec::InProcess {
+            config: ServerConfig::default(),
+        })
+        .build();
+    Router::bind(config).expect("bind router").spawn()
+}
+
+#[test]
+fn eight_clients_through_three_shard_router_byte_identical() {
+    let contents: Arc<Vec<Content>> = Arc::new(vec![
+        Content::Bench {
+            name: "ktree".into(),
+            scale: 1,
+        },
+        Content::Bench {
+            name: "slisp".into(),
+            scale: 1,
+        },
+        Content::Bench {
+            name: "format".into(),
+            scale: 1,
+        },
+    ]);
+    let checker = Arc::new(DiffChecker::new(&contents));
+    let handle = spawn_router(3);
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let checker = checker.clone();
+            let contents = contents.clone();
+            scope.spawn(move || {
+                let wire = Wire::connect_tcp(addr).expect("connect");
+                let mut writer = wire.try_clone().expect("clone socket");
+                let mut src = LineSource::new(wire);
+                let mut gen = WorkloadGen::new(0x5AAD + c as u64, contents);
+                for _ in 0..REQS_PER_CLIENT {
+                    let req = gen.next(checker.oracle());
+                    writer.write_line(&req.line).expect("send");
+                    let raw = src.read_line_blocking().expect("reply");
+                    match checker.check(&req.kind, &raw) {
+                        CheckOutcome::Loaded { sid } => {
+                            if let ReqKind::Load { key } = &req.kind {
+                                gen.observe_load(key, &sid);
+                            }
+                        }
+                        CheckOutcome::Ok | CheckOutcome::Mismatch => {}
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        checker.mismatches(),
+        0,
+        "router diverged from the Pipeline oracle:\n{}",
+        checker.details().join("\n")
+    );
+    assert_eq!(checker.checked(), (CLIENTS * REQS_PER_CLIENT) as u64);
+    assert_eq!(handle.state().respawns(), 0, "no backend died in this test");
+
+    handle.state().request_shutdown();
+    handle.join().expect("router exits cleanly");
+}
+
+/// Kill one backend mid-traffic: the router must respawn it, replay the
+/// journal, and keep every reply byte-identical under the *same*
+/// router session ids. Zero divergences, ≥ 1 respawn.
+#[test]
+fn survives_backend_kill_with_respawn_and_journal_reload() {
+    let contents: Arc<Vec<Content>> = Arc::new(vec![
+        Content::Bench {
+            name: "ktree".into(),
+            scale: 1,
+        },
+        Content::Bench {
+            name: "format".into(),
+            scale: 1,
+        },
+    ]);
+    let checker = Arc::new(DiffChecker::new(&contents));
+    let handle = spawn_router(3);
+    let addr = handle.addr();
+    let state = handle.state().clone();
+
+    // Preload every content so the journal has something to replay, and
+    // record the router-minted session ids clients will keep using.
+    let sids: Vec<String> = {
+        let wire = Wire::connect_tcp(addr).expect("connect");
+        let mut writer = wire.try_clone().expect("clone socket");
+        let mut src = LineSource::new(wire);
+        contents
+            .iter()
+            .map(|content| {
+                writer.write_line(&content.load_line()).expect("send load");
+                let raw = src.read_line_blocking().expect("load reply");
+                let kind = ReqKind::Load {
+                    key: content.key(),
+                };
+                let CheckOutcome::Loaded { sid } = checker.check(&kind, &raw) else {
+                    panic!("preload failed: {raw}");
+                };
+                sid
+            })
+            .collect()
+    };
+
+    // The shard that owns the first content is the one we will murder.
+    let victim = state.shard_of(&contents[0].key().display());
+
+    const KILLER_CLIENTS: usize = 4;
+    const ROUNDS: usize = 30;
+    // Everyone reaches the barrier after round 5; then the killer
+    // strikes while the remaining 25 rounds are still in flight.
+    let barrier = Arc::new(Barrier::new(KILLER_CLIENTS + 1));
+
+    std::thread::scope(|scope| {
+        {
+            let barrier = barrier.clone();
+            let state = state.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                state.kill_backend(victim);
+            });
+        }
+        for c in 0..KILLER_CLIENTS {
+            let checker = checker.clone();
+            let contents = contents.clone();
+            let sids = sids.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move || {
+                let wire = Wire::connect_tcp(addr).expect("connect");
+                let mut writer = wire.try_clone().expect("clone socket");
+                let mut src = LineSource::new(wire);
+                let mut rng = tbaa_bench::rng::XorShift64::new(0xDEAD + c as u64);
+                for round in 0..ROUNDS {
+                    if round == 5 {
+                        barrier.wait();
+                    }
+                    let which = (round + c) % contents.len();
+                    let content = &contents[which];
+                    let key = content.key();
+                    let sid = sids[which].clone();
+                    let paths = checker.oracle().paths(&key);
+                    let pairs = vec![(rng.pick(&paths).clone(), rng.pick(&paths).clone())];
+                    let line = format!(
+                        r#"{{"op":"alias","session":"{sid}","level":"merges","world":"closed","pairs":[["{}","{}"]]}}"#,
+                        pairs[0].0, pairs[0].1
+                    );
+                    writer.write_line(&line).expect("send alias");
+                    let raw = src.read_line_blocking().expect("alias reply");
+                    let kind = ReqKind::Alias {
+                        key: key.clone(),
+                        sid,
+                        level: tbaa::Level::SmFieldTypeRefs,
+                        world: tbaa::World::Closed,
+                        pairs,
+                    };
+                    assert!(
+                        matches!(checker.check(&kind, &raw), CheckOutcome::Ok),
+                        "reply diverged across backend death:\n{}",
+                        checker.details().join("\n")
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        checker.mismatches(),
+        0,
+        "router diverged during recovery:\n{}",
+        checker.details().join("\n")
+    );
+    assert!(
+        state.respawns() >= 1,
+        "the killed backend must have been respawned"
+    );
+
+    handle.state().request_shutdown();
+    handle.join().expect("router exits cleanly");
+}

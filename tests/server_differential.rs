@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use tbaa_bench::load::{CheckOutcome, Content, DiffChecker, LineSource, ReqKind, Wire, WorkloadGen};
-use tbaa_server::{Config, Server};
+use tbaa_server::{Server, ServerConfig};
 
 /// Requests per client. Kept moderate so the soak stays well under the
 /// tier-1 budget in debug builds while still crossing every verb,
@@ -38,7 +38,7 @@ fn eight_clients_byte_identical_to_pipeline() {
     ]);
     let checker = Arc::new(DiffChecker::new(&contents));
 
-    let handle = Server::bind(Config::default()).expect("bind").spawn();
+    let handle = Server::bind(ServerConfig::default()).expect("bind").spawn();
     let addr = handle.addr();
 
     std::thread::scope(|scope| {
@@ -99,12 +99,9 @@ fn byte_identical_under_lru_churn() {
     let checker = Arc::new(DiffChecker::new(&contents));
 
     // Capacity 1: every alternation between the two contents evicts.
-    let handle = Server::bind(Config {
-        session_capacity: 1,
-        ..Config::default()
-    })
-    .expect("bind")
-    .spawn();
+    let handle = Server::bind(ServerConfig::builder().session_capacity(1).build())
+        .expect("bind")
+        .spawn();
     let addr = handle.addr();
 
     std::thread::scope(|scope| {
