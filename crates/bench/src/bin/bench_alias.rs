@@ -310,6 +310,7 @@ fn main() {
 
     let stats = engine.stats();
     let mut fields = vec![
+        ("host", tbaa_bench::host::host_stamp()),
         ("bench", Value::Str(cfg.bench.clone())),
         ("scale", Value::Int(cfg.scale as i64)),
         ("smoke", Value::Bool(cfg.smoke)),

@@ -14,7 +14,7 @@
 //! ```text
 //! tbaa-loadgen [--clients N] [--duration SECS] [--mode closed|open]
 //!              [--rate R] [--chaos] [--chaos-clients N] [--sample N]
-//!              [--seed S] [--benches a,b,c] [--scale N]
+//!              [--seed S] [--benches a,b,c] [--scale N] [--mutate N]
 //!              [--server-workers N] [--server-capacity N]
 //!              [--daemon PATH | --connect HOST:PORT | --router N] [--tcp]
 //!              [--kill-backend] [--out PATH] [--smoke]
@@ -34,6 +34,14 @@
 //! * `--kill-backend`: with `--router`, murder one backend shard
 //!   halfway through the run; the gates then also demand ≥ 1 respawn
 //!   and still zero divergences.
+//! * `--mutate N`: replace the benchsuite contents with `N` superseding
+//!   versions of one program — mostly single-function edits, with
+//!   occasional whole-program rewrites — so every client keeps issuing
+//!   `load`s of near-identical sources and the daemon's incremental
+//!   compilation cache (`incr.*` counters) does the work. The artifact
+//!   gains an `incremental` section and the gates additionally demand a
+//!   nonzero function-reuse count, still under the same byte-for-byte
+//!   differential oracle.
 //! * `--chaos`: adds misbehaving clients (malformed JSON, nesting
 //!   bombs, half-written requests, mid-request disconnects, slow
 //!   readers) alongside the well-behaved ones; the gates still demand
@@ -72,6 +80,7 @@ struct Config {
     seed: u64,
     benches: Vec<String>,
     scale: u32,
+    mutate: Option<usize>,
     server_workers: usize,
     server_capacity: usize,
     daemon: Option<String>,
@@ -87,7 +96,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: tbaa-loadgen [--clients N] [--duration SECS] [--mode closed|open] [--rate R]\n\
          \u{20}                   [--chaos] [--chaos-clients N] [--sample N] [--seed S]\n\
-         \u{20}                   [--benches a,b,c] [--scale N] [--server-workers N]\n\
+         \u{20}                   [--benches a,b,c] [--scale N] [--mutate N] [--server-workers N]\n\
          \u{20}                   [--server-capacity N] [--daemon PATH | --connect HOST:PORT |\n\
          \u{20}                   --router N] [--kill-backend] [--tcp] [--out PATH] [--smoke]"
     );
@@ -107,6 +116,7 @@ fn parse_args() -> Config {
         seed: 42,
         benches: vec!["ktree".into(), "slisp".into()],
         scale: 2,
+        mutate: None,
         server_workers: 16,
         server_capacity: 32,
         daemon: None,
@@ -147,6 +157,10 @@ fn parse_args() -> Config {
                 cfg.benches = take(&mut i).split(',').map(|s| s.trim().to_string()).collect()
             }
             "--scale" => cfg.scale = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--mutate" => {
+                cfg.mutate =
+                    Some(take(&mut i).parse::<usize>().unwrap_or_else(|_| usage()).max(2))
+            }
             "--server-workers" => {
                 cfg.server_workers = take(&mut i).parse().unwrap_or_else(|_| usage())
             }
@@ -805,15 +819,20 @@ fn counter_of(stats: &Value, name: &str) -> i64 {
 
 fn main() -> ExitCode {
     let cfg = parse_args();
-    let contents: Arc<Vec<Content>> = Arc::new(
-        cfg.benches
+    let contents: Arc<Vec<Content>> = Arc::new(match cfg.mutate {
+        Some(versions) => {
+            eprintln!("tbaa-loadgen: mutate mode, {versions} superseding program versions");
+            tbaa_bench::load::mutate_contents(cfg.seed, versions)
+        }
+        None => cfg
+            .benches
             .iter()
             .map(|name| Content::Bench {
                 name: name.clone(),
                 scale: cfg.scale,
             })
             .collect(),
-    );
+    });
 
     eprintln!(
         "tbaa-loadgen: building the in-process oracle over {} contents...",
@@ -1002,11 +1021,24 @@ fn main() -> ExitCode {
             failures.push("backend was killed but never respawned".into());
         }
     }
+    let incr_hits = final_stats
+        .as_ref()
+        .map_or(0, |s| counter_of(s, "incr.func_hits"));
+    let incr_misses = final_stats
+        .as_ref()
+        .map_or(0, |s| counter_of(s, "incr.func_misses"));
+    if cfg.mutate.is_some() && incr_hits == 0 {
+        failures.push(
+            "mutate mode ran but the incremental cache reused nothing (incr.func_hits == 0)"
+                .into(),
+        );
+    }
 
     // ---- artifact ----
     let atom = |n: u64| Value::Int(n as i64);
     let mut report_fields: Vec<(&str, Value)> = vec![
         ("harness", Value::Str("tbaa-loadgen".into())),
+        ("host", tbaa_bench::host::host_stamp()),
         (
             "config",
             Value::object(vec![
@@ -1026,6 +1058,10 @@ fn main() -> ExitCode {
                     Value::Array(cfg.benches.iter().map(|b| Value::Str(b.clone())).collect()),
                 ),
                 ("scale", Value::Int(cfg.scale as i64)),
+                (
+                    "mutate",
+                    cfg.mutate.map_or(Value::Null, |n| Value::Int(n as i64)),
+                ),
                 ("server_workers", Value::Int(cfg.server_workers as i64)),
                 ("server_capacity", Value::Int(cfg.server_capacity as i64)),
                 ("endpoint", Value::Str(endpoint.describe())),
@@ -1081,6 +1117,22 @@ fn main() -> ExitCode {
                 ("final_stats", final_stats.clone().unwrap_or(Value::Null)),
             ]),
         ),
+        (
+            "incremental",
+            Value::object(vec![
+                ("mutate_mode", Value::Bool(cfg.mutate.is_some())),
+                ("func_hits", Value::Int(incr_hits)),
+                ("func_misses", Value::Int(incr_misses)),
+                (
+                    "reuse_ratio_pct",
+                    Value::Int(
+                        final_stats
+                            .as_ref()
+                            .map_or(0, |s| gauge_of(s, "incr.reuse_ratio")),
+                    ),
+                ),
+            ]),
+        ),
     ];
     if let Some(r) = router_report(final_stats.as_ref(), cfg.kill_backend) {
         report_fields.push(("router", r));
@@ -1119,6 +1171,12 @@ fn main() -> ExitCode {
             counter_of(stats, "requests.panics"),
             counter_of(stats, "sessions.compiles"),
             counter_of(stats, "sessions.evictions"),
+        );
+        eprintln!(
+            "tbaa-loadgen: incremental: {} func hits, {} func misses, last reuse {}%",
+            counter_of(stats, "incr.func_hits"),
+            counter_of(stats, "incr.func_misses"),
+            gauge_of(stats, "incr.reuse_ratio"),
         );
     }
     if let Some(state) = &router_state {

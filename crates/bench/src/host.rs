@@ -1,0 +1,60 @@
+//! Host provenance stamping for benchmark artifacts.
+//!
+//! Every committed `BENCH_*.json` needs to say *where it was measured*:
+//! the repeated ROADMAP caveat that thread-scaling curves from a 1-CPU
+//! container are necessarily flat used to be tribal knowledge. The
+//! [`host_stamp`] object makes it machine-readable — downstream tooling
+//! can gate on `single_cpu` instead of guessing from the numbers.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+use tbaa_server::json::Value;
+
+/// A JSON object describing the measuring host: degree of parallelism,
+/// a target triple, a UNIX timestamp, and the explicit single-CPU flag.
+pub fn host_stamp() -> Value {
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let timestamp = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut fields = vec![
+        ("available_parallelism", Value::Int(parallelism as i64)),
+        (
+            "triple",
+            Value::Str(format!(
+                "{}-{}-{}",
+                std::env::consts::ARCH,
+                std::env::consts::FAMILY,
+                std::env::consts::OS
+            )),
+        ),
+        ("timestamp_unix", Value::Int(timestamp as i64)),
+        ("single_cpu", Value::Bool(parallelism == 1)),
+    ];
+    if parallelism == 1 {
+        fields.push((
+            "caveat",
+            Value::Str(
+                "measured on a 1-CPU host: thread-scaling and shard-parallelism \
+                 numbers in this artifact cannot show a speedup"
+                    .to_string(),
+            ),
+        ));
+    }
+    Value::object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_has_required_fields() {
+        let v = host_stamp();
+        let s = v.encode();
+        assert!(s.contains("\"available_parallelism\""));
+        assert!(s.contains("\"triple\""));
+        assert!(s.contains("\"timestamp_unix\""));
+        assert!(s.contains("\"single_cpu\""));
+    }
+}

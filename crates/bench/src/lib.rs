@@ -26,6 +26,7 @@
 //! shared across all of them.
 
 pub mod engine;
+pub mod host;
 pub mod jsonout;
 pub mod load;
 pub mod rng;

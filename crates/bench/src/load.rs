@@ -302,6 +302,140 @@ impl Content {
     }
 }
 
+// ---- mutate workload -------------------------------------------------------
+
+/// Number of procedures in the mutate program family (plus the module
+/// body, which the incremental compiler treats as one more unit).
+pub const MUTATE_PROCS: usize = 6;
+
+/// One version of the edit-heavy workload program: a linked-cell module
+/// with [`MUTATE_PROCS`] procedures, each carrying one tunable literal.
+/// Bumping a single `tunings[i]` is a localized one-function edit;
+/// bumping `generation` rewrites a `CONST` the module body reads, which
+/// the incremental compiler must treat as a whole-program change.
+fn mutate_source(generation: u64, tunings: &[u64; MUTATE_PROCS]) -> String {
+    format!(
+        "MODULE Mutate;
+
+CONST
+  Gen = {gen};
+
+TYPE
+  Cell = OBJECT
+    val: INTEGER;
+    next: Cell;
+  END;
+  Pair = OBJECT
+    a: Cell;
+    b: Cell;
+  END;
+
+VAR
+  head: Cell;
+  link: Pair;
+  acc: INTEGER;
+
+PROCEDURE Mk (v: INTEGER): Cell =
+VAR c: Cell;
+BEGIN
+  c := NEW(Cell);
+  c.val := v + {t0};
+  c.next := head;
+  RETURN c;
+END Mk;
+
+PROCEDURE Push (v: INTEGER) =
+BEGIN
+  head := Mk(v * {t1});
+END Push;
+
+PROCEDURE SumList (c: Cell): INTEGER =
+VAR s: INTEGER;
+BEGIN
+  s := {t2};
+  WHILE c # NIL DO
+    s := s + c.val;
+    c := c.next;
+  END;
+  RETURN s;
+END SumList;
+
+PROCEDURE Twist (p: Pair) =
+VAR t: Cell;
+BEGIN
+  t := p.a;
+  p.a := p.b;
+  p.b := t;
+  p.a.val := {t3};
+END Twist;
+
+PROCEDURE Weave (n: INTEGER) =
+BEGIN
+  FOR i := 1 TO n DO
+    Push(i + {t4});
+  END;
+  link.a := head;
+  link.b := Mk({t5});
+END Weave;
+
+PROCEDURE Settle (): INTEGER =
+BEGIN
+  IF link.a # NIL THEN
+    RETURN link.a.val;
+  END;
+  RETURN 0;
+END Settle;
+
+BEGIN
+  head := NIL;
+  link := NEW(Pair);
+  Weave(Gen MOD 7 + 3);
+  Twist(link);
+  acc := SumList(head) + Settle();
+END Mutate.
+",
+        gen = generation,
+        t0 = tunings[0],
+        t1 = tunings[1],
+        t2 = tunings[2],
+        t3 = tunings[3],
+        t4 = tunings[4],
+        t5 = tunings[5],
+    )
+}
+
+/// A deterministic corpus of superseding program versions for the
+/// `--mutate` workload: version 0 is the base, and each later version
+/// applies either a localized single-procedure edit (the common case —
+/// the incremental compiler should replay every other function from
+/// cache) or, roughly one version in five, a whole-program rewrite (a
+/// `CONST` bump the module body depends on — every unit must re-lower).
+///
+/// The versions are pairwise distinct sources, so each `load` supersedes
+/// the previous one under a fresh content key and the standard
+/// [`Oracle`]/[`DiffChecker`] machinery verifies byte-identical replies
+/// per version with no special cases.
+pub fn mutate_contents(seed: u64, versions: usize) -> Vec<Content> {
+    let mut rng = XorShift64::new(seed ^ 0x6d75_7461_7465); // "mutate"
+    let mut generation = 1u64;
+    let mut tunings = [1u64; MUTATE_PROCS];
+    let mut out = Vec::with_capacity(versions.max(1));
+    out.push(Content::Source {
+        text: mutate_source(generation, &tunings),
+    });
+    for _ in 1..versions.max(1) {
+        if rng.chance(1, 5) {
+            generation += 1 + rng.below(9); // whole-program rewrite
+        } else {
+            tunings[rng.index(MUTATE_PROCS)] += 1; // one-function edit
+        }
+        out.push(Content::Source {
+            text: mutate_source(generation, &tunings),
+        });
+    }
+    out
+}
+
 /// What a generated request was, with everything needed to verify the
 /// reply against the oracle.
 #[derive(Debug, Clone)]
@@ -1044,6 +1178,56 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different seeds take different paths");
+    }
+
+    #[test]
+    fn mutate_corpus_is_distinct_deterministic_and_compiles() {
+        let contents = mutate_contents(7, 10);
+        assert_eq!(contents.len(), 10);
+        let keys: std::collections::HashSet<String> =
+            contents.iter().map(|c| c.key().display()).collect();
+        assert_eq!(keys.len(), 10, "every version is a distinct content");
+        let again = mutate_contents(7, 10);
+        for (a, b) in contents.iter().zip(&again) {
+            assert_eq!(a.source().unwrap(), b.source().unwrap(), "seeded = reproducible");
+        }
+        // The oracle machinery must accept every version: compile each
+        // one and demand addressable paths for the alias generator.
+        let oracle = Oracle::new(&contents);
+        for c in &contents {
+            assert!(
+                !oracle.paths(&c.key()).is_empty(),
+                "mutate program exposes heap paths"
+            );
+        }
+    }
+
+    #[test]
+    fn mutate_corpus_exercises_the_incremental_path() {
+        use tbaa_incr::IncrCompiler;
+        let contents = mutate_contents(42, 12);
+        let incr = IncrCompiler::new();
+        let mut hits = 0;
+        let mut full_misses = 0;
+        for c in &contents {
+            let (program, report) = incr.compile(&c.source().unwrap());
+            assert!(program.is_ok(), "every mutate version compiles");
+            hits += report.func_hits;
+            if report.func_hits == 0 {
+                full_misses += 1;
+            } else {
+                // A localized edit replays all but the edited unit.
+                assert_eq!(
+                    report.func_misses, 1,
+                    "single-function edit re-lowers exactly one unit"
+                );
+            }
+        }
+        assert!(hits > 0, "superseding versions reuse cached units");
+        assert!(
+            full_misses >= 1,
+            "the corpus includes at least the cold base version"
+        );
     }
 
     #[test]

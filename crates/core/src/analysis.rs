@@ -17,7 +17,7 @@
 use crate::bitset::TypeSet;
 use crate::merge::{TypeRefsTable, World};
 use crate::subtypes::SubtypeSets;
-use crate::symbols::FieldTakenSets;
+use crate::taken::FieldTakenSets;
 use mini_m3::types::{TypeId, TypeKind};
 use tbaa_ir::ir::Program;
 use tbaa_ir::path::{AccessPath, ApId, ApStep, ApTable, ApView};

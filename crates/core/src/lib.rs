@@ -55,7 +55,7 @@ pub mod merge;
 pub mod pairs;
 pub mod steensgaard;
 pub mod subtypes;
-pub mod symbols;
+pub mod taken;
 
 pub use analysis::{AliasAnalysis, AlwaysAlias, Level, NoAlias, Tbaa};
 pub use compiled::{CompiledAliasEngine, CompiledStats, DENSE_LIMIT};
@@ -63,4 +63,4 @@ pub use memo::Memo;
 pub use merge::World;
 pub use pairs::{count_alias_pairs, count_alias_pairs_with_threads, AliasPairCounts};
 pub use steensgaard::Steensgaard;
-pub use symbols::FieldTakenSets;
+pub use taken::FieldTakenSets;

@@ -1,0 +1,97 @@
+//! Deterministic FNV-1a hashing for cache keys.
+//!
+//! The unit cache is keyed entirely by content hashes, so the hasher must
+//! be deterministic across runs of the same binary — `std`'s default
+//! `SipHasher` is randomly keyed per process and unusable here. This is
+//! the same FNV-1a the session store uses for source keys
+//! (`tbaa_server::session::content_hash`), wrapped in a
+//! [`std::hash::Hasher`] impl so `#[derive(Hash)]` types (access paths,
+//! merges, effect records) can be folded in directly.
+//!
+//! The integer `write_*` methods feed native-endian bytes, which is fine:
+//! keys never leave the process.
+
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a [`Hasher`].
+#[derive(Debug, Clone)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl FnvHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a string followed by a separator byte, so that adjacent
+    /// strings hash unambiguously (`"ab","c"` ≠ `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write_u8(0xFF);
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hashes any `Hash` value with FNV-1a.
+pub fn fnv_hash(value: &impl Hash) -> u64 {
+    let mut h = FnvHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Chains two hashes: the next context hash in a unit sequence.
+pub fn chain(ctx: u64, effect: u64) -> u64 {
+    let mut h = FnvHasher::new();
+    h.write_u64(ctx);
+    h.write_u64(effect);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_content_sensitive() {
+        assert_eq!(fnv_hash(&"abc"), fnv_hash(&"abc"));
+        assert_ne!(fnv_hash(&"abc"), fnv_hash(&"abd"));
+    }
+
+    #[test]
+    fn str_separator_disambiguates() {
+        let mut a = FnvHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = FnvHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn chain_is_order_sensitive() {
+        assert_ne!(chain(1, 2), chain(2, 1));
+        assert_eq!(chain(1, 2), chain(1, 2));
+    }
+}

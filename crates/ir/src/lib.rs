@@ -35,6 +35,7 @@ pub mod pretty;
 pub mod symbols;
 
 pub use ir::{Function, Instr, Program};
+pub use lower::{FuncEffects, FuncLowering, ModuleLowerer};
 pub use path::{AccessPath, ApId, ApTable, ApView, FuncId, VarId};
 pub use symbols::{Symbol, SymbolTable};
 

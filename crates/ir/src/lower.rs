@@ -18,7 +18,7 @@
 
 use crate::ir::*;
 use crate::path::*;
-use crate::symbols::SymbolTable;
+use crate::symbols::{Symbol, SymbolTable};
 use mini_m3::ast::{BinOp, Expr, ExprId, Stmt, StmtId, UnOp};
 use mini_m3::check::{
     Builtin, CallRes, CheckedModule, ConstVal, LocalId, NameRes, ProcId, VarKind, WithKind,
@@ -47,6 +47,12 @@ use std::collections::HashMap;
 pub fn lower(checked: CheckedModule) -> Result<Program, Diagnostics> {
     let mut lw = Lowerer::new(checked);
     lw.run();
+    assemble(lw)
+}
+
+/// Assembles the final [`Program`] from a fully-driven [`Lowerer`] —
+/// shared tail of [`lower`] and [`ModuleLowerer::finish`].
+fn assemble(lw: Lowerer) -> Result<Program, Diagnostics> {
     if lw.diags.has_errors() {
         Err(lw.diags)
     } else {
@@ -69,6 +75,193 @@ pub fn lower(checked: CheckedModule) -> Result<Program, Diagnostics> {
             allocated_types: lw.allocated,
             merges: lw.merges,
         })
+    }
+}
+
+/// Everything one function's lowering appended to the *module-shared*
+/// lowering state, recorded as a replayable delta. This doubles as the
+/// function's analysis **summary**: `merges` are its pointer-assignment
+/// edges (§2.4) and `taken_fields`/`taken_elements` its `AddressTaken`
+/// contributions (§2.3) — the global fixpoint (type hierarchy + Steensgaard
+/// merge) is recombined from these without re-lowering the function.
+///
+/// Replaying the deltas in original function order onto identical prefix
+/// state reproduces the exact shared tables (same ids, same order) that a
+/// from-scratch lowering would build.
+#[derive(Debug, Clone, Default, PartialEq, Hash)]
+pub struct FuncEffects {
+    /// Access paths this function was first to intern, in intern order.
+    pub aps: Vec<AccessPath>,
+    /// How many fresh temp roots it consumed.
+    pub temps: u32,
+    /// How many fresh opaque-index ids it consumed.
+    pub opaques: u32,
+    /// Field names it was first to intern, in intern order.
+    pub symbols: Vec<String>,
+    /// Text literals it was first to intern, in intern order.
+    pub texts: Vec<String>,
+    /// Pointer-assignment merges it recorded, in order.
+    pub merges: Vec<Merge>,
+    /// `AddressTaken` field facts it contributed (sorted for determinism).
+    pub taken_fields: Vec<(TypeId, Symbol)>,
+    /// `AddressTaken` element facts it contributed (sorted).
+    pub taken_elements: Vec<TypeId>,
+    /// Allocated types it contributed (sorted).
+    pub allocated: Vec<TypeId>,
+}
+
+/// One function's lowering: the generated body plus its shared-state
+/// effects, as produced by [`ModuleLowerer::lower_next`].
+#[derive(Debug, Clone)]
+pub struct FuncLowering {
+    /// The lowered function body.
+    pub func: Function,
+    /// The shared-state delta its lowering produced.
+    pub effects: FuncEffects,
+    /// Whether lowering emitted no diagnostics. Only clean lowerings are
+    /// safe to reuse: a diagnostic is part of the observable output and
+    /// must be re-emitted by re-lowering.
+    pub clean: bool,
+}
+
+/// A resumable, function-at-a-time driver over the same lowering engine as
+/// [`lower`], for incremental compilation (`tbaa-incr`).
+///
+/// Call [`lower_next`](Self::lower_next) to lower the next function fresh
+/// (capturing its [`FuncEffects`]) or [`replay_next`](Self::replay_next) to
+/// splice in a cached [`FuncLowering`] without re-running the lowerer, then
+/// [`finish`](Self::finish) once every function is accounted for. Driving
+/// all functions through `lower_next` yields a program byte-identical to
+/// [`lower`]; substituting `replay_next` for any prefix-compatible cached
+/// unit preserves that equivalence.
+pub struct ModuleLowerer {
+    lw: Lowerer,
+    next: u32,
+}
+
+impl ModuleLowerer {
+    /// Starts lowering `checked`, with no function lowered yet.
+    pub fn new(checked: CheckedModule) -> Self {
+        ModuleLowerer {
+            lw: Lowerer::new(checked),
+            next: 0,
+        }
+    }
+
+    /// Total number of functions in the module (including `<main>`).
+    pub fn num_procs(&self) -> usize {
+        self.lw.checked.procs.len()
+    }
+
+    /// Index of the next function to lower or replay.
+    pub fn position(&self) -> usize {
+        self.next as usize
+    }
+
+    /// Lowers the next function fresh, capturing its shared-state effects.
+    pub fn lower_next(&mut self) -> FuncLowering {
+        let lw = &mut self.lw;
+        let aps_mark = lw.aps.len();
+        let temp_mark = lw.aps.temp_mark();
+        let opaque_mark = lw.aps.opaque_mark();
+        let sym_mark = lw.symbols.len();
+        let text_mark = lw.texts.len();
+        let merge_mark = lw.merges.len();
+        let diag_mark = lw.diags.len();
+        let taken_fields_before = lw.address_taken.fields.clone();
+        let taken_elements_before = lw.address_taken.elements.clone();
+        let allocated_before = lw.allocated.clone();
+
+        lw.lower_func(ProcId(self.next));
+        self.next += 1;
+
+        let mut taken_fields: Vec<(TypeId, Symbol)> = lw
+            .address_taken
+            .fields
+            .difference(&taken_fields_before)
+            .copied()
+            .collect();
+        taken_fields.sort_unstable();
+        let mut taken_elements: Vec<TypeId> = lw
+            .address_taken
+            .elements
+            .difference(&taken_elements_before)
+            .copied()
+            .collect();
+        taken_elements.sort_unstable();
+        let mut allocated: Vec<TypeId> = lw
+            .allocated
+            .difference(&allocated_before)
+            .copied()
+            .collect();
+        allocated.sort_unstable();
+
+        FuncLowering {
+            func: lw.funcs.last().expect("lower_func pushed").clone(),
+            effects: FuncEffects {
+                aps: (aps_mark..lw.aps.len())
+                    .map(|i| lw.aps.path(ApId(i as u32)).clone())
+                    .collect(),
+                temps: lw.aps.temp_mark() - temp_mark,
+                opaques: lw.aps.opaque_mark() - opaque_mark,
+                symbols: lw
+                    .symbols
+                    .iter()
+                    .skip(sym_mark)
+                    .map(|(_, n)| n.to_string())
+                    .collect(),
+                texts: lw.texts[text_mark..].to_vec(),
+                merges: lw.merges[merge_mark..].to_vec(),
+                taken_fields,
+                taken_elements,
+                allocated,
+            },
+            clean: lw.diags.len() == diag_mark,
+        }
+    }
+
+    /// Splices a cached function in by replaying its shared-state delta.
+    ///
+    /// Sound only when the module-shared prefix state (header + effects of
+    /// all earlier functions) is identical to the state the cached unit was
+    /// lowered under — the caller (`tbaa-incr`) guarantees this by keying
+    /// cache entries on a context hash chained over prior effects.
+    pub fn replay_next(&mut self, cached: &FuncLowering) {
+        let lw = &mut self.lw;
+        lw.funcs.push(cached.func.clone());
+        let eff = &cached.effects;
+        for ap in &eff.aps {
+            lw.aps.intern(ap.clone());
+        }
+        lw.aps.advance_counters(eff.temps, eff.opaques);
+        for s in &eff.symbols {
+            lw.symbols.intern(s);
+        }
+        for t in &eff.texts {
+            lw.text_id(t);
+        }
+        lw.merges.extend_from_slice(&eff.merges);
+        for &f in &eff.taken_fields {
+            lw.address_taken.fields.insert(f);
+        }
+        for &t in &eff.taken_elements {
+            lw.address_taken.elements.insert(t);
+        }
+        for &t in &eff.allocated {
+            lw.allocated.insert(t);
+        }
+        self.next += 1;
+    }
+
+    /// Assembles the program once every function has been lowered or
+    /// replayed.
+    pub fn finish(self) -> Result<Program, Diagnostics> {
+        debug_assert_eq!(
+            self.next as usize,
+            self.lw.checked.procs.len(),
+            "finish() before all functions were driven"
+        );
+        assemble(self.lw)
     }
 }
 

@@ -350,6 +350,25 @@ impl ApTable {
         self.next_opaque
     }
 
+    /// Current temp-counter position (how many temp roots were handed out).
+    pub fn temp_mark(&self) -> u32 {
+        self.next_temp
+    }
+
+    /// Current opaque-counter position.
+    pub fn opaque_mark(&self) -> u32 {
+        self.next_opaque
+    }
+
+    /// Advances the fresh-id counters as if `temps` temp roots and
+    /// `opaques` opaque indices had been handed out. Incremental replay
+    /// uses this to restore the counter state a cached function's lowering
+    /// left behind without re-running it.
+    pub fn advance_counters(&mut self, temps: u32, opaques: u32) {
+        self.next_temp += temps;
+        self.next_opaque += opaques;
+    }
+
     /// Renders a path for humans, with `names` supplying root names and
     /// `symbols` resolving interned field names.
     pub fn display(

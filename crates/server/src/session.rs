@@ -25,7 +25,9 @@ use tbaa_ir::ir::Program;
 use tbaa_ir::path::ApId;
 use tbaa_ir::pretty;
 
-use crate::metrics::{Counter, Histogram, Registry, LATENCY_US_BUCKETS};
+use tbaa_incr::IncrCompiler;
+
+use crate::metrics::{Counter, Gauge, Histogram, Registry, LATENCY_US_BUCKETS};
 
 /// Content identity of a session.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -189,18 +191,30 @@ impl Session {
 type SessionSlot = Result<Session, Diagnostics>;
 
 /// A bounded, content-keyed, compile-once session cache.
+///
+/// Compiles route through a store-level [`IncrCompiler`]: a superseding
+/// load whose source differs only locally replays the unchanged
+/// functions' lowering and analysis summaries from the function-granular
+/// unit cache (`tbaa-incr`) instead of re-lowering the whole program.
+/// The unit cache outlives session LRU eviction, so evicting and
+/// reloading the same content is an all-hit incremental rebuild.
 pub struct SessionStore {
     capacity: usize,
     sessions: Memo<SessionKey, SessionSlot>,
     /// LRU order (front = coldest) plus the id → key index.
     index: Mutex<StoreIndex>,
     next_id: AtomicU64,
+    incr: IncrCompiler,
     metrics: Arc<Registry>,
     compiles: Arc<Counter>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
     compile_us: Arc<Histogram>,
+    incr_func_hits: Arc<Counter>,
+    incr_func_misses: Arc<Counter>,
+    incr_reuse_ratio: Arc<Gauge>,
+    incr_rebuild_us: Arc<Histogram>,
 }
 
 #[derive(Default)]
@@ -217,13 +231,34 @@ impl SessionStore {
             sessions: Memo::new(),
             index: Mutex::new(StoreIndex::default()),
             next_id: AtomicU64::new(1),
+            incr: IncrCompiler::new(),
             compiles: metrics.counter("sessions.compiles"),
             hits: metrics.counter("sessions.hits"),
             misses: metrics.counter("sessions.misses"),
             evictions: metrics.counter("sessions.evictions"),
             compile_us: metrics.histogram("compile_us", LATENCY_US_BUCKETS),
+            incr_func_hits: metrics.counter("incr.func_hits"),
+            incr_func_misses: metrics.counter("incr.func_misses"),
+            incr_reuse_ratio: metrics.gauge("incr.reuse_ratio"),
+            incr_rebuild_us: metrics.histogram("incr.rebuild_us", LATENCY_US_BUCKETS),
             metrics,
         }
+    }
+
+    /// Compiles source through the function-granular incremental cache,
+    /// recording reuse metrics. Output (including diagnostics) is
+    /// byte-identical to a from-scratch `tbaa_ir::compile_to_ir`.
+    fn compile_incr(&self, source: &str) -> Result<Program, Diagnostics> {
+        let t0 = Instant::now();
+        let (result, report) = self.incr.compile(source);
+        self.incr_rebuild_us.observe_duration(t0.elapsed());
+        self.incr_func_hits.add(report.func_hits);
+        self.incr_func_misses.add(report.func_misses);
+        // Percent of functions reused by the most recent compile — a
+        // gauge, so `stats` shows how incremental the latest load was.
+        self.incr_reuse_ratio
+            .set((report.reuse_ratio() * 100.0).round() as i64);
+        result
     }
 
     /// Maximum number of live sessions.
@@ -246,7 +281,7 @@ impl SessionStore {
             name: name.to_string(),
             scale,
         };
-        Ok(self.load_with(key, || bench.compile(scale)))
+        Ok(self.load_with(key, || self.compile_incr(&bench.source_at_scale(scale))))
     }
 
     /// Loads inline source (compiling at most once per content hash).
@@ -255,8 +290,7 @@ impl SessionStore {
         let key = SessionKey::Source {
             hash: content_hash(source.as_bytes()),
         };
-        let source = source.to_string();
-        self.load_with(key, move || tbaa_ir::compile_to_ir(&source))
+        self.load_with(key, || self.compile_incr(source))
     }
 
     fn load_with(

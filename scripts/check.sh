@@ -28,4 +28,7 @@ scripts/load_smoke.sh
 echo "== router smoke (2 shards, backend kill, differential gates)"
 scripts/router_smoke.sh
 
+echo "== incremental smoke (mutate workload, reuse + differential gates)"
+scripts/incr_smoke.sh
+
 echo "All checks passed."

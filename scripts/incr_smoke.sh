@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Incremental-compilation smoke: drive a real tbaad with the `--mutate`
+# workload — superseding loads of near-identical program versions, chaos
+# clients on — and fail unless the run (a) passed every differential
+# gate with zero byte divergences and (b) actually exercised the
+# function-granular cache (nonzero unit reuse). This is the CI-sized
+# proof that incremental re-analysis is both *on* and *invisible*.
+#
+#   scripts/incr_smoke.sh                      # smoke params
+#   scripts/incr_smoke.sh --duration 10 ...    # extra args forwarded
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for BIN in tbaad tbaa-loadgen; do
+    if [[ ! -x "target/release/$BIN" ]]; then
+        echo "== building $BIN (release)"
+        cargo build --release -p tbaa-server --bin tbaad
+        cargo build --release -p tbaa-bench --bin tbaa-loadgen
+        break
+    fi
+done
+
+OUT=${INCR_SMOKE_OUT:-target/bench_incr_smoke.json}
+target/release/tbaa-loadgen --smoke --mutate 10 --out "$OUT" "$@"
+
+# The loadgen exit status already enforces the gates (including the
+# mutate-mode reuse gate); re-derive the two load-bearing facts from the
+# artifact so this script fails loudly if the gating ever regresses.
+grep -q '"mismatches":0' "$OUT" || {
+    echo "incr_smoke: differential mismatches recorded in $OUT" >&2
+    exit 1
+}
+HITS=$(grep -o '"func_hits":[0-9]*' "$OUT" | head -1 | cut -d: -f2)
+if [[ -z "$HITS" || "$HITS" -eq 0 ]]; then
+    echo "incr_smoke: no incremental function reuse recorded in $OUT" >&2
+    exit 1
+fi
+echo "incr_smoke: $HITS function units replayed from cache, zero divergences"
