@@ -21,7 +21,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use tbaa::analysis::{Level, Tbaa};
-use tbaa::{count_alias_pairs_with_threads, AliasAnalysis, CompiledAliasEngine, World};
+use tbaa::{
+    count_alias_pairs_rows, count_alias_pairs_with_threads, AliasAnalysis, CompiledAliasEngine,
+    World,
+};
 use tbaa_benchsuite::Benchmark;
 use tbaa_ir::path::ApId;
 use tbaa_server::json::Value;
@@ -106,6 +109,76 @@ fn throughput(reps: u32, pairs: &[(ApId, ApId)], mut query: impl FnMut(ApId, ApI
     best
 }
 
+/// Best per-call microseconds over three trials of `reps` calls each.
+fn best_us(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..reps.max(1) {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6 / reps.max(1) as f64);
+    }
+    best
+}
+
+/// The Table 5 pair census, run twice per benchsuite program: the
+/// scalar walk (one engine probe per distinct reference pair) against
+/// the word-parallel row-mask kernel. Both run single-threaded so the
+/// ratio is pure kernel efficiency — it must show on a 1-CPU host where
+/// the thread-scaling curve is flat. Every timed call re-checks exact
+/// count equality: the kernel is only a faster route to the same bits,
+/// and a divergence invalidates the whole section.
+///
+/// Returns the `census` report object and the suite-aggregate speedup
+/// (total scalar time over total kernel time).
+fn census_section(smoke: bool) -> (Value<'static>, f64) {
+    let reps = if smoke { 2u32 } else { 100 };
+    let mut rows: Vec<Value<'static>> = Vec::new();
+    let mut total_scalar = 0.0f64;
+    let mut total_word = 0.0f64;
+    for b in tbaa_benchsuite::suite() {
+        let prog = b.compile(1).expect("benchsuite compiles");
+        let tbaa = Arc::new(Tbaa::build(&prog, Level::SmFieldTypeRefs, World::Closed));
+        let engine = CompiledAliasEngine::compile(&prog, tbaa);
+        let ref_rows = prog.heap_ref_rows();
+        let reference = count_alias_pairs_rows(&prog, &ref_rows, &engine, 1);
+        let scalar_us = best_us(reps, || {
+            let counts = count_alias_pairs_rows(&prog, black_box(&ref_rows), &engine, 1);
+            assert_eq!(counts, reference, "scalar census drifted on {}", b.name);
+        });
+        let word_us = best_us(reps, || {
+            let counts = engine
+                .dense_census(black_box(&ref_rows), 1)
+                .unwrap_or_else(|| panic!("{} left the dense regime", b.name));
+            assert_eq!(counts, reference, "word-parallel census diverged on {}", b.name);
+        });
+        total_scalar += scalar_us;
+        total_word += word_us;
+        rows.push(Value::object(vec![
+            ("bench", Value::Str(b.name.into())),
+            ("references", Value::Int(reference.references as i64)),
+            ("local_pairs", Value::Int(reference.local_pairs as i64)),
+            ("global_pairs", Value::Int(reference.global_pairs as i64)),
+            ("scalar_us", Value::Float(scalar_us)),
+            ("word_parallel_us", Value::Float(word_us)),
+            ("speedup", Value::Float(scalar_us / word_us.max(1e-9))),
+        ]));
+    }
+    let speedup = total_scalar / total_word.max(1e-9);
+    let report = Value::object(vec![
+        ("threads", Value::Int(1)),
+        ("reps", Value::Int(reps as i64)),
+        ("level", Value::Str("SMFieldTypeRefs".into())),
+        ("world", Value::Str("closed".into())),
+        ("rows", Value::Array(rows)),
+        ("total_scalar_us", Value::Float(total_scalar)),
+        ("total_word_parallel_us", Value::Float(total_word)),
+        ("speedup", Value::Float(speedup)),
+    ]);
+    (report, speedup)
+}
+
 /// A synthetic module with `types * vars * fields` distinct heap access
 /// paths. The benchsuite programs finish a whole pair census in ~50us —
 /// less than the cost of spawning workers — so thread scaling is
@@ -163,7 +236,7 @@ fn synthetic_source(types: usize, vars: usize, fields: usize) -> String {
 /// volume a session actually sees (one `pairs` census alone is `n²`
 /// queries) and snapshots over it would spend more on the matrix than
 /// queries can recoup.
-fn dense_limit_sweep(smoke: bool) -> Value {
+fn dense_limit_sweep(smoke: bool) -> Value<'static> {
     use tbaa_bench::rng::XorShift64;
     // (types, vars, fields) shapes whose interned-path counts ladder
     // from well under the current limit to ~2x over it.
@@ -303,6 +376,10 @@ fn main() {
         ]));
     }
 
+    // Word-parallel census kernel vs the scalar walk over the whole
+    // benchsuite, single-threaded.
+    let (census, census_speedup) = census_section(cfg.smoke);
+
     let sweep = cfg.sweep_dense_limit.then(|| {
         println!("bench-alias: dense-limit sweep (build cost vs query rate)");
         dense_limit_sweep(cfg.smoke)
@@ -311,7 +388,7 @@ fn main() {
     let stats = engine.stats();
     let mut fields = vec![
         ("host", tbaa_bench::host::host_stamp()),
-        ("bench", Value::Str(cfg.bench.clone())),
+        ("bench", Value::Str(cfg.bench.as_str().into())),
         ("scale", Value::Int(cfg.scale as i64)),
         ("smoke", Value::Bool(cfg.smoke)),
         ("aps", Value::Int(ids.len() as i64)),
@@ -339,6 +416,7 @@ fn main() {
                 ("scaling", Value::Array(scaling)),
             ]),
         ),
+        ("census", census),
         (
             "engine",
             Value::object(vec![
@@ -379,10 +457,17 @@ fn main() {
         census_line.join(" "),
         host_threads
     );
+    println!("  census kernel  {census_speedup:.1}x word-parallel over scalar (benchsuite, 1 thread)");
     println!("  report -> {}", cfg.out);
     let mut failed = false;
     if !cfg.smoke && speedup < 5.0 {
         eprintln!("bench-alias: WARNING compiled speedup {speedup:.1}x is below the 5x target");
+        failed = true;
+    }
+    if !cfg.smoke && census_speedup < 4.0 {
+        eprintln!(
+            "bench-alias: WARNING census kernel speedup {census_speedup:.1}x is below the 4x target"
+        );
         failed = true;
     }
     // The census must get faster with threads wherever the host can

@@ -697,19 +697,19 @@ fn run_chaos(endpoint: &Endpoint, seed: u64, deadline: Instant) -> ChaosResult {
 // ---- stats poller ----------------------------------------------------------
 
 struct StatsPoll {
-    first: Option<Value>,
-    last: Option<Value>,
+    first: Option<Value<'static>>,
+    last: Option<Value<'static>>,
     samples: u64,
     peak_inflight: i64,
     peak_active_connections: i64,
 }
 
-fn poll_stats_once(endpoint: &Endpoint) -> Option<Value> {
+fn poll_stats_once(endpoint: &Endpoint) -> Option<Value<'static>> {
     let mut wire = endpoint.connect().ok()?;
     wire.write_line(r#"{"op":"stats"}"#).ok()?;
     let mut src = LineSource::new(wire);
     let raw = src.read_line_blocking().ok()?;
-    parse(&raw).ok()
+    Some(parse(&raw).ok()?.into_owned())
 }
 
 fn gauge_of(stats: &Value, name: &str) -> i64 {
@@ -773,10 +773,10 @@ fn bucket_quantile_us(hist: &Value, q: f64) -> i64 {
 
 /// The artifact's `router` section: the router's own stats fields plus
 /// per-shard p50/p95/p99 derived from the per-shard request histograms.
-fn router_report(final_stats: Option<&Value>, kill_backend: bool) -> Option<Value> {
+fn router_report<'a>(final_stats: Option<&Value<'a>>, kill_backend: bool) -> Option<Value<'a>> {
     let r = final_stats?.get("router")?;
     let carry = |name: &str| r.get(name).cloned().unwrap_or(Value::Null);
-    let per_shard: Vec<Value> = r
+    let per_shard: Vec<Value<'a>> = r
         .get("per_shard")
         .and_then(Value::as_array)
         .map(|shards| {
@@ -1055,7 +1055,7 @@ fn main() -> ExitCode {
                 ("seed", Value::Int(cfg.seed as i64)),
                 (
                     "benches",
-                    Value::Array(cfg.benches.iter().map(|b| Value::Str(b.clone())).collect()),
+                    Value::Array(cfg.benches.iter().map(|b| Value::Str(b.as_str().into())).collect()),
                 ),
                 ("scale", Value::Int(cfg.scale as i64)),
                 (
@@ -1064,7 +1064,7 @@ fn main() -> ExitCode {
                 ),
                 ("server_workers", Value::Int(cfg.server_workers as i64)),
                 ("server_capacity", Value::Int(cfg.server_capacity as i64)),
-                ("endpoint", Value::Str(endpoint.describe())),
+                ("endpoint", Value::Str(endpoint.describe().into())),
             ]),
         ),
         (
@@ -1099,7 +1099,7 @@ fn main() -> ExitCode {
                         chaos
                             .by_kind
                             .iter()
-                            .map(|(k, n)| (k.to_string(), Value::Int(*n as i64)))
+                            .map(|(k, n)| ((*k).into(), Value::Int(*n as i64)))
                             .collect(),
                     ),
                 ),
@@ -1143,7 +1143,7 @@ fn main() -> ExitCode {
             ("passed", Value::Bool(failures.is_empty())),
             (
                 "failures",
-                Value::Array(failures.iter().map(|f| Value::Str(f.clone())).collect()),
+                Value::Array(failures.iter().map(|f| Value::Str(f.as_str().into())).collect()),
             ),
         ]),
     ));

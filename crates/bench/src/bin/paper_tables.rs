@@ -128,35 +128,38 @@ fn print_stats(engine: &tb::Engine) {
     );
 }
 
-/// Emits the selected tables as newline-delimited JSON rows.
+/// Emits the selected tables as newline-delimited JSON rows. Each
+/// section is encoded while its source rows are still alive — the JSON
+/// values borrow the row data rather than cloning it.
 fn emit_json(engine: &tb::Engine, which: &str, all: bool) {
-    let mut rows = Vec::new();
+    fn emit(rows: Vec<tbaa_server::json::Value<'_>>) {
+        for row in rows {
+            println!("{}", row.encode());
+        }
+    }
     if all || which == "table4" {
-        rows.extend(jsonout::table4_json(&engine.table4()));
+        emit(jsonout::table4_json(&engine.table4()));
     }
     if all || which == "table5" {
-        rows.extend(jsonout::table5_json(&engine.table5()));
+        emit(jsonout::table5_json(&engine.table5()));
     }
     if all || which == "table6" {
-        rows.extend(jsonout::table6_json(&engine.table6()));
+        emit(jsonout::table6_json(&engine.table6()));
     }
     if all || which == "fig8" {
-        rows.extend(jsonout::runtime_json("fig8", &engine.fig8()));
+        emit(jsonout::runtime_json("fig8", &engine.fig8()));
     }
     if all || which == "fig9" {
-        rows.extend(jsonout::fig9_json(&engine.fig9()));
+        emit(jsonout::fig9_json(&engine.fig9()));
     }
     if all || which == "fig10" {
-        rows.extend(jsonout::fig10_json(&engine.fig10()));
+        emit(jsonout::fig10_json(&engine.fig10()));
     }
     if all || which == "fig11" {
-        rows.extend(jsonout::runtime_json("fig11", &engine.fig11()));
+        emit(jsonout::runtime_json("fig11", &engine.fig11()));
     }
     if all || which == "fig12" {
-        rows.extend(jsonout::runtime_json("fig12", &engine.fig12()));
-        rows.extend(jsonout::open_world_pairs_json(&engine.open_world_pairs()));
-    }
-    for row in rows {
-        println!("{}", row.encode());
+        emit(jsonout::runtime_json("fig12", &engine.fig12()));
+        emit(jsonout::open_world_pairs_json(&engine.open_world_pairs()));
     }
 }

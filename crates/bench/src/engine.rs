@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex};
 
 use tbaa::analysis::{Level, Tbaa};
 use tbaa::memo::Memo;
-use tbaa::{count_alias_pairs, CompiledAliasEngine, World};
+use tbaa::{census_alias_pairs, CompiledAliasEngine, World};
 use tbaa_benchsuite::{suite, Benchmark};
 use tbaa_ir::ir::Program;
 use tbaa_opt::rle::run_rle;
@@ -323,7 +323,7 @@ impl Engine {
             let mut by_level = [AliasPairCounts::default(); 3];
             for (i, level) in Level::ALL.iter().enumerate() {
                 let engine = self.compiled(b, *level, World::Closed);
-                by_level[i] = count_alias_pairs(&prog, &*engine);
+                by_level[i] = census_alias_pairs(&prog, &engine).counts;
             }
             Table5Row {
                 name: b.name,
@@ -465,8 +465,8 @@ impl Engine {
             let open = self.compiled(b, Level::SmFieldTypeRefs, World::Open);
             (
                 b.name.to_string(),
-                count_alias_pairs(&prog, &*closed),
-                count_alias_pairs(&prog, &*open),
+                census_alias_pairs(&prog, &closed).counts,
+                census_alias_pairs(&prog, &open).counts,
             )
         })
     }

@@ -11,7 +11,7 @@ use tbaa_server::json::Value;
 
 /// A JSON object describing the measuring host: degree of parallelism,
 /// a target triple, a UNIX timestamp, and the explicit single-CPU flag.
-pub fn host_stamp() -> Value {
+pub fn host_stamp() -> Value<'static> {
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let timestamp = SystemTime::now()
         .duration_since(UNIX_EPOCH)
@@ -21,12 +21,15 @@ pub fn host_stamp() -> Value {
         ("available_parallelism", Value::Int(parallelism as i64)),
         (
             "triple",
-            Value::Str(format!(
-                "{}-{}-{}",
-                std::env::consts::ARCH,
-                std::env::consts::FAMILY,
-                std::env::consts::OS
-            )),
+            Value::Str(
+                format!(
+                    "{}-{}-{}",
+                    std::env::consts::ARCH,
+                    std::env::consts::FAMILY,
+                    std::env::consts::OS
+                )
+                .into(),
+            ),
         ),
         ("timestamp_unix", Value::Int(timestamp as i64)),
         ("single_cpu", Value::Bool(parallelism == 1)),
@@ -37,7 +40,7 @@ pub fn host_stamp() -> Value {
             Value::Str(
                 "measured on a 1-CPU host: thread-scaling and shard-parallelism \
                  numbers in this artifact cannot show a speedup"
-                    .to_string(),
+                    .into(),
             ),
         ));
     }

@@ -18,7 +18,7 @@ use tbaa::AliasPairCounts;
 /// store them (the paper's three analyses, coarse to precise).
 pub const LEVEL_LABELS: [&str; 3] = ["TypeDecl", "FieldTypeDecl", "SMFieldTypeRefs"];
 
-fn row(table: &str, name: &str, fields: Vec<(&str, Value)>) -> Value {
+fn row<'a>(table: &'a str, name: &'a str, fields: Vec<(&'a str, Value<'a>)>) -> Value<'a> {
     let mut all = vec![
         ("table", Value::Str(table.into())),
         ("name", Value::Str(name.into())),
@@ -27,16 +27,16 @@ fn row(table: &str, name: &str, fields: Vec<(&str, Value)>) -> Value {
     Value::object(all)
 }
 
-fn opt_u64(v: Option<u64>) -> Value {
+fn opt_u64(v: Option<u64>) -> Value<'static> {
     v.map(|n| Value::Int(n as i64)).unwrap_or(Value::Null)
 }
 
-fn opt_f64(v: Option<f64>) -> Value {
+fn opt_f64(v: Option<f64>) -> Value<'static> {
     v.map(Value::Float).unwrap_or(Value::Null)
 }
 
 /// Table 4 (benchmark overview) rows.
-pub fn table4_json(rows: &[Table4Row]) -> Vec<Value> {
+pub fn table4_json(rows: &[Table4Row]) -> Vec<Value<'static>> {
     rows.iter()
         .map(|r| {
             row(
@@ -54,7 +54,7 @@ pub fn table4_json(rows: &[Table4Row]) -> Vec<Value> {
         .collect()
 }
 
-fn pair_counts(c: &AliasPairCounts) -> Value {
+fn pair_counts(c: &AliasPairCounts) -> Value<'static> {
     Value::object(vec![
         ("local_pairs", Value::Int(c.local_pairs as i64)),
         ("global_pairs", Value::Int(c.global_pairs as i64)),
@@ -62,13 +62,13 @@ fn pair_counts(c: &AliasPairCounts) -> Value {
 }
 
 /// Table 5 (static may-alias pairs per analysis level) rows.
-pub fn table5_json(rows: &[Table5Row]) -> Vec<Value> {
+pub fn table5_json(rows: &[Table5Row]) -> Vec<Value<'static>> {
     rows.iter()
         .map(|r| {
             let levels = LEVEL_LABELS
                 .iter()
                 .zip(r.by_level.iter())
-                .map(|(label, counts)| (label.to_string(), pair_counts(counts)))
+                .map(|(label, counts)| ((*label).into(), pair_counts(counts)))
                 .collect();
             row(
                 "table5",
@@ -83,13 +83,13 @@ pub fn table5_json(rows: &[Table5Row]) -> Vec<Value> {
 }
 
 /// Table 6 (redundant loads removed statically) rows.
-pub fn table6_json(rows: &[Table6Row]) -> Vec<Value> {
+pub fn table6_json(rows: &[Table6Row]) -> Vec<Value<'static>> {
     rows.iter()
         .map(|r| {
             let removed = LEVEL_LABELS
                 .iter()
                 .zip(r.removed.iter())
-                .map(|(label, n)| (label.to_string(), Value::Int(*n as i64)))
+                .map(|(label, n)| ((*label).into(), Value::Int(*n as i64)))
                 .collect();
             row("table6", r.name, vec![("removed", Value::Object(removed))])
         })
@@ -98,14 +98,14 @@ pub fn table6_json(rows: &[Table6Row]) -> Vec<Value> {
 
 /// Runtime-figure rows (Figures 8, 11, 12): percent of base cycles per
 /// configuration, keyed by the figure's bar labels.
-pub fn runtime_json(table: &str, rows: &[RuntimeRow]) -> Vec<Value> {
+pub fn runtime_json<'a>(table: &'a str, rows: &'a [RuntimeRow]) -> Vec<Value<'a>> {
     rows.iter()
         .map(|r| {
             let pct = r
                 .labels
                 .iter()
                 .zip(r.pct.iter())
-                .map(|(label, p)| (label.to_string(), Value::Float(*p)))
+                .map(|(label, p)| ((*label).into(), Value::Float(*p)))
                 .collect();
             row(table, r.name, vec![("pct", Value::Object(pct))])
         })
@@ -113,7 +113,7 @@ pub fn runtime_json(table: &str, rows: &[RuntimeRow]) -> Vec<Value> {
 }
 
 /// Figure 9 (dynamically redundant heap loads, before/after) rows.
-pub fn fig9_json(rows: &[Fig9Row]) -> Vec<Value> {
+pub fn fig9_json(rows: &[Fig9Row]) -> Vec<Value<'static>> {
     rows.iter()
         .map(|r| {
             row(
@@ -143,7 +143,7 @@ pub fn fig9_json(rows: &[Fig9Row]) -> Vec<Value> {
 }
 
 /// Figure 10 (where the remaining redundancy comes from) rows.
-pub fn fig10_json(rows: &[Fig10Row]) -> Vec<Value> {
+pub fn fig10_json(rows: &[Fig10Row]) -> Vec<Value<'static>> {
     rows.iter()
         .map(|r| {
             row(
@@ -166,7 +166,9 @@ pub fn fig10_json(rows: &[Fig10Row]) -> Vec<Value> {
 }
 
 /// The open-vs-closed static comparison printed alongside Figure 12.
-pub fn open_world_pairs_json(rows: &[(String, AliasPairCounts, AliasPairCounts)]) -> Vec<Value> {
+pub fn open_world_pairs_json(
+    rows: &[(String, AliasPairCounts, AliasPairCounts)],
+) -> Vec<Value<'_>> {
     rows.iter()
         .map(|(name, closed, open)| {
             row(
@@ -216,14 +218,12 @@ mod tests {
 
     #[test]
     fn runtime_rows_key_pct_by_label() {
-        let rows = runtime_json(
-            "fig8",
-            &[RuntimeRow {
-                name: "pp",
-                pct: vec![97.5, 96.0],
-                labels: vec!["RLE", "RLE Open"],
-            }],
-        );
+        let input = [RuntimeRow {
+            name: "pp",
+            pct: vec![97.5, 96.0],
+            labels: vec!["RLE", "RLE Open"],
+        }];
+        let rows = runtime_json("fig8", &input);
         let line = rows[0].encode();
         assert!(line.starts_with(r#"{"table":"fig8","name":"pp","#));
         assert!(line.contains(r#""RLE":97.5"#));

@@ -137,7 +137,7 @@ impl LatencyHistogram {
     }
 
     /// Renders `{count, mean_us, p50_us, p95_us, p99_us, max_us}`.
-    pub fn to_json(&self) -> Value {
+    pub fn to_json(&self) -> Value<'static> {
         let mean = if self.count == 0 {
             0.0
         } else {
@@ -219,13 +219,13 @@ impl VerbLatencies {
     }
 
     /// Renders `{verb: {count, ..quantiles}}` (verbs with traffic only).
-    pub fn to_json(&self) -> Value {
+    pub fn to_json(&self) -> Value<'static> {
         Value::Object(
             Verb::ALL
                 .iter()
                 .zip(&self.hists)
                 .filter(|(_, h)| h.count() > 0)
-                .map(|(v, h)| (v.name().to_string(), h.to_json()))
+                .map(|(v, h)| (v.name().into(), h.to_json()))
                 .collect(),
         )
     }
@@ -289,13 +289,13 @@ impl Content {
         match self {
             Content::Bench { name, scale } => Value::object(vec![
                 ("op", Value::Str("load".into())),
-                ("bench", Value::Str(name.clone())),
+                ("bench", Value::Str(name.as_str().into())),
                 ("scale", Value::Int(*scale as i64)),
             ])
             .encode(),
             Content::Source { text } => Value::object(vec![
                 ("op", Value::Str("load".into())),
-                ("source", Value::Str(text.clone())),
+                ("source", Value::Str(text.as_str().into())),
             ])
             .encode(),
         }
@@ -666,8 +666,8 @@ impl WorkloadGen {
                                 .iter()
                                 .map(|(a, b)| {
                                     Value::Array(vec![
-                                        Value::Str(a.clone()),
-                                        Value::Str(b.clone()),
+                                        Value::Str(a.as_str().into()),
+                                        Value::Str(b.as_str().into()),
                                     ])
                                 })
                                 .collect(),

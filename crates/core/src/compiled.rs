@@ -44,10 +44,11 @@
 use crate::analysis::{AliasAnalysis, Level, Tbaa};
 use crate::memo::Memo;
 use crate::merge::World;
+use crate::pairs::AliasPairCounts;
 use mini_m3::types::TypeId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use tbaa_ir::ir::Program;
+use tbaa_ir::ir::{HeapRefRows, Program};
 use tbaa_ir::path::{ApId, ApRoot, ApStep, ApTable};
 use tbaa_ir::symbols::Symbol;
 
@@ -142,14 +143,20 @@ pub struct CompiledAliasEngine {
     /// Node index per build-time `ApId` (dense snapshot).
     node_of: Vec<u32>,
     nodes: Vec<Node>,
-    /// Precomputed full-square pair matrix, bit `a * n + b` (both
-    /// mirror-bits set, so queries skip normalization). Empty in the
-    /// lazy regime.
+    /// Precomputed full-square pair matrix, row padded: row `a` is the
+    /// `dense_wpr` words starting at `a * dense_wpr`, with bit `b` set
+    /// iff the pair may alias (both mirror-bits set, so queries skip
+    /// normalization). Word-aligned rows are what lets
+    /// [`Self::dense_census`] AND whole rows against reference masks
+    /// and popcount them. Empty in the lazy regime.
     dense: Vec<u64>,
     /// Snapshot size when the dense matrix exists, else `0` — so the
     /// hot path decides "dense AND both ids in range" with the single
     /// comparison `max(a, b) < dense_n`.
     dense_n: u32,
+    /// Words per matrix row: `ceil(dense_n / 64)` (0 in the lazy
+    /// regime).
+    dense_wpr: u32,
     memo: Memo<(ApId, ApId), bool>,
     queries: AtomicU64,
     memo_misses: AtomicU64,
@@ -227,6 +234,7 @@ impl CompiledAliasEngine {
             nodes,
             dense: Vec::new(),
             dense_n: 0,
+            dense_wpr: 0,
             memo: Memo::new(),
             queries: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
@@ -236,24 +244,27 @@ impl CompiledAliasEngine {
         let n = engine.node_of.len();
         if n > 0 && n <= dense_limit {
             // Evaluate every pair once (symmetry halves the walks) into
-            // a full-square bit matrix so the query path needs no
-            // normalization: one multiply, one load, one shift.
-            let mut bits = vec![0u64; (n * n).div_ceil(64)];
+            // a row-padded full-square bit matrix: rows start on word
+            // boundaries so a query is one multiply, one load, one
+            // shift, and the census kernel can mask and popcount whole
+            // rows. Padding costs < 64 bits per row over the flat
+            // `a*n+b` layout it replaced.
+            let wpr = n.div_ceil(64);
+            let mut bits = vec![0u64; n * wpr];
             for a in 0..n {
                 for b in a..n {
                     if engine
                         .compiled_answer(ApId(a as u32), ApId(b as u32))
                         .expect("snapshot ids are dense")
                     {
-                        let ij = a * n + b;
-                        let ji = b * n + a;
-                        bits[ij >> 6] |= 1 << (ij & 63);
-                        bits[ji >> 6] |= 1 << (ji & 63);
+                        bits[a * wpr + (b >> 6)] |= 1 << (b & 63);
+                        bits[b * wpr + (a >> 6)] |= 1 << (a & 63);
                     }
                 }
             }
             engine.dense = bits;
             engine.dense_n = n as u32;
+            engine.dense_wpr = wpr as u32;
         }
         engine.build_us = start.elapsed().as_micros() as u64;
         engine
@@ -376,13 +387,170 @@ impl CompiledAliasEngine {
     /// Callers must have checked `a.0.max(b.0) < self.dense_n`.
     #[inline]
     fn dense_bit(&self, a: ApId, b: ApId) -> bool {
-        let n = self.dense_n as usize;
-        let idx = a.0 as usize * n + b.0 as usize;
-        // SAFETY: both ids are < dense_n (caller contract), so
-        // idx <= (n-1)*n + (n-1) = n*n - 1, and the matrix was built
-        // with ceil(n*n / 64) words.
-        let word = unsafe { *self.dense.get_unchecked(idx >> 6) };
-        (word >> (idx & 63)) & 1 != 0
+        let b_idx = b.0 as usize;
+        let idx = a.0 as usize * self.dense_wpr as usize + (b_idx >> 6);
+        // SAFETY: both ids are < dense_n (caller contract), so the row
+        // offset is at most (dense_n-1)*dense_wpr and the word index
+        // within the row at most dense_wpr-1; the matrix was built with
+        // dense_n * dense_wpr words.
+        let word = unsafe { *self.dense.get_unchecked(idx) };
+        (word >> (b_idx & 63)) & 1 != 0
+    }
+
+    /// Bulk Table-5 census over the dense matrix: counts may-alias
+    /// pairs among the reference expressions of `rows` with masked
+    /// popcounts — 64 pair verdicts per `AND` + `count_ones` — instead
+    /// of one [`Self::dense_bit`] probe per pair. Returns `None` when
+    /// the engine is in the lazy regime or any reference postdates the
+    /// compiled snapshot (RLE scratch programs intern fresh paths);
+    /// callers fall back to the scalar pair walk.
+    ///
+    /// For each function `f` in `rows`, with `B_f` the bitset of `f`'s
+    /// reference paths over `ApId` space:
+    ///
+    /// * **local pairs**: for each path `a ∈ B_f`, popcount
+    ///   `row(a) & B_f` restricted to bits strictly above `a` — the
+    ///   upper-triangular mask counts every unordered pair exactly once
+    ///   and drops the trivial self pair;
+    /// * **global pairs** need *multiplicity*, not membership: the pair
+    ///   `(f,a)` vs `(g,b)` is distinct for every function `g`
+    ///   containing `b` (including `b == a`, which is how the same
+    ///   global path referenced from two functions gets counted), so a
+    ///   mask union would undercount any path referenced by three or
+    ///   more functions. With `m_x` the number of functions referencing
+    ///   path `x`, kept *bit-sliced* (plane `p` holds bit `2^p` of
+    ///   every path's count), the weighted row sum
+    ///   `S = Σ_refs Σ_p popcount(row(a) & plane_p) << p` counts every
+    ///   ordered reference pair whose paths may alias — so with
+    ///   `D = Σ_refs diag(a)` (the self-verdict per reference),
+    ///   `global = (S − D) / 2` exactly: off-diagonal terms appear
+    ///   twice in `S` by matrix symmetry, and the diagonal's
+    ///   `m_a² − m_a` surplus over the wanted `C(m_a, 2)` pairs cancels
+    ///   against the subtracted self pairs. One global plane set — no
+    ///   per-function suffix state — still 64 paths per `AND`, times
+    ///   the ⌈log₂(max multiplicity)⌉ live planes.
+    ///
+    /// Pure sums of precomputed bits, so the result is deterministic at
+    /// any thread count. Workers claim function groups off a shared
+    /// atomic cursor, the same scoped-thread fan-out as the scalar
+    /// [`count_alias_pairs_with_threads`](crate::pairs::count_alias_pairs_with_threads).
+    pub fn dense_census(&self, rows: &HeapRefRows, threads: usize) -> Option<AliasPairCounts> {
+        if self.dense_n == 0 || rows.refs.iter().any(|ap| ap.0 >= self.dense_n) {
+            return None;
+        }
+        let wpr = self.dense_wpr as usize;
+        let groups = rows.funcs.len();
+        // The per-call setup cost matters: benchsuite-sized programs
+        // finish the whole popcount sweep in well under a microsecond,
+        // so scratch space is ONE allocation (function masks and the
+        // multiplicity planes carved out of a single zeroed buffer) and
+        // the plane count is bounded by ⌈log₂ groups⌉ upfront (a path
+        // can appear in at most every group) instead of an extra
+        // counting pass; `used` tracks how many planes ever received a
+        // bit so the census scans only live ones.
+        let planes = (usize::BITS - groups.leading_zeros()) as usize;
+        let fm_len = groups * wpr;
+        let need = fm_len + planes * wpr;
+        // Benchsuite-sized scratch fits on the stack; the heap path
+        // covers wide programs (many functions × many words per row).
+        let mut stack = [0u64; 256];
+        let mut heap: Vec<u64>;
+        let scratch: &mut [u64] = if need <= stack.len() {
+            &mut stack[..need]
+        } else {
+            heap = vec![0u64; need];
+            &mut heap
+        };
+        let (func_masks, mult_planes) = scratch.split_at_mut(fm_len);
+        for (gi, &(_, s, e)) in rows.funcs.iter().enumerate() {
+            let mask = &mut func_masks[gi * wpr..(gi + 1) * wpr];
+            for &ap in &rows.refs[s as usize..e as usize] {
+                mask[ap.0 as usize >> 6] |= 1 << (ap.0 & 63);
+            }
+        }
+        // Ripple-carry each function's bitset into the bit-sliced
+        // multiplicity planes (a path appears at most once per group,
+        // so adding the mask adds exactly 1 per member).
+        let mut used = 0usize;
+        for gi in 0..groups {
+            let mask = &func_masks[gi * wpr..(gi + 1) * wpr];
+            for w in 0..wpr {
+                let mut carry = mask[w];
+                let mut p = 0;
+                while carry != 0 {
+                    let slot = &mut mult_planes[p * wpr + w];
+                    let next = *slot & carry;
+                    *slot ^= carry;
+                    carry = next;
+                    p += 1;
+                }
+                used = used.max(p);
+            }
+        }
+        let func_masks = &*func_masks;
+        let mult_planes = &*mult_planes;
+        // Per group: (local pairs, weighted row sum S, diagonal sum D).
+        let census_group = |gi: usize| -> (u64, u64, u64) {
+            let (_, s, e) = rows.funcs[gi];
+            let fmask = &func_masks[gi * wpr..(gi + 1) * wpr];
+            let (mut local, mut weighted, mut diag) = (0u64, 0u64, 0u64);
+            for &ap in &rows.refs[s as usize..e as usize] {
+                let a = ap.0 as usize;
+                let row = &self.dense[a * wpr..(a + 1) * wpr];
+                // Bits strictly above `a` within its own word; the
+                // second shift (by 1, never 64) zeroes the mask when
+                // `a` is bit 63.
+                let above = (!0u64 << (a & 63)) << 1;
+                let wi = a >> 6;
+                local += (row[wi] & fmask[wi] & above).count_ones() as u64;
+                for w in wi + 1..wpr {
+                    local += (row[w] & fmask[w]).count_ones() as u64;
+                }
+                for p in 0..used {
+                    let plane = &mult_planes[p * wpr..(p + 1) * wpr];
+                    let mut hits = 0u64;
+                    for w in 0..wpr {
+                        hits += (row[w] & plane[w]).count_ones() as u64;
+                    }
+                    weighted += hits << p;
+                }
+                diag += (row[wi] >> (a & 63)) & 1;
+            }
+            (local, weighted, diag)
+        };
+        let add = |x: (u64, u64, u64), y: (u64, u64, u64)| (x.0 + y.0, x.1 + y.1, x.2 + y.2);
+        let workers = threads.clamp(1, groups.max(1));
+        let (local, weighted, diag) = if workers <= 1 {
+            (0..groups).map(census_group).fold((0, 0, 0), add)
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|sc| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        sc.spawn(|| {
+                            let mut sums = (0u64, 0u64, 0u64);
+                            loop {
+                                let gi = cursor.fetch_add(1, Ordering::Relaxed);
+                                if gi >= groups {
+                                    break;
+                                }
+                                sums = add(sums, census_group(gi));
+                            }
+                            sums
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("census worker panicked"))
+                    .fold((0, 0, 0), add)
+            })
+        };
+        Some(AliasPairCounts {
+            references: rows.refs.len(),
+            local_pairs: local as usize,
+            global_pairs: ((weighted - diag) / 2) as usize,
+        })
     }
 
     /// The memoized-entry slow path: lazy-regime memo lookup, or the

@@ -61,6 +61,9 @@ pub use analysis::{AliasAnalysis, AlwaysAlias, Level, NoAlias, Tbaa};
 pub use compiled::{CompiledAliasEngine, CompiledStats, DENSE_LIMIT};
 pub use memo::Memo;
 pub use merge::World;
-pub use pairs::{count_alias_pairs, count_alias_pairs_with_threads, AliasPairCounts};
+pub use pairs::{
+    census_alias_pairs, census_alias_pairs_with_threads, count_alias_pairs,
+    count_alias_pairs_rows, count_alias_pairs_with_threads, AliasPairCounts, CensusReport,
+};
 pub use steensgaard::Steensgaard;
 pub use taken::FieldTakenSets;

@@ -9,10 +9,25 @@
 //! enumeration tiles the upper-triangular pair space across a scoped
 //! thread pool. Counts are pure sums of pure queries, so the result is
 //! deterministic at any thread count.
+//!
+//! Two census paths produce the same counts:
+//!
+//! * [`count_alias_pairs`] — the scalar walk: one
+//!   [`may_alias_uncached`](AliasAnalysis::may_alias_uncached) query per
+//!   upper-triangular pair. Works against any analysis; kept as the
+//!   lazy-regime fallback and the differential oracle.
+//! * [`census_alias_pairs`] — the word-parallel kernel: when the
+//!   [`CompiledAliasEngine`] is in the dense regime, the answers already
+//!   sit in its bit matrix, so the census AND-masks each reference's
+//!   matrix row against per-function and upper-triangular word masks and
+//!   sums `count_ones()` — 64 pair verdicts per instruction (see
+//!   [`CompiledAliasEngine::dense_census`]). Exact count equality with
+//!   the scalar walk is enforced by `tests/census_differential.rs`.
 
 use crate::analysis::AliasAnalysis;
+use crate::compiled::CompiledAliasEngine;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tbaa_ir::ir::Program;
+use tbaa_ir::ir::{HeapRefRows, Program};
 use tbaa_ir::path::ApId;
 use tbaa_ir::FuncId;
 
@@ -72,16 +87,22 @@ pub fn count_alias_pairs_with_threads(
     analysis: &(dyn AliasAnalysis + Sync),
     threads: usize,
 ) -> AliasPairCounts {
-    // Distinct (function, ap) reference expressions.
-    let mut refs: Vec<(FuncId, ApId)> = Vec::new();
-    {
-        let mut seen = std::collections::HashSet::new();
-        for (f, ap, _is_store) in prog.heap_ref_sites() {
-            if seen.insert((f, ap)) {
-                refs.push((f, ap));
-            }
-        }
-    }
+    count_alias_pairs_rows(prog, &prog.heap_ref_rows(), analysis, threads)
+}
+
+/// The scalar pair walk over precomputed reference rows: one
+/// [`may_alias_uncached`](AliasAnalysis::may_alias_uncached) query per
+/// upper-triangular pair. This is the lazy-regime fallback of
+/// [`census_alias_pairs`] and the differential oracle for
+/// [`CompiledAliasEngine::dense_census`]; separating row collection
+/// lets benchmarks time the two pair kernels on identical inputs.
+pub fn count_alias_pairs_rows(
+    prog: &Program,
+    rows: &HeapRefRows,
+    analysis: &(dyn AliasAnalysis + Sync),
+    threads: usize,
+) -> AliasPairCounts {
+    let refs: Vec<(FuncId, ApId)> = rows.iter().collect();
     let n = refs.len();
     let count_row = |i: usize| -> (usize, usize) {
         let (fi, ai) = refs[i];
@@ -130,6 +151,55 @@ pub fn count_alias_pairs_with_threads(
         references: n,
         local_pairs: local,
         global_pairs: global,
+    }
+}
+
+/// How a [`census_alias_pairs`] call was answered, for metrics: exactly
+/// one of `dense_rows` / `fallback_pairs` is non-zero (unless the
+/// program has no references at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CensusReport {
+    /// The counts (identical on either path).
+    pub counts: AliasPairCounts,
+    /// Matrix rows popcounted by the word-parallel kernel (0 when the
+    /// scalar fallback ran).
+    pub dense_rows: u64,
+    /// Upper-triangular pair probes walked by the scalar fallback (0
+    /// when the dense kernel ran).
+    pub fallback_pairs: u64,
+}
+
+/// [`count_alias_pairs`] routed through the word-parallel kernel: uses
+/// [`CompiledAliasEngine::dense_census`] when the engine is in the
+/// dense regime, and falls back to the scalar walk (lazy regime, or
+/// references interned after the engine compiled). Counts are exactly
+/// equal on both paths. Uses every available core.
+pub fn census_alias_pairs(prog: &Program, engine: &CompiledAliasEngine) -> CensusReport {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    census_alias_pairs_with_threads(prog, engine, threads)
+}
+
+/// [`census_alias_pairs`] with an explicit worker count; any value
+/// produces identical counts.
+pub fn census_alias_pairs_with_threads(
+    prog: &Program,
+    engine: &CompiledAliasEngine,
+    threads: usize,
+) -> CensusReport {
+    let rows = prog.heap_ref_rows();
+    if let Some(counts) = engine.dense_census(&rows, threads) {
+        return CensusReport {
+            counts,
+            dense_rows: rows.references() as u64,
+            fallback_pairs: 0,
+        };
+    }
+    let counts = count_alias_pairs_rows(prog, &rows, engine, threads);
+    let n = rows.references() as u64;
+    CensusReport {
+        counts,
+        dense_rows: 0,
+        fallback_pairs: n * n.saturating_sub(1) / 2,
     }
 }
 
@@ -197,6 +267,72 @@ mod tests {
         for t in [2, 3, 8, 64] {
             assert_eq!(count_alias_pairs_with_threads(&p, &ftd, t), serial);
         }
+    }
+
+    #[test]
+    fn census_matches_scalar_walk() {
+        let p = prog();
+        for level in Level::ALL {
+            for world in [World::Closed, World::Open] {
+                let tbaa = std::sync::Arc::new(Tbaa::build(&p, level, world));
+                let engine = crate::compiled::CompiledAliasEngine::compile(&p, tbaa.clone());
+                let oracle = count_alias_pairs_with_threads(&p, tbaa.as_ref(), 1);
+                for t in [1, 2, 8] {
+                    let report = census_alias_pairs_with_threads(&p, &engine, t);
+                    assert_eq!(report.counts, oracle, "{level} {world:?} threads={t}");
+                    assert_eq!(report.dense_rows, oracle.references as u64);
+                    assert_eq!(report.fallback_pairs, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn census_counts_multiplicity_across_three_functions() {
+        // The same global path `t.f` is referenced from three separate
+        // procedures plus the module body: the (f,a)×(g,a) cross pairs
+        // number C(4,2) = 6, which a suffix *union* (one bit per path,
+        // no multiplicity) would undercount. This pins the bit-sliced
+        // suffix counts.
+        let p = compile_to_ir(
+            "MODULE M;
+             TYPE T = OBJECT f: INTEGER; END;
+             VAR t: T;
+             PROCEDURE A (): INTEGER = BEGIN RETURN t.f END A;
+             PROCEDURE B (): INTEGER = BEGIN RETURN t.f END B;
+             PROCEDURE C (): INTEGER = BEGIN RETURN t.f END C;
+             VAR x: INTEGER;
+             BEGIN
+               t := NEW(T);
+               t.f := 1;
+               x := A() + B() + C();
+             END M.",
+        )
+        .unwrap();
+        for level in Level::ALL {
+            let tbaa = std::sync::Arc::new(Tbaa::build(&p, level, World::Closed));
+            let engine = crate::compiled::CompiledAliasEngine::compile(&p, tbaa.clone());
+            let oracle = count_alias_pairs_with_threads(&p, tbaa.as_ref(), 1);
+            let report = census_alias_pairs_with_threads(&p, &engine, 1);
+            assert_eq!(report.counts, oracle, "{level}");
+            assert!(
+                oracle.global_pairs >= 6,
+                "expected at least the six t.f cross pairs, got {oracle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn census_falls_back_in_lazy_regime() {
+        let p = prog();
+        let tbaa = std::sync::Arc::new(Tbaa::build(&p, Level::TypeDecl, World::Closed));
+        let engine = crate::compiled::CompiledAliasEngine::compile_with_dense_limit(&p, tbaa, 0);
+        let report = census_alias_pairs_with_threads(&p, &engine, 2);
+        let oracle = count_alias_pairs(&p, &Tbaa::build(&p, Level::TypeDecl, World::Closed));
+        assert_eq!(report.counts, oracle);
+        assert_eq!(report.dense_rows, 0);
+        let n = oracle.references as u64;
+        assert_eq!(report.fallback_pairs, n * (n - 1) / 2);
     }
 
     #[test]

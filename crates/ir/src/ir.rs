@@ -589,6 +589,68 @@ impl Program {
         }
         out
     }
+
+    /// [`Self::heap_ref_sites`] deduplicated into per-function row
+    /// ranges: each function's *distinct* reference paths, sorted by
+    /// `ApId` within the function, functions in `FuncId` order. This is
+    /// the shape the bulk pair census consumes (`tbaa::pairs`): the
+    /// ranges become per-function bit masks over `ApId` space, and the
+    /// sort makes the strictly-above triangular mask well defined.
+    pub fn heap_ref_rows(&self) -> HeapRefRows {
+        let mut rows = HeapRefRows::default();
+        let mut group: Vec<ApId> = Vec::new();
+        for fid in self.func_ids() {
+            group.clear();
+            for block in &self.func(fid).blocks {
+                for instr in &block.instrs {
+                    match instr {
+                        Instr::LoadMem { ap, hidden, .. } if !hidden => group.push(*ap),
+                        Instr::StoreMem { ap, .. } => group.push(*ap),
+                        _ => {}
+                    }
+                }
+            }
+            if group.is_empty() {
+                continue;
+            }
+            group.sort_unstable();
+            group.dedup();
+            let start = rows.refs.len() as u32;
+            rows.refs.extend_from_slice(&group);
+            rows.funcs.push((fid, start, rows.refs.len() as u32));
+        }
+        rows
+    }
+}
+
+/// Distinct heap reference expressions grouped by function — the row
+/// layout of [`Program::heap_ref_rows`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapRefRows {
+    /// Distinct reference `ApId`s, grouped per function, ascending
+    /// within each group.
+    pub refs: Vec<ApId>,
+    /// `(function, start, end)` half-open ranges into
+    /// [`HeapRefRows::refs`], in `FuncId` order; functions with no
+    /// references are omitted.
+    pub funcs: Vec<(FuncId, u32, u32)>,
+}
+
+impl HeapRefRows {
+    /// Total distinct `(function, path)` reference expressions — the
+    /// `references` column of the paper's Table 5.
+    pub fn references(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Iterates `(function, path)` pairs in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, ApId)> + '_ {
+        self.funcs.iter().flat_map(move |&(f, s, e)| {
+            self.refs[s as usize..e as usize]
+                .iter()
+                .map(move |&ap| (f, ap))
+        })
+    }
 }
 
 #[cfg(test)]

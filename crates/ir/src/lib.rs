@@ -34,7 +34,7 @@ pub mod path;
 pub mod pretty;
 pub mod symbols;
 
-pub use ir::{Function, Instr, Program};
+pub use ir::{Function, HeapRefRows, Instr, Program};
 pub use lower::{FuncEffects, FuncLowering, ModuleLowerer};
 pub use path::{AccessPath, ApId, ApTable, ApView, FuncId, VarId};
 pub use symbols::{Symbol, SymbolTable};

@@ -18,6 +18,7 @@
 //! exhaust their retries return a structured
 //! `{"ok":false,"error":{"kind":"unavailable",..}}` reply.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -380,12 +381,12 @@ impl Router {
 struct RouterService(Arc<RouterState>);
 
 impl LineService for RouterService {
-    fn handle(&self, line: &str) -> String {
-        route_line(&self.0, line)
+    fn handle(&self, line: &str, out: &mut String) {
+        route_line(&self.0, line, out);
     }
 
-    fn handle_batch(&self, lines: Vec<String>) -> Vec<String> {
-        route_batch(&self.0, lines)
+    fn handle_batch(&self, lines: &[String], out: &mut String) {
+        route_batch(&self.0, lines, out);
     }
 
     fn draining(&self) -> bool {
@@ -404,14 +405,14 @@ impl LineService for RouterService {
 
 /// The content key a `load` request addresses, mirroring the session
 /// store's identity rules (the router never compiles anything).
-fn load_key(source: &Option<String>, bench: &Option<String>, scale: u32) -> String {
+fn load_key(source: &Option<Cow<'_, str>>, bench: &Option<Cow<'_, str>>, scale: u32) -> String {
     match (source, bench) {
         (Some(src), None) => SessionKey::Source {
             hash: content_hash(src.as_bytes()),
         }
         .display(),
         (None, Some(name)) => SessionKey::Bench {
-            name: name.clone(),
+            name: name.to_string(),
             scale,
         }
         .display(),
@@ -422,43 +423,44 @@ fn load_key(source: &Option<String>, bench: &Option<String>, scale: u32) -> Stri
 /// Replaces the value of an existing `session` field in place,
 /// preserving field order — the whole trick behind byte-identical
 /// proxied replies.
-fn set_session(v: &mut Value, sid: &str) {
+fn set_session(v: &mut Value<'_>, sid: &str) {
     if let Value::Object(fields) = v {
         for (k, val) in fields.iter_mut() {
-            if k == "session" {
-                *val = Value::Str(sid.to_string());
+            if k.as_ref() == "session" {
+                *val = Value::Str(sid.to_string().into());
             }
         }
     }
 }
 
-fn unavailable_reply(shard: usize, attempts: u32) -> String {
+fn unavailable_reply(shard: usize, attempts: u32, out: &mut String) {
     error_reply(
         "unavailable",
         &format!("shard {shard} backend unavailable after {attempts} attempts"),
     )
-    .encode()
+    .encode_into(out);
 }
 
-fn route_line(state: &Arc<RouterState>, line: &str) -> String {
+fn route_line(state: &Arc<RouterState>, line: &str, out: &mut String) {
     let t0 = Instant::now();
-    let reply = route_inner(state, line);
+    route_inner(state, line, out);
     state
         .metrics
         .histogram("router.request_us", LATENCY_US_BUCKETS)
         .observe_duration(t0.elapsed());
-    reply
 }
 
-fn route_inner(state: &Arc<RouterState>, line: &str) -> String {
+fn route_inner(state: &Arc<RouterState>, line: &str, out: &mut String) {
     let req = match decode_request(line) {
         Err(ProtoError::Json(e)) => {
             state.metrics.counter("router.requests.invalid").inc();
-            return error_reply("parse", &e.to_string()).encode();
+            error_reply("parse", &e.to_string()).encode_into(out);
+            return;
         }
         Err(ProtoError::Invalid(m)) => {
             state.metrics.counter("router.requests.invalid").inc();
-            return error_reply("proto", &m).encode();
+            error_reply("proto", &m).encode_into(out);
+            return;
         }
         Ok(req) => req,
     };
@@ -472,31 +474,33 @@ fn route_inner(state: &Arc<RouterState>, line: &str) -> String {
             ref bench,
             scale,
             ..
-        } => route_load(state, line, &load_key(source, bench, scale)),
+        } => route_load(state, line, &load_key(source, bench, scale), out),
         Request::Alias { ref session, .. }
         | Request::Pairs { ref session, .. }
-        | Request::Rle { ref session, .. } => route_query(state, line, session),
-        Request::Unload { ref session } => route_unload(state, session),
-        Request::Stats => route_stats(state),
+        | Request::Rle { ref session, .. } => route_query(state, line, session, out),
+        Request::Unload { ref session } => route_unload(state, session, out),
+        Request::Stats => route_stats(state, out),
         Request::Shutdown => {
             state.request_shutdown();
-            ok_reply(vec![("draining", Value::Bool(true))]).encode()
+            ok_reply(vec![("draining", Value::Bool(true))]).encode_into(out);
         }
     }
 }
 
-fn route_load(state: &Arc<RouterState>, line: &str, key: &str) -> String {
+fn route_load(state: &Arc<RouterState>, line: &str, key: &str, out: &mut String) {
     let shard = state.ring.shard_of(key);
     let owned_line = line.to_string();
     let raw = match call_shard(state, shard, &|| owned_line.clone()) {
         Ok(raw) => raw,
-        Err(attempts) => return unavailable_reply(shard, attempts),
+        Err(attempts) => return unavailable_reply(shard, attempts, out),
     };
     let Ok(mut v) = parse(&raw) else {
-        return raw; // backend always emits valid JSON; pass through defensively
+        out.push_str(&raw); // backend always emits valid JSON; pass through defensively
+        return;
     };
     if v.get("ok").and_then(Value::as_bool) != Some(true) {
-        return raw; // structured errors (compile, no_bench) pass through verbatim
+        out.push_str(&raw); // structured errors (compile, no_bench) pass through verbatim
+        return;
     }
     let backend_sid = v
         .get("session")
@@ -526,10 +530,10 @@ fn route_load(state: &Arc<RouterState>, line: &str, key: &str) -> String {
         rsid
     };
     set_session(&mut v, &rsid);
-    v.encode()
+    v.encode_into(out);
 }
 
-fn route_query(state: &Arc<RouterState>, line: &str, rsid: &str) -> String {
+fn route_query(state: &Arc<RouterState>, line: &str, rsid: &str, out: &mut String) {
     let known = {
         let table = state.sessions.lock().expect("sessions poisoned");
         table.by_sid.contains_key(rsid)
@@ -537,19 +541,25 @@ fn route_query(state: &Arc<RouterState>, line: &str, rsid: &str) -> String {
     if !known {
         // Match the backend's reply byte-for-byte so clients cannot tell
         // the router from a single daemon.
-        return error_reply("no_session", &format!("no live session `{rsid}`")).encode();
+        error_reply("no_session", &format!("no live session `{rsid}`")).encode_into(out);
+        return;
     }
-    let Ok(parsed) = parse(line) else {
-        return error_reply("parse", "unreadable request").encode();
+    let parsed = match parse(line) {
+        Ok(parsed) => parsed.into_owned(),
+        Err(_) => {
+            error_reply("parse", "unreadable request").encode_into(out);
+            return;
+        }
     };
     let Some((shard, make_line)) = query_line_maker(state, rsid, parsed) else {
-        return error_reply("no_session", &format!("no live session `{rsid}`")).encode();
+        error_reply("no_session", &format!("no live session `{rsid}`")).encode_into(out);
+        return;
     };
     let raw = match call_shard(state, shard, &make_line) {
         Ok(raw) => raw,
-        Err(attempts) => return unavailable_reply(shard, attempts),
+        Err(attempts) => return unavailable_reply(shard, attempts, out),
     };
-    rewrite_reply_sid(raw, rsid)
+    rewrite_reply_sid(raw, rsid, out);
 }
 
 /// Builds the per-attempt request-line closure for a query: every
@@ -559,7 +569,7 @@ fn route_query(state: &Arc<RouterState>, line: &str, rsid: &str) -> String {
 fn query_line_maker(
     state: &Arc<RouterState>,
     rsid: &str,
-    parsed: Value,
+    parsed: Value<'static>,
 ) -> Option<(usize, impl Fn() -> String)> {
     let state = state.clone();
     let rsid = rsid.to_string();
@@ -582,42 +592,45 @@ fn query_line_maker(
     }))
 }
 
-/// Rewrites a reply's `session` field back to the router id. Error
-/// replies carry no `session` field and pass through untouched.
-fn rewrite_reply_sid(raw: String, rsid: &str) -> String {
-    match parse(&raw) {
-        Ok(mut v) if v.get("session").is_some() => {
+/// Rewrites a reply's `session` field back to the router id, appending
+/// the result to `out`. Error replies carry no `session` field and pass
+/// through untouched.
+fn rewrite_reply_sid(raw: String, rsid: &str, out: &mut String) {
+    if let Ok(mut v) = parse(&raw) {
+        if v.get("session").is_some() {
             set_session(&mut v, rsid);
-            v.encode()
+            v.encode_into(out);
+            return;
         }
-        _ => raw,
     }
+    out.push_str(&raw);
 }
 
-fn route_unload(state: &Arc<RouterState>, rsid: &str) -> String {
+fn route_unload(state: &Arc<RouterState>, rsid: &str, out: &mut String) {
     let entry = {
         let table = state.sessions.lock().expect("sessions poisoned");
         table.by_sid.get(rsid).cloned()
     };
     let Some(entry) = entry else {
         // The daemon answers unload of an unknown id with a calm false.
-        return ok_reply(vec![("unloaded", Value::Bool(false))]).encode();
+        ok_reply(vec![("unloaded", Value::Bool(false))]).encode_into(out);
+        return;
     };
     let line = Value::object(vec![
         ("op", Value::Str("unload".into())),
-        ("session", Value::Str(entry.backend_sid.clone())),
+        ("session", Value::Str(entry.backend_sid.as_str().into())),
     ])
     .encode();
     let raw = match call_shard(state, entry.shard, &|| line.clone()) {
         Ok(raw) => raw,
-        Err(attempts) => return unavailable_reply(entry.shard, attempts),
+        Err(attempts) => return unavailable_reply(entry.shard, attempts, out),
     };
     if parse(&raw).ok().and_then(|v| v.get("ok").and_then(Value::as_bool)) == Some(true) {
         let mut table = state.sessions.lock().expect("sessions poisoned");
         table.by_sid.remove(rsid);
         table.by_key.remove(&entry.key);
     }
-    raw
+    out.push_str(&raw);
 }
 
 /// One request/reply exchange with bounded retry. On failure the shard
@@ -793,7 +806,7 @@ fn replay_journal(state: &Arc<RouterState>, shard_idx: usize, addr: &str) {
 struct PreppedQuery {
     verb: &'static str,
     rsid: String,
-    parsed: Value,
+    parsed: Value<'static>,
 }
 
 /// Classifies a line as a pipelineable query (alias/pairs/rle on a
@@ -801,16 +814,16 @@ struct PreppedQuery {
 fn prep_query(state: &Arc<RouterState>, line: &str) -> Option<(usize, PreppedQuery)> {
     let req = decode_request(line).ok()?;
     let (verb, rsid) = match &req {
-        Request::Alias { session, .. } => ("alias", session.clone()),
-        Request::Pairs { session, .. } => ("pairs", session.clone()),
-        Request::Rle { session, .. } => ("rle", session.clone()),
+        Request::Alias { session, .. } => ("alias", session.to_string()),
+        Request::Pairs { session, .. } => ("pairs", session.to_string()),
+        Request::Rle { session, .. } => ("rle", session.to_string()),
         _ => return None,
     };
     let shard = {
         let table = state.sessions.lock().expect("sessions poisoned");
         table.by_sid.get(&rsid)?.shard
     };
-    let parsed = parse(line).ok()?;
+    let parsed = parse(line).ok()?.into_owned();
     Some((
         shard,
         PreppedQuery {
@@ -822,19 +835,24 @@ fn prep_query(state: &Arc<RouterState>, line: &str) -> Option<(usize, PreppedQue
 }
 
 /// Forwards a same-shard run of queries in one pipelined exchange:
-/// write all rewritten lines, then strictly read the replies in order.
-/// Any error fails the whole run (the caller falls back to the
-/// per-line path, which retries and recovers).
+/// write all rewritten lines, then strictly read the replies in order,
+/// appending newline-terminated replies to `out`. `batch` is the
+/// rewritten-request scratch buffer, owned by the caller and reused
+/// across runs (and shards) so steady-state proxying allocates nothing.
+/// Any error rolls `out` back and fails the whole run (the caller falls
+/// back to the per-line path, which retries and recovers).
 fn pipeline_run(
     state: &Arc<RouterState>,
     shard_idx: usize,
     run: &[PreppedQuery],
-) -> Result<Vec<String>, ()> {
+    batch: &mut String,
+    out: &mut String,
+) -> Result<(), ()> {
     let shard = &state.shards[shard_idx];
     let generation = shard.generation.load(Ordering::SeqCst);
     let mut conn = checkout(state, shard, generation).map_err(|_| ())?;
     let t0 = Instant::now();
-    let mut batch = String::new();
+    batch.clear();
     for q in run {
         let backend_sid = {
             let table = state.sessions.lock().expect("sessions poisoned");
@@ -846,7 +864,7 @@ fn pipeline_run(
         };
         let mut line = q.parsed.clone();
         set_session(&mut line, &backend_sid);
-        batch.push_str(&line.encode());
+        line.encode_into(batch);
         batch.push('\n');
     }
     {
@@ -856,9 +874,15 @@ fn pipeline_run(
             .and_then(|()| conn.writer.flush())
             .map_err(|_| ())?;
     }
-    let mut replies = Vec::with_capacity(run.len());
+    let start = out.len();
     for q in run {
-        let raw = conn.reader.read_line_strict().map_err(|_| ())?;
+        let raw = match conn.reader.read_line_strict() {
+            Ok(raw) => raw,
+            Err(_) => {
+                out.truncate(start);
+                return Err(());
+            }
+        };
         shard.requests.inc();
         shard.request_us.observe_duration(t0.elapsed());
         state
@@ -869,14 +893,17 @@ fn pipeline_run(
             .metrics
             .histogram("router.request_us", LATENCY_US_BUCKETS)
             .observe_duration(t0.elapsed());
-        replies.push(rewrite_reply_sid(raw, &q.rsid));
+        rewrite_reply_sid(raw, &q.rsid, out);
+        out.push('\n');
     }
     repool(shard, conn);
-    Ok(replies)
+    Ok(())
 }
 
-fn route_batch(state: &Arc<RouterState>, lines: Vec<String>) -> Vec<String> {
-    let mut out = Vec::with_capacity(lines.len());
+fn route_batch(state: &Arc<RouterState>, lines: &[String], out: &mut String) {
+    // Scratch buffer for rewritten backend request lines, reused across
+    // every pipelined run in the batch regardless of destination shard.
+    let mut batch = String::new();
     let mut i = 0;
     while i < lines.len() {
         if let Some((shard, first)) = prep_query(state, &lines[i]) {
@@ -891,22 +918,19 @@ fn route_batch(state: &Arc<RouterState>, lines: Vec<String>) -> Vec<String> {
                     _ => break,
                 }
             }
-            if run.len() >= 2 {
-                if let Ok(replies) = pipeline_run(state, shard, &run) {
-                    out.extend(replies);
-                    i = j;
-                    continue;
-                }
-                // Failed mid-pipeline: re-route every line of the run
-                // individually — queries are idempotent reads, and the
-                // poisoned connection was dropped with its half-read
-                // replies.
+            if run.len() >= 2 && pipeline_run(state, shard, &run, &mut batch, out).is_ok() {
+                i = j;
+                continue;
             }
+            // Failed mid-pipeline (or a singleton run): route the line
+            // individually — queries are idempotent reads, and the
+            // poisoned connection was dropped with its half-read
+            // replies.
         }
-        out.push(route_line(state, &lines[i]));
+        route_line(state, &lines[i], out);
+        out.push('\n');
         i += 1;
     }
-    out
 }
 
 // ---------------------------------------------------------------------
@@ -925,24 +949,24 @@ struct MergedStats {
 }
 
 impl MergedStats {
-    fn absorb(&mut self, snapshot: &Value) {
+    fn absorb(&mut self, snapshot: &Value<'_>) {
         if let Some(Value::Object(items)) = snapshot.get("counters") {
             for (name, v) in items {
                 if let Some(n) = v.as_i64() {
-                    *self.counters.entry(name.clone()).or_insert(0) += n;
+                    *self.counters.entry(name.to_string()).or_insert(0) += n;
                 }
             }
         }
         if let Some(Value::Object(items)) = snapshot.get("gauges") {
             for (name, v) in items {
                 if let Some(n) = v.as_i64() {
-                    *self.gauges.entry(name.clone()).or_insert(0) += n;
+                    *self.gauges.entry(name.to_string()).or_insert(0) += n;
                 }
             }
         }
         if let Some(Value::Object(items)) = snapshot.get("histograms") {
             for (name, h) in items {
-                let entry = self.histograms.entry(name.clone()).or_default();
+                let entry = self.histograms.entry(name.to_string()).or_default();
                 entry.0 += h.get("count").and_then(Value::as_i64).unwrap_or(0);
                 entry.1 += h.get("sum").and_then(Value::as_i64).unwrap_or(0);
                 if let Some(buckets) = h.get("buckets").and_then(Value::as_array) {
@@ -959,18 +983,18 @@ impl MergedStats {
         }
     }
 
-    fn render(&self) -> Value {
-        let counters: Vec<(String, Value)> = self
+    fn render(&self) -> Value<'static> {
+        let counters: Vec<(Cow<'static, str>, Value<'static>)> = self
             .counters
             .iter()
-            .map(|(k, v)| (k.clone(), Value::Int(*v)))
+            .map(|(k, v)| (k.clone().into(), Value::Int(*v)))
             .collect();
-        let gauges: Vec<(String, Value)> = self
+        let gauges: Vec<(Cow<'static, str>, Value<'static>)> = self
             .gauges
             .iter()
-            .map(|(k, v)| (k.clone(), Value::Int(*v)))
+            .map(|(k, v)| (k.clone().into(), Value::Int(*v)))
             .collect();
-        let histograms: Vec<(String, Value)> = self
+        let histograms: Vec<(Cow<'static, str>, Value<'static>)> = self
             .histograms
             .iter()
             .map(|(name, (count, sum, buckets))| {
@@ -979,7 +1003,7 @@ impl MergedStats {
                 } else {
                     *sum as f64 / *count as f64
                 };
-                let rendered: Vec<Value> = buckets
+                let rendered: Vec<Value<'static>> = buckets
                     .iter()
                     .map(|(le, n)| {
                         let le = if *le == INF_KEY {
@@ -991,7 +1015,7 @@ impl MergedStats {
                     })
                     .collect();
                 (
-                    name.clone(),
+                    name.clone().into(),
                     Value::object(vec![
                         ("count", Value::Int(*count)),
                         ("sum", Value::Int(*sum)),
@@ -1009,12 +1033,12 @@ impl MergedStats {
     }
 }
 
-fn route_stats(state: &Arc<RouterState>) -> String {
+fn route_stats(state: &Arc<RouterState>, out: &mut String) {
     let mut merged = MergedStats::default();
     let mut live = 0i64;
     let mut capacity = 0i64;
-    let mut engines: Vec<(String, Value)> = Vec::new();
-    let mut per_shard: Vec<Value> = Vec::new();
+    let mut engines: Vec<(Cow<'static, str>, Value<'static>)> = Vec::new();
+    let mut per_shard: Vec<Value<'static>> = Vec::new();
 
     // Backend sid → router sid, for the engines table.
     let reverse: HashMap<(usize, String), String> = {
@@ -1043,9 +1067,9 @@ fn route_stats(state: &Arc<RouterState>) -> String {
                     if let Some(Value::Object(items)) = v.get("engines") {
                         for (backend_sid, engine) in items {
                             if let Some(rsid) =
-                                reverse.get(&(shard.index, backend_sid.clone()))
+                                reverse.get(&(shard.index, backend_sid.to_string()))
                             {
-                                engines.push((rsid.clone(), engine.clone()));
+                                engines.push((rsid.clone().into(), engine.clone().into_owned()));
                             }
                         }
                     }
@@ -1057,8 +1081,8 @@ fn route_stats(state: &Arc<RouterState>) -> String {
         };
         per_shard.push(Value::object(vec![
             ("index", Value::Int(shard.index as i64)),
-            ("backend", Value::Str(label)),
-            ("addr", Value::Str(addr)),
+            ("backend", Value::Str(label.into())),
+            ("addr", Value::Str(addr.into())),
             ("reachable", Value::Bool(reachable)),
             ("requests", Value::Int(shard.requests.get() as i64)),
             ("request_us", shard.request_us.to_json()),
@@ -1112,5 +1136,5 @@ fn route_stats(state: &Arc<RouterState>) -> String {
         ("engines", Value::Object(engines)),
         ("router", router_section),
     ])
-    .encode()
+    .encode_into(out);
 }

@@ -185,7 +185,7 @@ impl Client {
         self.load_request(Value::object(fields))
     }
 
-    fn load_request(&mut self, req: Value) -> Result<LoadReply, ClientError> {
+    fn load_request(&mut self, req: Value<'_>) -> Result<LoadReply, ClientError> {
         match self.request_ok(&req)? {
             Reply::Loaded(r) => Ok(r),
             other => Err(Self::unexpected("load", &other)),
@@ -196,16 +196,21 @@ impl Client {
         ClientError::Protocol(format!("unexpected {verb} reply: {}", reply.raw()))
     }
 
-    fn query_base(op: &str, session: &str, level: Option<&str>, world: Option<&str>) -> Vec<(String, Value)> {
+    fn query_base<'a>(
+        op: &'a str,
+        session: &'a str,
+        level: Option<&'a str>,
+        world: Option<&'a str>,
+    ) -> Vec<(std::borrow::Cow<'a, str>, Value<'a>)> {
         let mut fields = vec![
-            ("op".to_string(), Value::Str(op.into())),
-            ("session".to_string(), Value::Str(session.into())),
+            ("op".into(), Value::Str(op.into())),
+            ("session".into(), Value::Str(session.into())),
         ];
         if let Some(l) = level {
-            fields.push(("level".to_string(), Value::Str(l.into())));
+            fields.push(("level".into(), Value::Str(l.into())));
         }
         if let Some(w) = world {
-            fields.push(("world".to_string(), Value::Str(w.into())));
+            fields.push(("world".into(), Value::Str(w.into())));
         }
         fields
     }
@@ -222,12 +227,15 @@ impl Client {
     ) -> Result<AliasReply, ClientError> {
         let mut fields = Self::query_base("alias", session, level, world);
         fields.push((
-            "pairs".to_string(),
+            "pairs".into(),
             Value::Array(
                 pairs
                     .iter()
                     .map(|(a, b)| {
-                        Value::Array(vec![Value::Str(a.clone()), Value::Str(b.clone())])
+                        Value::Array(vec![
+                            Value::Str(a.as_str().into()),
+                            Value::Str(b.as_str().into()),
+                        ])
                     })
                     .collect(),
             ),

@@ -11,13 +11,22 @@
 //!   the integration tests compare raw reply bytes;
 //! * the decoder accepts arbitrary standard JSON (nesting, all escape
 //!   forms including `\uXXXX` surrogate pairs) and reports the byte
-//!   offset of the first error.
+//!   offset of the first error;
+//! * strings and object keys are [`Cow`]s borrowing from the input:
+//!   escape-free strings (the overwhelming protocol case — ops, session
+//!   ids, access paths) decode with **zero copies**, and encoding via
+//!   [`Value::encode_into`] appends to a caller-owned buffer so the hot
+//!   path allocates nothing per reply.
 
+use std::borrow::Cow;
 use std::fmt;
+use std::fmt::Write as _;
 
-/// A JSON value. Objects keep their key order.
+/// A JSON value borrowing string payloads from the decoded input where
+/// possible. Objects keep their key order. `Value<'static>` is the
+/// fully-owned form (see [`Value::into_owned`]).
 #[derive(Debug, Clone, PartialEq)]
-pub enum Value {
+pub enum Value<'a> {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -26,30 +35,56 @@ pub enum Value {
     Int(i64),
     /// Any other number.
     Float(f64),
-    /// A string.
-    Str(String),
+    /// A string — borrowed from the input when it decoded escape-free.
+    Str(Cow<'a, str>),
     /// An array.
-    Array(Vec<Value>),
+    Array(Vec<Value<'a>>),
     /// An object, in insertion order.
-    Object(Vec<(String, Value)>),
+    Object(Vec<(Cow<'a, str>, Value<'a>)>),
 }
 
-impl Value {
-    /// Builds an object from `(key, value)` pairs, preserving order.
-    pub fn object(pairs: Vec<(&str, Value)>) -> Value {
-        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+impl<'a> Value<'a> {
+    /// Builds an object from `(key, value)` pairs, preserving order. The
+    /// keys are borrowed as-is — no per-key allocation.
+    pub fn object(pairs: Vec<(&'a str, Value<'a>)>) -> Value<'a> {
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (Cow::Borrowed(k), v))
+                .collect(),
+        )
     }
 
     /// Looks up a key in an object.
-    pub fn get(&self, key: &str) -> Option<&Value> {
+    pub fn get(&self, key: &str) -> Option<&Value<'a>> {
         match self {
             Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
+    /// Removes and returns a key's value from an object, so callers can
+    /// move decoded `Cow` payloads out without cloning.
+    pub fn take(&mut self, key: &str) -> Option<Value<'a>> {
+        match self {
+            Value::Object(pairs) => {
+                let i = pairs.iter().position(|(k, _)| k == key)?;
+                Some(pairs.remove(i).1)
+            }
+            _ => None,
+        }
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string payload as a `Cow`, consuming the value.
+    pub fn into_str(self) -> Option<Cow<'a, str>> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
@@ -83,42 +118,67 @@ impl Value {
     }
 
     /// The element list, if this is an array.
-    pub fn as_array(&self) -> Option<&[Value]> {
+    pub fn as_array(&self) -> Option<&[Value<'a>]> {
         match self {
             Value::Array(a) => Some(a),
             _ => None,
         }
     }
 
-    /// Encodes the value as compact JSON (no whitespace).
+    /// Detaches the value from whatever input it borrowed.
+    pub fn into_owned(self) -> Value<'static> {
+        match self {
+            Value::Null => Value::Null,
+            Value::Bool(b) => Value::Bool(b),
+            Value::Int(i) => Value::Int(i),
+            Value::Float(f) => Value::Float(f),
+            Value::Str(s) => Value::Str(Cow::Owned(s.into_owned())),
+            Value::Array(items) => {
+                Value::Array(items.into_iter().map(Value::into_owned).collect())
+            }
+            Value::Object(pairs) => Value::Object(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| (Cow::Owned(k.into_owned()), v.into_owned()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Encodes the value as compact JSON (no whitespace) into a fresh
+    /// string. Prefer [`Value::encode_into`] on hot paths.
     pub fn encode(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out);
+        self.encode_into(&mut out);
         out
     }
 
-    fn write(&self, out: &mut String) {
+    /// Appends the compact JSON encoding to `out` — the zero-allocation
+    /// path when the caller reuses the buffer across replies.
+    pub fn encode_into(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
             Value::Bool(true) => out.push_str("true"),
             Value::Bool(false) => out.push_str("false"),
-            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
             Value::Float(f) => {
                 if f.is_finite() {
-                    out.push_str(&format!("{f}"));
+                    let _ = write!(out, "{f}");
                 } else {
                     // JSON has no Inf/NaN; null is the interoperable choice.
                     out.push_str("null");
                 }
             }
-            Value::Str(s) => write_string(s, out),
+            Value::Str(s) => write_json_string(s, out),
             Value::Array(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write(out);
+                    item.encode_into(out);
                 }
                 out.push(']');
             }
@@ -128,9 +188,9 @@ impl Value {
                     if i > 0 {
                         out.push(',');
                     }
-                    write_string(k, out);
+                    write_json_string(k, out);
                     out.push(':');
-                    v.write(out);
+                    v.encode_into(out);
                 }
                 out.push('}');
             }
@@ -138,7 +198,10 @@ impl Value {
     }
 }
 
-fn write_string(s: &str, out: &mut String) {
+/// Appends `s` as a JSON string literal (quotes and escapes included).
+/// Shared by the `Value` encoder and the direct-write reply paths so
+/// every emitter escapes identically — the byte-stability invariant.
+pub fn write_json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -147,7 +210,9 @@ fn write_string(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
@@ -178,9 +243,11 @@ impl std::error::Error for JsonError {}
 /// legitimate protocol frame.
 pub const MAX_DEPTH: usize = 128;
 
-/// Parses one JSON document; trailing non-whitespace is an error.
-pub fn parse(input: &str) -> Result<Value, JsonError> {
+/// Parses one JSON document; trailing non-whitespace is an error. The
+/// returned value borrows escape-free strings from `input`.
+pub fn parse(input: &str) -> Result<Value<'_>, JsonError> {
     let mut p = Parser {
+        src: input,
         bytes: input.as_bytes(),
         pos: 0,
         depth: 0,
@@ -195,6 +262,7 @@ pub fn parse(input: &str) -> Result<Value, JsonError> {
 }
 
 struct Parser<'a> {
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
     depth: usize,
@@ -227,7 +295,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn eat_lit(&mut self, lit: &str, v: Value) -> Result<Value, JsonError> {
+    fn eat_lit(&mut self, lit: &str, v: Value<'a>) -> Result<Value<'a>, JsonError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
@@ -236,7 +304,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, JsonError> {
+    fn value(&mut self) -> Result<Value<'a>, JsonError> {
         match self.peek() {
             Some(b'n') => self.eat_lit("null", Value::Null),
             Some(b't') => self.eat_lit("true", Value::Bool(true)),
@@ -258,7 +326,7 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
-    fn array(&mut self) -> Result<Value, JsonError> {
+    fn array(&mut self) -> Result<Value<'a>, JsonError> {
         self.expect(b'[')?;
         self.enter()?;
         let mut items = Vec::new();
@@ -284,7 +352,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<Value, JsonError> {
+    fn object(&mut self) -> Result<Value<'a>, JsonError> {
         self.expect(b'{')?;
         self.enter()?;
         let mut pairs = Vec::new();
@@ -315,15 +383,36 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, JsonError> {
+    /// Decodes a string literal. The fast path scans bytes until the
+    /// closing quote and returns a borrow of the input — zero copies for
+    /// escape-free strings. Only on the first backslash does it fall to
+    /// the allocating slow path, seeded with the already-scanned prefix.
+    fn string(&mut self) -> Result<Cow<'a, str>, JsonError> {
         self.expect(b'"')?;
-        let mut s = String::new();
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    let s = &self.src[start..self.pos];
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                Some(b'\\') => break,
+                Some(c) if c < 0x20 => return Err(self.err("unescaped control character")),
+                // Input is &str: bytes ≥ 0x80 are inside multi-byte chars,
+                // none of which can be `"`, `\` or a control byte — so a
+                // byte-at-a-time scan never splits a char boundary here.
+                Some(_) => self.pos += 1,
+            }
+        }
+        let mut s = String::from(&self.src[start..self.pos]);
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(s);
+                    return Ok(Cow::Owned(s));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
@@ -366,17 +455,11 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(c) if c < 0x20 => return Err(self.err("unescaped control character")),
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so slicing on
-                    // the next char boundary is safe).
-                    let rest = &self.bytes[self.pos..];
-                    let s_rest = std::str::from_utf8(rest).map_err(|_| {
-                        self.err("invalid utf-8 in string")
-                    })?;
-                    let c = s_rest.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
-                        return Err(self.err("unescaped control character"));
-                    }
+                    // Consume one UTF-8 scalar (input is &str, so the next
+                    // char boundary is well-defined).
+                    let c = self.src[self.pos..].chars().next().unwrap();
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -396,7 +479,7 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
-    fn number(&mut self) -> Result<Value, JsonError> {
+    fn number(&mut self) -> Result<Value<'a>, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -422,7 +505,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = &self.src[start..self.pos];
         if !fractional {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Int(i));
@@ -473,6 +556,58 @@ mod tests {
     }
 
     #[test]
+    fn escape_free_strings_decode_zero_copy() {
+        let src = r#"{"op":"alias","session":"s-1","aps":["g.next","t.f"]}"#;
+        let v = parse(src).unwrap();
+        let range = src.as_ptr() as usize..src.as_ptr() as usize + src.len();
+        // Every string payload AND every object key must borrow from `src`.
+        fn walk<'a>(v: &'a Value<'_>, sink: &mut Vec<&'a Cow<'a, str>>) {
+            match v {
+                Value::Str(s) => sink.push(s),
+                Value::Array(items) => items.iter().for_each(|i| walk(i, sink)),
+                Value::Object(pairs) => pairs.iter().for_each(|(k, v)| {
+                    sink.push(k);
+                    walk(v, sink);
+                }),
+                _ => {}
+            }
+        }
+        let mut strings = Vec::new();
+        walk(&v, &mut strings);
+        assert_eq!(strings.len(), 7, "3 keys + 4 string payloads");
+        for s in strings {
+            assert!(matches!(s, Cow::Borrowed(_)), "{s:?} should be borrowed");
+            assert!(
+                range.contains(&(s.as_ptr() as usize)),
+                "{s:?} should point into the input"
+            );
+        }
+        // A single escape falls back to an owned copy — of that string only.
+        let esc = parse(r#"{"a":"x\ny","b":"plain"}"#).unwrap();
+        assert!(matches!(esc.get("a"), Some(Value::Str(Cow::Owned(_)))));
+        assert!(matches!(esc.get("b"), Some(Value::Str(Cow::Borrowed(_)))));
+    }
+
+    #[test]
+    fn take_moves_values_out() {
+        let mut v = parse(r#"{"op":"load","source":"MODULE M; END M."}"#).unwrap();
+        let op = v.take("op").unwrap();
+        assert_eq!(op.as_str(), Some("load"));
+        assert!(v.take("op").is_none(), "take removes the pair");
+        assert!(v.get("source").is_some(), "other keys survive");
+    }
+
+    #[test]
+    fn into_owned_detaches_from_input() {
+        let owned = {
+            let src = String::from(r#"{"k":"v","a":["x"]}"#);
+            parse(&src).unwrap().into_owned()
+        };
+        assert_eq!(owned.get("k").and_then(Value::as_str), Some("v"));
+        assert_eq!(owned.encode(), r#"{"k":"v","a":["x"]}"#);
+    }
+
+    #[test]
     fn string_escapes_round_trip() {
         let s = "line\nquote\"back\\slash\ttab\u{1}bell";
         let enc = Value::Str(s.into()).encode();
@@ -502,6 +637,8 @@ mod tests {
             "\"unterminated", "[1,]",
             "\"\\ud83d\"", // lone high surrogate
             "{\"a\":1,}",
+            "\"ctrl\u{1}char\"",
+            "\"esc\\n then ctrl\u{1}\"",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }

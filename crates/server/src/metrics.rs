@@ -134,7 +134,7 @@ impl Histogram {
     /// and the non-empty `[le, n]` buckets. Public so aggregators (the
     /// router's per-shard stats) can render histograms outside a
     /// [`Registry`] snapshot.
-    pub fn to_json(&self) -> Value {
+    pub fn to_json(&self) -> Value<'static> {
         let count = self.count();
         let sum = self.sum();
         let mean = if count == 0 {
@@ -233,7 +233,7 @@ impl Registry {
     /// Snapshots every instrument into one JSON object:
     /// `{"counters":{..},"gauges":{..},"histograms":{..}}`, each section
     /// in registration order.
-    pub fn snapshot(&self) -> Value {
+    pub fn snapshot(&self) -> Value<'static> {
         let items = self.items.lock().expect("registry poisoned");
         let mut counters = Vec::new();
         let mut gauges = Vec::new();
@@ -241,10 +241,10 @@ impl Registry {
         for (name, inst) in items.iter() {
             match inst {
                 Instrument::Counter(c) => {
-                    counters.push((name.clone(), Value::Int(c.get() as i64)));
+                    counters.push((name.clone().into(), Value::Int(c.get() as i64)));
                 }
-                Instrument::Gauge(g) => gauges.push((name.clone(), Value::Int(g.get()))),
-                Instrument::Histogram(h) => histograms.push((name.clone(), h.to_json())),
+                Instrument::Gauge(g) => gauges.push((name.clone().into(), Value::Int(g.get()))),
+                Instrument::Histogram(h) => histograms.push((name.clone().into(), h.to_json())),
             }
         }
         Value::Object(vec![

@@ -331,14 +331,20 @@ impl DualListener {
 /// into reply lines. Implementations must be callable from many worker
 /// threads at once.
 pub trait LineService: Send + Sync + 'static {
-    /// Handles one request line, returning the reply line (no newline).
-    fn handle(&self, line: &str) -> String;
+    /// Handles one request line, appending the reply line (no newline)
+    /// to `out`. The buffer is owned by the connection worker and reused
+    /// across requests, so steady-state replies allocate nothing.
+    fn handle(&self, line: &str, out: &mut String);
 
-    /// Handles a batch of pipelined request lines in order. The default
+    /// Handles a batch of pipelined request lines in order, appending
+    /// one newline-terminated reply per line to `out`. The default
     /// serves them one at a time; a proxy can override this to forward
     /// same-destination runs in one exchange.
-    fn handle_batch(&self, lines: Vec<String>) -> Vec<String> {
-        lines.iter().map(|l| self.handle(l)).collect()
+    fn handle_batch(&self, lines: &[String], out: &mut String) {
+        for l in lines {
+            self.handle(l, out);
+            out.push('\n');
+        }
     }
 
     /// Whether the service wants the accept loop stopped and
@@ -438,6 +444,10 @@ fn serve_connection(conn: Conn, service: &dyn LineService, opts: ServeOptions) {
     let mut partial_since: Option<Instant> = None;
     // When draining after shutdown, the moment of the last served line.
     let mut drain_since: Option<Instant> = None;
+    // Reused across iterations: the batch vector and the reply buffer
+    // reach steady-state capacity once, then the loop stops allocating.
+    let mut batch: Vec<String> = Vec::new();
+    let mut out = String::new();
 
     loop {
         match reader.tick() {
@@ -446,7 +456,7 @@ fn serve_connection(conn: Conn, service: &dyn LineService, opts: ServeOptions) {
                 // Collect whatever the peer has already pipelined into one
                 // batch; `buffered_line` never touches the socket, so this
                 // adds no latency for one-line-at-a-time clients.
-                let mut batch: Vec<String> = Vec::new();
+                batch.clear();
                 if !line.trim().is_empty() {
                     batch.push(line);
                 }
@@ -463,17 +473,26 @@ fn serve_connection(conn: Conn, service: &dyn LineService, opts: ServeOptions) {
                 if batch.is_empty() {
                     continue;
                 }
-                let replies = service.handle_batch(batch);
-                let mut bytes = Vec::new();
-                for reply in &replies {
-                    bytes.extend_from_slice(reply.as_bytes());
-                    bytes.push(b'\n');
-                }
-                if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
+                out.clear();
+                service.handle_batch(&batch, &mut out);
+                if writer
+                    .write_all(out.as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
                     return; // peer gone mid-reply
                 }
                 if service.draining() {
-                    drain_since = Some(Instant::now());
+                    // The grace window is measured from the first moment
+                    // this connection observed the drain — NOT reset per
+                    // served line — so shutdown is bounded even under
+                    // continuous traffic (a killed-but-thread-backed
+                    // backend must actually stop answering, or fault
+                    // injection upstream never sees it die).
+                    let since = *drain_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > opts.drain_grace {
+                        return;
+                    }
                 }
             }
             Ok(Tick::Idle(has_partial)) => {
@@ -505,8 +524,9 @@ mod tests {
 
     struct Echo;
     impl LineService for Echo {
-        fn handle(&self, line: &str) -> String {
-            format!("echo:{line}")
+        fn handle(&self, line: &str, out: &mut String) {
+            out.push_str("echo:");
+            out.push_str(line);
         }
         fn draining(&self) -> bool {
             false

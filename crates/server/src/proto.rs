@@ -18,6 +18,12 @@
 //! compile failures additionally carry the front end's structured
 //! diagnostics (`phase`, byte `span`, `message` — the same data
 //! `Pipeline::run` returns in-process).
+//!
+//! [`Request`] borrows its string payloads from the request line — a
+//! decoded `alias` batch allocates only its pair `Vec`, never copies of
+//! the access paths or session id.
+
+use std::borrow::Cow;
 
 use mini_m3::Diagnostics;
 use tbaa::analysis::Level;
@@ -33,15 +39,16 @@ pub const DEFAULT_LEVEL: Level = Level::SmFieldTypeRefs;
 /// Default world assumption when a request omits `world`.
 pub const DEFAULT_WORLD: World = World::Closed;
 
-/// A decoded request.
+/// A decoded request, borrowing strings from the request line where the
+/// decoder could (escape-free payloads — the common case).
 #[derive(Debug, Clone, PartialEq)]
-pub enum Request {
+pub enum Request<'a> {
     /// Compile a program into a session (idempotent per content).
     Load {
         /// Inline MiniM3 source (exclusive with `bench`).
-        source: Option<String>,
+        source: Option<Cow<'a, str>>,
         /// A `tbaa-benchsuite` program name (exclusive with `source`).
-        bench: Option<String>,
+        bench: Option<Cow<'a, str>>,
         /// Workload scale for benchsuite programs.
         scale: u32,
         /// Whether the reply should list the addressable access paths.
@@ -50,18 +57,18 @@ pub enum Request {
     /// One or more `may_alias` queries against a session.
     Alias {
         /// Session id from `load`.
-        session: String,
+        session: Cow<'a, str>,
         /// Analysis precision.
         level: Level,
         /// World assumption.
         world: World,
         /// Access-path pairs, e.g. `[["t.f","u.f"]]`.
-        pairs: Vec<(String, String)>,
+        pairs: Vec<(Cow<'a, str>, Cow<'a, str>)>,
     },
     /// Table-5 style static pair counts for a session.
     Pairs {
         /// Session id from `load`.
-        session: String,
+        session: Cow<'a, str>,
         /// Analysis precision.
         level: Level,
         /// World assumption.
@@ -70,7 +77,7 @@ pub enum Request {
     /// Run RLE on a copy of the session's program; return static stats.
     Rle {
         /// Session id from `load`.
-        session: String,
+        session: Cow<'a, str>,
         /// Analysis precision.
         level: Level,
         /// World assumption.
@@ -81,7 +88,7 @@ pub enum Request {
     /// Drop a session from the cache.
     Unload {
         /// Session id from `load`.
-        session: String,
+        session: Cow<'a, str>,
     },
     /// Drain in-flight requests and exit.
     Shutdown,
@@ -137,14 +144,13 @@ pub fn world_name(world: World) -> &'static str {
     }
 }
 
-fn str_field(v: &Value, key: &str) -> Result<String, ProtoError> {
-    v.get(key)
-        .and_then(Value::as_str)
-        .map(str::to_string)
+fn take_str<'a>(v: &mut Value<'a>, key: &str) -> Result<Cow<'a, str>, ProtoError> {
+    v.take(key)
+        .and_then(Value::into_str)
         .ok_or_else(|| ProtoError::Invalid(format!("missing or non-string `{key}`")))
 }
 
-fn level_field(v: &Value) -> Result<Level, ProtoError> {
+fn level_field(v: &Value<'_>) -> Result<Level, ProtoError> {
     match v.get("level") {
         None | Some(Value::Null) => Ok(DEFAULT_LEVEL),
         Some(Value::Str(s)) => {
@@ -154,7 +160,7 @@ fn level_field(v: &Value) -> Result<Level, ProtoError> {
     }
 }
 
-fn world_field(v: &Value) -> Result<World, ProtoError> {
+fn world_field(v: &Value<'_>) -> Result<World, ProtoError> {
     match v.get("world") {
         None | Some(Value::Null) => Ok(DEFAULT_WORLD),
         Some(Value::Str(s)) => {
@@ -164,14 +170,14 @@ fn world_field(v: &Value) -> Result<World, ProtoError> {
     }
 }
 
-/// Decodes one request line.
-pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
-    let v = parse(line).map_err(ProtoError::Json)?;
-    let op = str_field(&v, "op")?;
-    match op.as_str() {
+/// Decodes one request line. The result borrows from `line`.
+pub fn decode_request(line: &str) -> Result<Request<'_>, ProtoError> {
+    let mut v = parse(line).map_err(ProtoError::Json)?;
+    let op = take_str(&mut v, "op")?;
+    match op.as_ref() {
         "load" => {
-            let source = v.get("source").and_then(Value::as_str).map(str::to_string);
-            let bench = v.get("bench").and_then(Value::as_str).map(str::to_string);
+            let source = v.take("source").and_then(Value::into_str);
+            let bench = v.take("bench").and_then(Value::into_str);
             if source.is_some() == bench.is_some() {
                 return Err(ProtoError::Invalid(
                     "`load` takes exactly one of `source` or `bench`".into(),
@@ -200,35 +206,40 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
             })
         }
         "alias" => {
-            let session = str_field(&v, "session")?;
+            let session = take_str(&mut v, "session")?;
             let level = level_field(&v)?;
             let world = world_field(&v)?;
             let mut pairs = Vec::new();
-            match (v.get("pairs"), v.get("ap1"), v.get("ap2")) {
+            match (v.take("pairs"), v.take("ap1"), v.take("ap2")) {
                 (Some(Value::Array(items)), None, None) => {
+                    pairs.reserve(items.len());
                     for item in items {
-                        let pair = item.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
-                            ProtoError::Invalid("`pairs` entries must be [ap, ap]".into())
-                        })?;
-                        let a = pair[0].as_str().ok_or_else(|| {
+                        let pair = match item {
+                            Value::Array(a) if a.len() == 2 => a,
+                            _ => {
+                                return Err(ProtoError::Invalid(
+                                    "`pairs` entries must be [ap, ap]".into(),
+                                ))
+                            }
+                        };
+                        let mut it = pair.into_iter();
+                        let a = it.next().unwrap().into_str().ok_or_else(|| {
                             ProtoError::Invalid("access paths must be strings".into())
                         })?;
-                        let b = pair[1].as_str().ok_or_else(|| {
+                        let b = it.next().unwrap().into_str().ok_or_else(|| {
                             ProtoError::Invalid("access paths must be strings".into())
                         })?;
-                        pairs.push((a.to_string(), b.to_string()));
+                        pairs.push((a, b));
                     }
                 }
                 (None, Some(a), Some(b)) => {
-                    let (a, b) = (
-                        a.as_str().ok_or_else(|| {
-                            ProtoError::Invalid("`ap1` must be a string".into())
-                        })?,
-                        b.as_str().ok_or_else(|| {
-                            ProtoError::Invalid("`ap2` must be a string".into())
-                        })?,
-                    );
-                    pairs.push((a.to_string(), b.to_string()));
+                    let a = a.into_str().ok_or_else(|| {
+                        ProtoError::Invalid("`ap1` must be a string".into())
+                    })?;
+                    let b = b.into_str().ok_or_else(|| {
+                        ProtoError::Invalid("`ap2` must be a string".into())
+                    })?;
+                    pairs.push((a, b));
                 }
                 _ => {
                     return Err(ProtoError::Invalid(
@@ -247,18 +258,18 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
             })
         }
         "pairs" => Ok(Request::Pairs {
-            session: str_field(&v, "session")?,
+            session: take_str(&mut v, "session")?,
             level: level_field(&v)?,
             world: world_field(&v)?,
         }),
         "rle" => Ok(Request::Rle {
-            session: str_field(&v, "session")?,
+            session: take_str(&mut v, "session")?,
             level: level_field(&v)?,
             world: world_field(&v)?,
         }),
         "stats" => Ok(Request::Stats),
         "unload" => Ok(Request::Unload {
-            session: str_field(&v, "session")?,
+            session: take_str(&mut v, "session")?,
         }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtoError::Invalid(format!("unknown op `{other}`"))),
@@ -266,7 +277,7 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
 }
 
 /// The verb name a request counts under in the metrics.
-pub fn verb(req: &Request) -> &'static str {
+pub fn verb(req: &Request<'_>) -> &'static str {
     match req {
         Request::Load { .. } => "load",
         Request::Alias { .. } => "alias",
@@ -279,21 +290,22 @@ pub fn verb(req: &Request) -> &'static str {
 }
 
 /// Builds a success reply: `{"ok":true, ...fields}`.
-pub fn ok_reply(fields: Vec<(&str, Value)>) -> Value {
+pub fn ok_reply<'a>(fields: Vec<(&'a str, Value<'a>)>) -> Value<'a> {
     let mut pairs = vec![("ok", Value::Bool(true))];
     pairs.extend(fields);
     Value::object(pairs)
 }
 
 /// Builds an error reply: `{"ok":false,"error":{"kind":..,"message":..}}`.
-pub fn error_reply(kind: &str, message: &str) -> Value {
+/// Owned (`'static`) — error paths are cold, so the copies don't matter.
+pub fn error_reply(kind: &str, message: &str) -> Value<'static> {
     Value::object(vec![
         ("ok", Value::Bool(false)),
         (
             "error",
             Value::object(vec![
-                ("kind", Value::Str(kind.into())),
-                ("message", Value::Str(message.into())),
+                ("kind", Value::Str(kind.to_owned().into())),
+                ("message", Value::Str(message.to_owned().into())),
             ]),
         ),
     ])
@@ -301,16 +313,16 @@ pub fn error_reply(kind: &str, message: &str) -> Value {
 
 /// Encodes front-end diagnostics the way the wire carries them: an array
 /// of `{"phase","start","end","message"}`.
-pub fn diagnostics_json(diags: &Diagnostics) -> Value {
+pub fn diagnostics_json(diags: &Diagnostics) -> Value<'static> {
     Value::Array(
         diags
             .iter()
             .map(|d| {
                 Value::object(vec![
-                    ("phase", Value::Str(d.phase.to_string())),
+                    ("phase", Value::Str(d.phase.to_string().into())),
                     ("start", Value::Int(d.span.start as i64)),
                     ("end", Value::Int(d.span.end as i64)),
-                    ("message", Value::Str(d.message.clone())),
+                    ("message", Value::Str(d.message.clone().into())),
                 ])
             })
             .collect(),
@@ -318,7 +330,7 @@ pub fn diagnostics_json(diags: &Diagnostics) -> Value {
 }
 
 /// Builds a compile-failure reply carrying structured diagnostics.
-pub fn compile_error_reply(diags: &Diagnostics) -> Value {
+pub fn compile_error_reply(diags: &Diagnostics) -> Value<'static> {
     Value::object(vec![
         ("ok", Value::Bool(false)),
         (
@@ -327,11 +339,14 @@ pub fn compile_error_reply(diags: &Diagnostics) -> Value {
                 ("kind", Value::Str("compile".into())),
                 (
                     "message",
-                    Value::Str(format!(
-                        "source does not compile ({} diagnostic{})",
-                        diags.len(),
-                        if diags.len() == 1 { "" } else { "s" }
-                    )),
+                    Value::Str(
+                        format!(
+                            "source does not compile ({} diagnostic{})",
+                            diags.len(),
+                            if diags.len() == 1 { "" } else { "s" }
+                        )
+                        .into(),
+                    ),
                 ),
                 ("diagnostics", diagnostics_json(diags)),
             ]),
@@ -381,7 +396,7 @@ mod tests {
         .unwrap();
         match single {
             Request::Alias { pairs, level, world, .. } => {
-                assert_eq!(pairs, vec![("a.f".to_string(), "b.f".to_string())]);
+                assert_eq!(pairs, vec![("a.f".into(), "b.f".into())]);
                 assert_eq!(level, Level::TypeDecl);
                 assert_eq!(world, World::Open);
             }
@@ -390,6 +405,20 @@ mod tests {
         assert!(decode_request(r#"{"op":"alias","session":"s1"}"#).is_err());
         assert!(decode_request(r#"{"op":"alias","session":"s1","pairs":[]}"#).is_err());
         assert!(decode_request(r#"{"op":"alias","session":"s1","pairs":[["a"]]}"#).is_err());
+    }
+
+    #[test]
+    fn decoded_requests_borrow_from_the_line() {
+        let line = r#"{"op":"alias","session":"s1","pairs":[["a.f","b.f"]]}"#;
+        match decode_request(line).unwrap() {
+            Request::Alias { session, pairs, .. } => {
+                assert!(matches!(session, Cow::Borrowed(_)));
+                assert!(pairs
+                    .iter()
+                    .all(|(a, b)| matches!(a, Cow::Borrowed(_)) && matches!(b, Cow::Borrowed(_))));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

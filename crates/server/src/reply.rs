@@ -142,7 +142,7 @@ pub struct StatsReply {
     pub session_capacity: i64,
     /// The full decoded reply object (counters, gauges, histograms,
     /// engines, and — through a router — the merged `router` section).
-    pub value: Value,
+    pub value: Value<'static>,
     /// The raw reply line.
     pub raw: String,
 }
@@ -274,7 +274,7 @@ impl Reply {
                     .and_then(|s| s.get("capacity"))
                     .and_then(Value::as_i64)
                     .unwrap_or(0),
-                value: v,
+                value: v.into_owned(),
                 raw: raw.to_string(),
             }));
         }

@@ -25,11 +25,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tbaa::analysis::AliasAnalysis;
-use tbaa::count_alias_pairs;
+use std::fmt::Write as _;
+
+use tbaa::analysis::{AliasAnalysis, Level};
+use tbaa::{census_alias_pairs, World};
 use tbaa_opt::rle::run_rle;
 
-use crate::json::Value;
+use crate::json::{write_json_string, Value};
 use crate::metrics::{Registry, LATENCY_US_BUCKETS};
 use crate::net::{self, DualListener, LineService, ServeOptions};
 use crate::proto::{
@@ -219,8 +221,8 @@ struct TbaadService {
 }
 
 impl LineService for TbaadService {
-    fn handle(&self, line: &str) -> String {
-        handle_line(&self.state, line).encode()
+    fn handle(&self, line: &str, out: &mut String) {
+        handle_line(&self.state, line, out);
     }
 
     fn draining(&self) -> bool {
@@ -304,37 +306,45 @@ impl Server {
     }
 }
 
-/// Parses and dispatches one request line; never panics.
-fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
+/// Parses and dispatches one request line, appending exactly one reply
+/// line (no newline) to `out`; never panics. The buffer is reused by the
+/// connection worker across requests, so the hot verbs allocate nothing
+/// per reply.
+fn handle_line(state: &Arc<ServerState>, line: &str, out: &mut String) {
     let metrics = state.metrics();
     let inflight = metrics.gauge("inflight");
     inflight.inc();
     let t0 = Instant::now();
 
+    let start = out.len();
     let mut verb: Option<&'static str> = None;
-    let reply = match decode_request(line) {
+    match decode_request(line) {
         Err(proto::ProtoError::Json(e)) => {
             metrics.counter("requests.invalid").inc();
-            error_reply("parse", &e.to_string())
+            error_reply("parse", &e.to_string()).encode_into(out);
         }
         Err(proto::ProtoError::Invalid(m)) => {
             metrics.counter("requests.invalid").inc();
-            error_reply("proto", &m)
+            error_reply("proto", &m).encode_into(out);
         }
         Ok(req) => {
             verb = Some(proto::verb(&req));
             metrics.counter(&format!("requests.{}", proto::verb(&req))).inc();
-            match catch_unwind(AssertUnwindSafe(|| dispatch(state, req))) {
-                Ok(reply) => reply,
-                Err(payload) => {
-                    metrics.counter("requests.panics").inc();
-                    let msg = panic_message(payload.as_ref());
-                    error_reply("panic", &format!("request panicked: {msg}"))
-                }
+            if let Err(payload) =
+                catch_unwind(AssertUnwindSafe(|| dispatch(state, req, out)))
+            {
+                metrics.counter("requests.panics").inc();
+                let msg = panic_message(payload.as_ref());
+                // Drop whatever partial reply the panicking dispatch wrote.
+                out.truncate(start);
+                error_reply("panic", &format!("request panicked: {msg}")).encode_into(out);
             }
         }
-    };
-    if reply.get("ok").and_then(Value::as_bool) == Some(false) {
+    }
+    // Every error reply starts with this prefix (`error_reply` /
+    // `compile_error_reply` put `ok` first), every success reply with
+    // `{"ok":true` — so the error counter needs no reply re-parse.
+    if out[start..].starts_with(r#"{"ok":false"#) {
         metrics.counter("requests.errors").inc();
     }
     let elapsed = t0.elapsed();
@@ -349,7 +359,6 @@ fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
             .observe_duration(elapsed);
     }
     inflight.dec();
-    reply
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
@@ -365,19 +374,39 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 fn with_session(
     state: &ServerState,
     id: &str,
-    f: impl FnOnce(&Session) -> Value,
-) -> Value {
+    out: &mut String,
+    f: impl FnOnce(&Session, &mut String),
+) {
     match state.store().by_id(id) {
-        None => error_reply("no_session", &format!("no live session `{id}`")),
+        None => error_reply("no_session", &format!("no live session `{id}`")).encode_into(out),
         Some(slot) => match slot.as_ref() {
-            Ok(session) => f(session),
+            Ok(session) => f(session, out),
             // Unreachable in practice: failed compiles are never admitted.
-            Err(diags) => compile_error_reply(diags),
+            Err(diags) => compile_error_reply(diags).encode_into(out),
         },
     }
 }
 
-fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
+/// Writes the shared `{"ok":true,"session":..,"level":..,"world":..`
+/// prefix of the hot-verb replies — field order and escaping identical
+/// to what `ok_reply` + `Value::encode` produced.
+fn write_reply_head(session: &str, level: Level, world: World, out: &mut String) {
+    out.push_str(r#"{"ok":true,"session":"#);
+    write_json_string(session, out);
+    out.push_str(r#","level":"#);
+    write_json_string(proto::level_name(level), out);
+    out.push_str(r#","world":"#);
+    write_json_string(proto::world_name(world), out);
+}
+
+fn write_int_field(name: &str, v: i64, out: &mut String) {
+    out.push(',');
+    write_json_string(name, out);
+    out.push(':');
+    let _ = write!(out, "{v}");
+}
+
+fn dispatch(state: &Arc<ServerState>, req: Request<'_>, out: &mut String) {
     let metrics = state.metrics();
     match req {
         Request::Load {
@@ -392,13 +421,13 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                 _ => unreachable!("decode_request enforces exactly one"),
             };
             match loaded {
-                Err(msg) => error_reply("no_bench", &msg),
+                Err(msg) => error_reply("no_bench", &msg).encode_into(out),
                 Ok((slot, cached)) => match slot.as_ref() {
-                    Err(diags) => compile_error_reply(diags),
+                    Err(diags) => compile_error_reply(diags).encode_into(out),
                     Ok(session) => {
                         let mut fields = vec![
-                            ("session", Value::Str(session.id.clone())),
-                            ("key", Value::Str(session.key.display())),
+                            ("session", Value::Str(session.id.as_str().into())),
+                            ("key", Value::Str(session.key.display().into())),
                             ("cached", Value::Bool(cached)),
                             ("funcs", Value::Int(session.program.funcs.len() as i64)),
                             ("instrs", Value::Int(session.program.instr_count() as i64)),
@@ -414,12 +443,12 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                                     session
                                         .known_paths()
                                         .into_iter()
-                                        .map(|p| Value::Str(p.to_string()))
+                                        .map(|p| Value::Str(p.into()))
                                         .collect(),
                                 ),
                             ));
                         }
-                        ok_reply(fields)
+                        ok_reply(fields).encode_into(out);
                     }
                 },
             }
@@ -429,65 +458,76 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
             level,
             world,
             pairs,
-        } => with_session(state, &session, |s| {
+        } => with_session(state, &session, out, |s, out| {
             let engine = s.engine(level, world);
             let t0 = Instant::now();
-            let mut results = Vec::with_capacity(pairs.len());
-            for (a, b) in &pairs {
+            // Optimistic emit: write the reply head and results directly;
+            // an unknown path truncates back to `reply_start` and emits
+            // the error instead — one resolution per path either way.
+            // Echo the id the client addressed, not `s.id`: a stale id can
+            // legitimately resolve to a recompiled session of the same
+            // content (load/evict races re-admit old ids), and the reply
+            // must stay deterministic for the requester.
+            let reply_start = out.len();
+            write_reply_head(&session, level, world, out);
+            out.push_str(r#","results":["#);
+            for (i, (a, b)) in pairs.iter().enumerate() {
                 let (Some(ap_a), Some(ap_b)) = (s.resolve_path(a), s.resolve_path(b)) else {
                     let missing = if s.resolve_path(a).is_none() { a } else { b };
-                    return error_reply(
+                    out.truncate(reply_start);
+                    error_reply(
                         "unknown_path",
                         &format!(
                             "unknown access path `{missing}` ({} addressable paths in session `{}`)",
                             s.known_paths().len(),
                             s.id
                         ),
-                    );
+                    )
+                    .encode_into(out);
+                    return;
                 };
-                results.push(Value::Bool(engine.may_alias(&s.program.aps, ap_a, ap_b)));
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(if engine.may_alias(&s.program.aps, ap_a, ap_b) {
+                    "true"
+                } else {
+                    "false"
+                });
             }
+            out.push_str("]}");
             metrics
                 .histogram("query_us", LATENCY_US_BUCKETS)
                 .observe_duration(t0.elapsed());
             metrics.counter("queries.alias").add(pairs.len() as u64);
             s.note_queries_served(pairs.len() as u64);
-            // Echo the id the client addressed, not `s.id`: a stale id can
-            // legitimately resolve to a recompiled session of the same
-            // content (load/evict races re-admit old ids), and the reply
-            // must stay deterministic for the requester.
-            ok_reply(vec![
-                ("session", Value::Str(session.clone())),
-                ("level", Value::Str(proto::level_name(level).into())),
-                ("world", Value::Str(proto::world_name(world).into())),
-                ("results", Value::Array(results)),
-            ])
         }),
         Request::Pairs {
             session,
             level,
             world,
-        } => with_session(state, &session, |s| {
+        } => with_session(state, &session, out, |s, out| {
             let engine = s.engine(level, world);
             let t0 = Instant::now();
-            let counts = count_alias_pairs(&s.program, &*engine);
+            let report = census_alias_pairs(&s.program, &engine);
             metrics
                 .histogram("query_us", LATENCY_US_BUCKETS)
                 .observe_duration(t0.elapsed());
-            ok_reply(vec![
-                ("session", Value::Str(session.clone())),
-                ("level", Value::Str(proto::level_name(level).into())),
-                ("world", Value::Str(proto::world_name(world).into())),
-                ("references", Value::Int(counts.references as i64)),
-                ("local_pairs", Value::Int(counts.local_pairs as i64)),
-                ("global_pairs", Value::Int(counts.global_pairs as i64)),
-            ])
+            metrics.counter("census.dense_rows").add(report.dense_rows);
+            metrics
+                .counter("census.fallback_pairs")
+                .add(report.fallback_pairs);
+            write_reply_head(&session, level, world, out);
+            write_int_field("references", report.counts.references as i64, out);
+            write_int_field("local_pairs", report.counts.local_pairs as i64, out);
+            write_int_field("global_pairs", report.counts.global_pairs as i64, out);
+            out.push('}');
         }),
         Request::Rle {
             session,
             level,
             world,
-        } => with_session(state, &session, |s| {
+        } => with_session(state, &session, out, |s, out| {
             // RLE rewrites its program clone and interns new access
             // paths; the engine answers post-compile ids through its
             // naive-oracle fallback.
@@ -498,23 +538,24 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
             metrics
                 .histogram("rle_us", LATENCY_US_BUCKETS)
                 .observe_duration(t0.elapsed());
-            ok_reply(vec![
-                ("session", Value::Str(session.clone())),
-                ("level", Value::Str(proto::level_name(level).into())),
-                ("world", Value::Str(proto::world_name(world).into())),
-                ("hoisted", Value::Int(stats.hoisted as i64)),
-                ("eliminated", Value::Int(stats.eliminated as i64)),
-                ("removed", Value::Int(stats.removed() as i64)),
-            ])
+            write_reply_head(&session, level, world, out);
+            write_int_field("hoisted", stats.hoisted as i64, out);
+            write_int_field("eliminated", stats.eliminated as i64, out);
+            write_int_field("removed", stats.removed() as i64, out);
+            out.push('}');
         }),
         Request::Stats => {
-            let engines: Vec<(String, Value)> = state
+            // Create the census counters on first `stats` so the snapshot
+            // always carries them, even before the first `pairs` request.
+            metrics.counter("census.dense_rows").add(0);
+            metrics.counter("census.fallback_pairs").add(0);
+            let engines: Vec<_> = state
                 .store()
                 .engine_stats()
                 .into_iter()
                 .map(|(id, served, s)| {
                     (
-                        id,
+                        id.into(),
                         Value::object(vec![
                             ("queries_served", Value::Int(served as i64)),
                             ("dense_pairs", Value::Int(s.dense_pairs as i64)),
@@ -545,13 +586,15 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Value {
                 ),
                 ("engines", Value::Object(engines)),
             ])
+            .encode_into(out);
         }
         Request::Unload { session } => ok_reply(vec![
             ("unloaded", Value::Bool(state.store().unload(&session))),
-        ]),
+        ])
+        .encode_into(out),
         Request::Shutdown => {
             state.request_shutdown();
-            ok_reply(vec![("draining", Value::Bool(true))])
+            ok_reply(vec![("draining", Value::Bool(true))]).encode_into(out);
         }
     }
 }
@@ -564,10 +607,17 @@ mod tests {
         Arc::new(ServerState::new(&ServerConfig::default(), Instant::now()))
     }
 
+    /// Buffered `handle_line` + reply re-parse, for test assertions.
+    fn handle(state: &Arc<ServerState>, line: &str) -> Value<'static> {
+        let mut out = String::new();
+        handle_line(state, line, &mut out);
+        crate::json::parse(&out).expect("reply is json").into_owned()
+    }
+
     const SMOKE: &str = "MODULE M; TYPE T = OBJECT f: INTEGER; END; VAR t: T; x: INTEGER; BEGIN t := NEW(T); t.f := 1; x := t.f; END M.";
 
     fn load(state: &Arc<ServerState>, source: &str) -> String {
-        let reply = handle_line(
+        let reply = handle(
             state,
             &Value::object(vec![
                 ("op", Value::Str("load".into())),
@@ -583,7 +633,7 @@ mod tests {
     fn load_alias_roundtrip_in_process() {
         let st = state();
         let sid = load(&st, SMOKE);
-        let reply = handle_line(
+        let reply = handle(
             &st,
             &format!(r#"{{"op":"alias","session":"{sid}","pairs":[["t.f","t.f"]]}}"#),
         );
@@ -596,7 +646,7 @@ mod tests {
     fn unknown_path_is_structured_error() {
         let st = state();
         let sid = load(&st, SMOKE);
-        let reply = handle_line(
+        let reply = handle(
             &st,
             &format!(r#"{{"op":"alias","session":"{sid}","ap1":"t.f","ap2":"nope"}}"#),
         );
@@ -608,7 +658,7 @@ mod tests {
     #[test]
     fn malformed_source_returns_compile_diagnostics() {
         let st = state();
-        let reply = handle_line(
+        let reply = handle(
             &st,
             &Value::object(vec![
                 ("op", Value::Str("load".into())),
@@ -625,17 +675,17 @@ mod tests {
     #[test]
     fn bad_json_and_bad_ops_reply_instead_of_dropping() {
         let st = state();
-        let r1 = handle_line(&st, "this is not json");
+        let r1 = handle(&st, "this is not json");
         assert_eq!(
             r1.get("error").unwrap().get("kind").unwrap().as_str(),
             Some("parse")
         );
-        let r2 = handle_line(&st, r#"{"op":"zap"}"#);
+        let r2 = handle(&st, r#"{"op":"zap"}"#);
         assert_eq!(
             r2.get("error").unwrap().get("kind").unwrap().as_str(),
             Some("proto")
         );
-        let r3 = handle_line(&st, r#"{"op":"alias","session":"s99","ap1":"a","ap2":"b"}"#);
+        let r3 = handle(&st, r#"{"op":"alias","session":"s99","ap1":"a","ap2":"b"}"#);
         assert_eq!(
             r3.get("error").unwrap().get("kind").unwrap().as_str(),
             Some("no_session")
@@ -666,11 +716,11 @@ mod tests {
     fn stats_reflects_requests() {
         let st = state();
         let sid = load(&st, SMOKE);
-        handle_line(
+        handle(
             &st,
             &format!(r#"{{"op":"alias","session":"{sid}","ap1":"t.f","ap2":"t.f"}}"#),
         );
-        let stats = handle_line(&st, r#"{"op":"stats"}"#);
+        let stats = handle(&st, r#"{"op":"stats"}"#);
         let counters = stats.get("stats").unwrap().get("counters").unwrap();
         assert_eq!(counters.get("requests.load").unwrap().as_i64(), Some(1));
         assert_eq!(counters.get("requests.alias").unwrap().as_i64(), Some(1));
@@ -693,7 +743,7 @@ mod tests {
         // when the first request lands — and the clamp guarantees a
         // positive value even if the two are nanoseconds apart.
         let st = state();
-        let stats = handle_line(&st, r#"{"op":"stats"}"#);
+        let stats = handle(&st, r#"{"op":"stats"}"#);
         let uptime = stats.get("uptime_us").unwrap().as_i64().unwrap();
         assert!(uptime >= 1, "uptime_us must be positive, got {uptime}");
     }
@@ -701,7 +751,7 @@ mod tests {
     #[test]
     fn shutdown_flips_the_flag() {
         let st = state();
-        let reply = handle_line(&st, r#"{"op":"shutdown"}"#);
+        let reply = handle(&st, r#"{"op":"shutdown"}"#);
         assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
         assert!(st.is_shutting_down());
     }

@@ -20,7 +20,7 @@ use tbaa_server::json::{parse, Value, MAX_DEPTH};
 ///   reparse as `Int`.
 ///
 /// Generated floats therefore always carry a real fraction.
-fn gen_value(rng: &mut XorShift64, depth: usize) -> Value {
+fn gen_value(rng: &mut XorShift64, depth: usize) -> Value<'static> {
     let scalar_only = depth >= 4;
     match rng.below(if scalar_only { 5 } else { 7 }) {
         0 => Value::Null,
@@ -32,7 +32,7 @@ fn gen_value(rng: &mut XorShift64, depth: usize) -> Value {
             let frac = [0.5, 0.25, 0.125, 0.75][rng.index(4)];
             Value::Float(rng.range_i64(-1_000_000, 1_000_000) as f64 + frac)
         }
-        4 => Value::Str(gen_string(rng)),
+        4 => Value::Str(gen_string(rng).into()),
         5 => {
             let n = rng.index(4);
             Value::Array((0..n).map(|_| gen_value(rng, depth + 1)).collect())
@@ -41,7 +41,7 @@ fn gen_value(rng: &mut XorShift64, depth: usize) -> Value {
             let n = rng.index(4);
             Value::Object(
                 (0..n)
-                    .map(|i| (format!("k{i}_{}", gen_string(rng)), gen_value(rng, depth + 1)))
+                    .map(|i| (format!("k{i}_{}", gen_string(rng)).into(), gen_value(rng, depth + 1)))
                     .collect(),
             )
         }

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Smoke-test the word-parallel pair census end to end: the daemon's
+# `pairs` verb must report exactly the counts `paper-tables` prints for
+# Table 5 (same scale, same levels), the census must run on the dense
+# kernel (stats counters prove which path answered), and the scalar
+# fallback must never be needed for benchsuite programs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TBAAD=target/release/tbaad
+TABLES=target/release/paper-tables
+if [[ ! -x "$TBAAD" ]]; then
+    echo "== building tbaad (release)"
+    cargo build --release -p tbaa-server --bin tbaad
+fi
+if [[ ! -x "$TABLES" ]]; then
+    echo "== building paper-tables (release)"
+    cargo build --release -p tbaa-bench --bin paper-tables
+fi
+
+TABLE5=$(mktemp)
+OUT=$(mktemp)
+trap 'rm -f "$TABLE5" "$OUT"; kill "$PID" 2>/dev/null || true' EXIT
+
+# Table 5 through the census kernel (paper-tables routes its pair
+# counts through census_alias_pairs); default scale is what the daemon
+# load below must match.
+"$TABLES" table5 --json > "$TABLE5"
+
+"$TBAAD" --addr 127.0.0.1:0 > "$OUT" 2>/dev/null &
+PID=$!
+
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^tbaad listening on //p' "$OUT")
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "tbaad did not start"; exit 1; }
+PORT=${ADDR##*:}
+echo "== tbaad up on port $PORT"
+
+python3 - "$PORT" "$TABLE5" <<'EOF'
+import json, socket, sys
+
+port, table5_path = int(sys.argv[1]), sys.argv[2]
+table5 = {}
+with open(table5_path) as f:
+    for line in f:
+        row = json.loads(line)
+        assert row["table"] == "table5", row
+        table5[row["name"]] = row
+assert table5, "paper-tables emitted no table5 rows"
+
+sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+io = sock.makefile("rw", newline="\n")
+
+def rpc(obj):
+    io.write(json.dumps(obj) + "\n")
+    io.flush()
+    return json.loads(io.readline())
+
+# paper-tables' Table 5: closed world, DEFAULT_SCALE = 2.
+LEVELS = [("typedecl", "TypeDecl"), ("fields", "FieldTypeDecl"), ("merges", "SMFieldTypeRefs")]
+for name, row in sorted(table5.items()):
+    load = rpc({"op": "load", "bench": name, "scale": 2})
+    assert load["ok"], load
+    sid = load["session"]
+    for wire_level, label in LEVELS:
+        reply = rpc({"op": "pairs", "session": sid, "level": wire_level, "world": "closed"})
+        assert reply["ok"], reply
+        want = row["levels"][label]
+        assert reply["references"] == row["references"], (name, label, reply, row)
+        assert reply["local_pairs"] == want["local_pairs"], (name, label, reply, want)
+        assert reply["global_pairs"] == want["global_pairs"], (name, label, reply, want)
+    print(f"  {name}: {row['references']} refs, 3 levels match table5")
+
+stats = rpc({"op": "stats"})
+assert stats["ok"], stats
+counters = stats["stats"]["counters"]
+assert counters["census.dense_rows"] > 0, counters
+assert counters["census.fallback_pairs"] == 0, (
+    "benchsuite programs are dense-regime; the scalar fallback must not run: %r" % counters
+)
+print("  census.dense_rows=%d census.fallback_pairs=0" % counters["census.dense_rows"])
+
+bye = rpc({"op": "shutdown"})
+assert bye["ok"], bye
+EOF
+
+wait "$PID"
+echo "== census smoke passed (daemon pairs == paper-tables table5, dense kernel answered)"

@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy perf lints (advisory: reported, never fails the gate)"
+cargo clippy --workspace --all-targets -- -W clippy::perf || true
+
 echo "== bench targets compile (feature bench-deps)"
 cargo build --release -p tbaa-bench --benches --features bench-deps
 
@@ -30,5 +33,8 @@ scripts/router_smoke.sh
 
 echo "== incremental smoke (mutate workload, reuse + differential gates)"
 scripts/incr_smoke.sh
+
+echo "== census smoke (pairs verb == paper-tables table5, dense kernel)"
+scripts/census_smoke.sh
 
 echo "All checks passed."

@@ -57,8 +57,9 @@ impl Driver {
         self.src.read_line_blocking().expect("reply")
     }
 
-    fn stats(&mut self) -> Value {
-        parse(&self.request(r#"{"op":"stats"}"#)).expect("stats parses")
+    fn stats(&mut self) -> Value<'static> {
+        let raw = self.request(r#"{"op":"stats"}"#);
+        parse(&raw).expect("stats parses").into_owned()
     }
 
     /// Loads a content, byte-checks the reply, returns `(sid, cached)`.

@@ -136,8 +136,12 @@ fn survives_backend_kill_with_respawn_and_journal_reload() {
 
     const KILLER_CLIENTS: usize = 4;
     const ROUNDS: usize = 30;
-    // Everyone reaches the barrier after round 5; then the killer
-    // strikes while the remaining 25 rounds are still in flight.
+    // Everyone rendezvouses after round 5, the killer strikes while the
+    // clients hold at a second rendezvous, and only once the backend is
+    // fully dead (`kill_backend` joins the drained server) do the
+    // remaining 25 rounds flow. Without the second barrier the kill
+    // races the clients: fast rounds can all complete inside the drain
+    // grace window and the router never observes the death.
     let barrier = Arc::new(Barrier::new(KILLER_CLIENTS + 1));
 
     std::thread::scope(|scope| {
@@ -147,6 +151,7 @@ fn survives_backend_kill_with_respawn_and_journal_reload() {
             scope.spawn(move || {
                 barrier.wait();
                 state.kill_backend(victim);
+                barrier.wait();
             });
         }
         for c in 0..KILLER_CLIENTS {
@@ -161,7 +166,8 @@ fn survives_backend_kill_with_respawn_and_journal_reload() {
                 let mut rng = tbaa_bench::rng::XorShift64::new(0xDEAD + c as u64);
                 for round in 0..ROUNDS {
                     if round == 5 {
-                        barrier.wait();
+                        barrier.wait(); // killer is about to strike
+                        barrier.wait(); // backend is confirmed dead
                     }
                     let which = (round + c) % contents.len();
                     let content = &contents[which];
