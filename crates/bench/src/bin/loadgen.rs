@@ -17,7 +17,8 @@
 //!              [--seed S] [--benches a,b,c] [--scale N] [--mutate N]
 //!              [--server-workers N] [--server-capacity N]
 //!              [--daemon PATH | --connect HOST:PORT | --router N] [--tcp]
-//!              [--kill-backend] [--out PATH] [--smoke]
+//!              [--kill-backend] [--crash-restart N] [--journal-dir DIR]
+//!              [--out PATH] [--smoke]
 //! ```
 //!
 //! * `--mode closed` (default): each client sends one request, waits
@@ -34,6 +35,15 @@
 //! * `--kill-backend`: with `--router`, murder one backend shard
 //!   halfway through the run; the gates then also demand ≥ 1 respawn
 //!   and still zero divergences.
+//! * `--crash-restart N`: spawn `tbaad` with a durable session journal
+//!   (`--journal-dir`, defaulting to a fresh temp dir) and hard-kill it
+//!   (SIGKILL, no drain) `N` times mid-run. After each kill the daemon
+//!   is restarted over the same journal; the harness then demands that
+//!   recovery actually ran (`journal.replayed` ≥ 1), probes every
+//!   session learned before the crash — a recovered `load` must answer
+//!   `cached:true` under one of its pre-crash session ids — and keeps
+//!   the byte-for-byte differential oracle on for the traffic in every
+//!   phase. The artifact gains a `crash_restart` section.
 //! * `--mutate N`: replace the benchsuite contents with `N` superseding
 //!   versions of one program — mostly single-function edits, with
 //!   occasional whole-program rewrites — so every client keeps issuing
@@ -87,6 +97,8 @@ struct Config {
     connect: Option<String>,
     router: Option<usize>,
     kill_backend: bool,
+    crash_restart: Option<usize>,
+    journal_dir: Option<String>,
     force_tcp: bool,
     out: String,
     smoke: bool,
@@ -98,7 +110,8 @@ fn usage() -> ! {
          \u{20}                   [--chaos] [--chaos-clients N] [--sample N] [--seed S]\n\
          \u{20}                   [--benches a,b,c] [--scale N] [--mutate N] [--server-workers N]\n\
          \u{20}                   [--server-capacity N] [--daemon PATH | --connect HOST:PORT |\n\
-         \u{20}                   --router N] [--kill-backend] [--tcp] [--out PATH] [--smoke]"
+         \u{20}                   --router N] [--kill-backend] [--crash-restart N]\n\
+         \u{20}                   [--journal-dir DIR] [--tcp] [--out PATH] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -123,6 +136,8 @@ fn parse_args() -> Config {
         connect: None,
         router: None,
         kill_backend: false,
+        crash_restart: None,
+        journal_dir: None,
         force_tcp: false,
         out: "BENCH_server_load.json".into(),
         smoke: false,
@@ -173,6 +188,11 @@ fn parse_args() -> Config {
                 cfg.router = Some(take(&mut i).parse::<usize>().unwrap_or_else(|_| usage()).max(1))
             }
             "--kill-backend" => cfg.kill_backend = true,
+            "--crash-restart" => {
+                cfg.crash_restart =
+                    Some(take(&mut i).parse::<usize>().unwrap_or_else(|_| usage()).max(1))
+            }
+            "--journal-dir" => cfg.journal_dir = Some(take(&mut i)),
             "--tcp" => cfg.force_tcp = true,
             "--out" => cfg.out = take(&mut i),
             "--smoke" => cfg.smoke = true,
@@ -194,6 +214,15 @@ fn parse_args() -> Config {
     if cfg.kill_backend && cfg.router.is_none() {
         eprintln!("tbaa-loadgen: --kill-backend requires --router N");
         usage();
+    }
+    if cfg.crash_restart.is_some() {
+        if cfg.connect.is_some() || cfg.router.is_some() {
+            eprintln!("tbaa-loadgen: --crash-restart drives a spawned daemon; it cannot be combined with --connect or --router");
+            usage();
+        }
+        // A SIGKILLed daemon leaves its Unix socket file behind and the
+        // restart would fail to bind it; crash mode always talks TCP.
+        cfg.force_tcp = true;
     }
     cfg
 }
@@ -264,6 +293,9 @@ impl Daemon {
             .arg(cfg.server_capacity.to_string())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
+        if let Some(dir) = &cfg.journal_dir {
+            cmd.arg("--journal-dir").arg(dir);
+        }
         #[cfg(unix)]
         let sock_path = if cfg.force_tcp {
             None
@@ -355,6 +387,17 @@ impl Daemon {
             None => true,
             Some(c) => matches!(c.try_wait(), Ok(None)),
         }
+    }
+
+    /// Hard-kills a spawned daemon (SIGKILL on unix): no drain, no
+    /// shutdown handshake, no final journal sync — exactly the failure
+    /// the durable journal exists to survive.
+    fn hard_kill(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.child = None;
     }
 
     /// Sends `shutdown` and, for a spawned daemon, waits for a clean
@@ -543,6 +586,411 @@ fn run_open(
         }
     }
     out
+}
+
+// ---- crash-restart mode ----------------------------------------------------
+
+#[derive(Default)]
+struct CrashClientResult {
+    sent: u64,
+    replies: u64,
+    /// Requests severed by a kill: the write failed, or the connection
+    /// died before the reply arrived. Expected during a crash phase —
+    /// counted, reported, never gated.
+    truncations: u64,
+}
+
+/// Closed-loop client that expects to be cut off. A severed connection
+/// counts as a truncation rather than a divergence, and the client keeps
+/// trying to reconnect until the phase deadline so that traffic resumes
+/// the moment a restarted daemon starts listening again. Every reply
+/// that does arrive still goes through the byte-for-byte oracle.
+fn run_crash_phase(
+    endpoint: &Endpoint,
+    checker: &Arc<DiffChecker>,
+    contents: &Arc<Vec<Content>>,
+    seed: u64,
+    deadline: Instant,
+) -> CrashClientResult {
+    let mut out = CrashClientResult::default();
+    let mut gen = WorkloadGen::new(seed, contents.clone());
+    while Instant::now() < deadline {
+        let Ok(wire) = endpoint.connect() else {
+            // Daemon down (or not yet back up): retry until the deadline.
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        let Ok(mut writer) = wire.try_clone() else {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        let mut src = LineSource::new(wire);
+        while Instant::now() < deadline {
+            let req = gen.next(checker.oracle());
+            if writer.write_line(&req.line).is_err() {
+                out.truncations += 1;
+                break;
+            }
+            out.sent += 1;
+            let raw = match src.read_line_blocking() {
+                Ok(l) => l,
+                Err(_) => {
+                    out.truncations += 1;
+                    break;
+                }
+            };
+            out.replies += 1;
+            if let CheckOutcome::Loaded { sid } = checker.check(&req.kind, &raw) {
+                if let ReqKind::Load { key } = &req.kind {
+                    gen.observe_load(key, &sid);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[derive(Default)]
+struct ProbeResult {
+    /// Sessions learned before the crash that were probed after it.
+    probed: u64,
+    /// Probes answered `cached:true` under a pre-crash session id.
+    matched: u64,
+    /// Probes the daemon recompiled fresh (legal when the session had
+    /// been evicted before the crash, or sat past a torn journal tail).
+    recompiled: u64,
+    failures: Vec<String>,
+}
+
+/// Re-`load`s every content whose session id was learned before the
+/// kill. A recovered daemon must answer `cached:true` — the journal
+/// replay already readmitted the session — under one of the session ids
+/// the content held before the crash; a fresh id for a cached session
+/// means recovery re-minted ids and stale clients would be misrouted.
+fn probe_recovery(
+    endpoint: &Endpoint,
+    checker: &Arc<DiffChecker>,
+    contents: &Arc<Vec<Content>>,
+    phase: usize,
+) -> ProbeResult {
+    let mut out = ProbeResult::default();
+    let mut by_key: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    for (sid, key) in checker.known_sids() {
+        by_key.entry(key.display()).or_default().push(sid);
+    }
+    let Ok(wire) = endpoint.connect() else {
+        out.failures
+            .push(format!("phase {phase}: cannot connect for recovery probes"));
+        return out;
+    };
+    let Ok(mut writer) = wire.try_clone() else {
+        out.failures
+            .push(format!("phase {phase}: cannot clone probe connection"));
+        return out;
+    };
+    let mut src = LineSource::new(wire);
+    for content in contents.iter() {
+        let key = content.key();
+        let Some(known) = by_key.get(&key.display()) else {
+            continue; // never successfully loaded before the crash
+        };
+        out.probed += 1;
+        let line = content.load_line();
+        if writer.write_line(&line).is_err() {
+            out.failures
+                .push(format!("phase {phase}: probe of {} severed", key.display()));
+            return out;
+        }
+        let raw = match src.read_line_blocking() {
+            Ok(l) => l,
+            Err(e) => {
+                out.failures.push(format!(
+                    "phase {phase}: probe of {} got no reply ({e})",
+                    key.display()
+                ));
+                return out;
+            }
+        };
+        // The usual differential check first (facts, key, crossed sids).
+        let outcome = checker.check(&ReqKind::Load { key: key.clone() }, &raw);
+        let CheckOutcome::Loaded { sid } = outcome else {
+            if matches!(outcome, CheckOutcome::Mismatch) {
+                out.failures.push(format!(
+                    "phase {phase}: probe of {} diverged from the oracle",
+                    key.display()
+                ));
+            }
+            continue;
+        };
+        let cached = parse(&raw)
+            .ok()
+            .and_then(|v| v.get("cached").and_then(Value::as_bool))
+            .unwrap_or(false);
+        if !cached {
+            out.recompiled += 1;
+            continue;
+        }
+        if known.contains(&sid) {
+            out.matched += 1;
+        } else {
+            out.failures.push(format!(
+                "phase {phase}: recovered session for {} answered under {sid}, \
+                 not one of its pre-crash ids {known:?}",
+                key.display()
+            ));
+        }
+    }
+    out
+}
+
+/// The `--crash-restart N` driver: N+1 traffic phases against a spawned
+/// `tbaad` with a durable journal, hard-killing the daemon between
+/// phases and gating each restart on real recovery.
+fn run_crash_restart(
+    cfg: &Config,
+    contents: &Arc<Vec<Content>>,
+    checker: &Arc<DiffChecker>,
+) -> ExitCode {
+    let restarts = cfg.crash_restart.unwrap_or(1);
+    let mut cfg = cfg.clone();
+    let journal_dir = cfg.journal_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("tbaa-loadgen-journal-{}", std::process::id()))
+            .display()
+            .to_string()
+    });
+    cfg.journal_dir = Some(journal_dir.clone());
+    let phases = restarts + 1;
+    let phase_len = (cfg.duration / phases as u32).max(Duration::from_secs(1));
+    eprintln!(
+        "tbaa-loadgen: crash-restart mode, {restarts} kill(s), {phases} phases of {phase_len:?}, journal at {journal_dir}"
+    );
+
+    let started = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+    let mut totals = CrashClientResult::default();
+    let mut probes = ProbeResult::default();
+    let mut replayed_by_restart: Vec<i64> = Vec::new();
+    let mut final_stats: Option<Value<'static>> = None;
+
+    for phase in 0..phases {
+        let mut daemon = match Daemon::spawn(&cfg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("tbaa-loadgen: phase {phase}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let endpoint = daemon.endpoint.clone();
+        if phase > 0 {
+            // The restart must have actually recovered from the journal,
+            // and every surviving session must answer under its old id.
+            let replayed = poll_stats_once(&endpoint)
+                .map_or(0, |s| counter_of(&s, "journal.replayed"));
+            replayed_by_restart.push(replayed);
+            if replayed == 0 {
+                failures.push(format!(
+                    "phase {phase}: restarted daemon replayed nothing from the journal"
+                ));
+            }
+            let p = probe_recovery(&endpoint, checker, contents, phase);
+            if p.matched == 0 && p.probed > 0 {
+                failures.push(format!(
+                    "phase {phase}: no probe came back cached under a pre-crash session id"
+                ));
+            }
+            probes.probed += p.probed;
+            probes.matched += p.matched;
+            probes.recompiled += p.recompiled;
+            probes.failures.extend(p.failures);
+        }
+
+        let deadline = Instant::now() + phase_len;
+        let mut handles = Vec::new();
+        for c in 0..cfg.clients {
+            let endpoint = endpoint.clone();
+            let checker = checker.clone();
+            let contents = contents.clone();
+            let seed = cfg.seed.wrapping_add((phase as u64) << 16).wrapping_add(1 + c as u64);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("loadgen-crash-{phase}-{c}"))
+                    .spawn(move || run_crash_phase(&endpoint, &checker, &contents, seed, deadline))
+                    .expect("spawn crash client"),
+            );
+        }
+        if phase < phases - 1 {
+            // Mid-phase, murder the daemon: SIGKILL, no drain, no final
+            // fsync. The journal must carry every acknowledged load over.
+            std::thread::sleep(phase_len / 2);
+            eprintln!("tbaa-loadgen: phase {phase}: hard-killing the daemon");
+            daemon.hard_kill();
+        }
+        for h in handles {
+            let r = h.join().expect("crash client panicked");
+            totals.sent += r.sent;
+            totals.replies += r.replies;
+            totals.truncations += r.truncations;
+        }
+        if phase == phases - 1 {
+            final_stats = poll_stats_once(&endpoint);
+            if let Err(e) = daemon.shutdown() {
+                failures.push(e);
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    // ---- gates ----
+    let mismatches = checker.mismatches();
+    if mismatches > 0 {
+        failures.push(format!("{mismatches} differential mismatch(es)"));
+        for d in checker.details() {
+            eprintln!("tbaa-loadgen: MISMATCH: {d}");
+        }
+    }
+    for f in &probes.failures {
+        eprintln!("tbaa-loadgen: PROBE: {f}");
+    }
+    if !probes.failures.is_empty() {
+        failures.push(format!(
+            "{} recovery probe failure(s)",
+            probes.failures.len()
+        ));
+    }
+    let server_panics = final_stats
+        .as_ref()
+        .map_or(-1, |s| counter_of(s, "requests.panics"));
+    if server_panics != 0 {
+        failures.push(format!("server reported {server_panics} request panics"));
+    }
+    let incr_hits = final_stats
+        .as_ref()
+        .map_or(0, |s| counter_of(s, "incr.func_hits"));
+    if cfg.mutate.is_some() && incr_hits == 0 {
+        failures.push(
+            "mutate mode restarted but recovery reused nothing (incr.func_hits == 0)".into(),
+        );
+    }
+
+    // ---- artifact ----
+    let atom = |n: u64| Value::Int(n as i64);
+    let report = Value::object(vec![
+        ("harness", Value::Str("tbaa-loadgen".into())),
+        ("host", tbaa_bench::host::host_stamp()),
+        (
+            "config",
+            Value::object(vec![
+                ("clients", Value::Int(cfg.clients as i64)),
+                ("duration_s", Value::Float(cfg.duration.as_secs_f64())),
+                ("mode", Value::Str("crash-restart".into())),
+                ("seed", Value::Int(cfg.seed as i64)),
+                (
+                    "benches",
+                    Value::Array(
+                        cfg.benches.iter().map(|b| Value::Str(b.as_str().into())).collect(),
+                    ),
+                ),
+                ("scale", Value::Int(cfg.scale as i64)),
+                (
+                    "mutate",
+                    cfg.mutate.map_or(Value::Null, |n| Value::Int(n as i64)),
+                ),
+                ("server_workers", Value::Int(cfg.server_workers as i64)),
+                ("server_capacity", Value::Int(cfg.server_capacity as i64)),
+            ]),
+        ),
+        (
+            "totals",
+            Value::object(vec![
+                ("requests_sent", atom(totals.sent)),
+                ("replies", atom(totals.replies)),
+                ("wall_s", Value::Float(wall.as_secs_f64())),
+            ]),
+        ),
+        (
+            "differential",
+            Value::object(vec![
+                ("checked", atom(checker.checked())),
+                ("mismatches", atom(mismatches)),
+            ]),
+        ),
+        (
+            "crash_restart",
+            Value::object(vec![
+                ("restarts", Value::Int(restarts as i64)),
+                ("phases", Value::Int(phases as i64)),
+                ("phase_s", Value::Float(phase_len.as_secs_f64())),
+                ("journal_dir", Value::Str(journal_dir.as_str().into())),
+                (
+                    "replayed_by_restart",
+                    Value::Array(replayed_by_restart.iter().map(|n| Value::Int(*n)).collect()),
+                ),
+                (
+                    "probes",
+                    Value::object(vec![
+                        ("probed", atom(probes.probed)),
+                        ("matched", atom(probes.matched)),
+                        ("recompiled", atom(probes.recompiled)),
+                        ("failures", Value::Int(probes.failures.len() as i64)),
+                    ]),
+                ),
+                ("truncations", atom(totals.truncations)),
+                ("incr_func_hits", Value::Int(incr_hits)),
+            ]),
+        ),
+        (
+            "server",
+            Value::object(vec![(
+                "final_stats",
+                final_stats.clone().unwrap_or(Value::Null),
+            )]),
+        ),
+        (
+            "gates",
+            Value::object(vec![
+                ("passed", Value::Bool(failures.is_empty())),
+                (
+                    "failures",
+                    Value::Array(
+                        failures.iter().map(|f| Value::Str(f.as_str().into())).collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&cfg.out, report.encode() + "\n") {
+        eprintln!("tbaa-loadgen: cannot write {}: {e}", cfg.out);
+        return ExitCode::FAILURE;
+    }
+
+    // ---- summary ----
+    eprintln!(
+        "tbaa-loadgen: crash-restart: {} replies over {} phases ({} truncations), \
+         {} checked, {} mismatches, probes {}/{} matched ({} recompiled)",
+        totals.replies,
+        phases,
+        totals.truncations,
+        checker.checked(),
+        mismatches,
+        probes.matched,
+        probes.probed,
+        probes.recompiled,
+    );
+    eprintln!(
+        "tbaa-loadgen: journal replays per restart: {replayed_by_restart:?}; incr func hits {incr_hits}"
+    );
+    eprintln!("tbaa-loadgen: wrote {}", cfg.out);
+    if failures.is_empty() {
+        eprintln!("tbaa-loadgen: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("tbaa-loadgen: GATE FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 // ---- chaos clients ---------------------------------------------------------
@@ -843,6 +1291,10 @@ fn main() -> ExitCode {
     // daemon, not their own lazy compiles.
     for c in contents.iter() {
         let _ = checker.oracle().paths(&c.key());
+    }
+
+    if cfg.crash_restart.is_some() {
+        return run_crash_restart(&cfg, &contents, &checker);
     }
 
     let mut daemon = match (&cfg.connect, cfg.router) {

@@ -982,6 +982,19 @@ impl DiffChecker {
         self.details.lock().expect("details poisoned").clone()
     }
 
+    /// Every `(sid, key)` binding learned from load replies so far.
+    /// Crash-restart harnesses replay these after a recovery: a daemon
+    /// that restored its journal must answer a re-`load` of `key` with
+    /// one of the sids previously learned for it, never a stranger's.
+    pub fn known_sids(&self) -> Vec<(String, SessionKey)> {
+        self.sids
+            .lock()
+            .expect("sids poisoned")
+            .iter()
+            .map(|(sid, key)| (sid.clone(), key.clone()))
+            .collect()
+    }
+
     fn fail(&self, detail: String) -> CheckOutcome {
         self.mismatches.fetch_add(1, Ordering::Relaxed);
         let mut d = self.details.lock().expect("details poisoned");

@@ -27,6 +27,12 @@ pub enum BackendSpec {
         workers: usize,
         /// Session capacity per backend.
         capacity: usize,
+        /// Base directory for the backends' durable session journals;
+        /// each shard journals under `<dir>/shard<i>` and self-recovers
+        /// its sessions on respawn ([`tbaa_server::journal`]). `None`
+        /// disables journaling (the router falls back to replaying its
+        /// in-memory journal after a respawn).
+        journal_dir: Option<PathBuf>,
     },
     /// Attach to already-running daemons; the router owns neither their
     /// lifecycle nor their respawn (a dead attached backend stays dead).
@@ -69,17 +75,33 @@ pub(crate) fn build_hosts(
     let mut hosts: Vec<Box<dyn BackendHost>> = Vec::with_capacity(shards);
     match spec {
         BackendSpec::InProcess { config } => {
-            for _ in 0..shards {
-                hosts.push(Box::new(InProcessHost::start(config.clone())?));
+            for shard in 0..shards {
+                // Shards must not share a journal: each gets its own
+                // subdirectory, preserved across respawns so a restarted
+                // shard recovers its own sessions.
+                let mut config = config.clone();
+                config.journal_dir = config
+                    .journal_dir
+                    .map(|base| base.join(format!("shard{shard}")));
+                hosts.push(Box::new(InProcessHost::start(config)?));
             }
         }
         BackendSpec::Spawn {
             bin,
             workers,
             capacity,
+            journal_dir,
         } => {
-            for _ in 0..shards {
-                hosts.push(Box::new(SpawnHost::start(bin.clone(), *workers, *capacity)?));
+            for shard in 0..shards {
+                let journal_dir = journal_dir
+                    .as_ref()
+                    .map(|base| base.join(format!("shard{shard}")));
+                hosts.push(Box::new(SpawnHost::start(
+                    bin.clone(),
+                    *workers,
+                    *capacity,
+                    journal_dir,
+                )?));
             }
         }
         BackendSpec::Attach { addrs } => {
@@ -156,21 +178,32 @@ struct SpawnHost {
     bin: PathBuf,
     workers: usize,
     capacity: usize,
+    journal_dir: Option<PathBuf>,
     child: Option<Child>,
     addr: String,
 }
 
 impl SpawnHost {
-    fn start(bin: PathBuf, workers: usize, capacity: usize) -> std::io::Result<SpawnHost> {
+    fn start(
+        bin: PathBuf,
+        workers: usize,
+        capacity: usize,
+        journal_dir: Option<PathBuf>,
+    ) -> std::io::Result<SpawnHost> {
+        let mut args = vec![
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--workers".to_string(),
+            workers.to_string(),
+            "--capacity".to_string(),
+            capacity.to_string(),
+        ];
+        if let Some(dir) = &journal_dir {
+            args.push("--journal-dir".to_string());
+            args.push(dir.display().to_string());
+        }
         let mut child = Command::new(&bin)
-            .args([
-                "--addr",
-                "127.0.0.1:0",
-                "--workers",
-                &workers.to_string(),
-                "--capacity",
-                &capacity.to_string(),
-            ])
+            .args(&args)
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
@@ -193,6 +226,7 @@ impl SpawnHost {
             bin,
             workers,
             capacity,
+            journal_dir,
             child: Some(child),
             addr,
         })
@@ -217,8 +251,13 @@ impl BackendHost for SpawnHost {
 
     fn respawn(&mut self) -> Result<String, String> {
         self.hard_kill();
-        let fresh = SpawnHost::start(self.bin.clone(), self.workers, self.capacity)
-            .map_err(|e| format!("respawn failed: {e}"))?;
+        let fresh = SpawnHost::start(
+            self.bin.clone(),
+            self.workers,
+            self.capacity,
+            self.journal_dir.clone(),
+        )
+        .map_err(|e| format!("respawn failed: {e}"))?;
         *self = fresh;
         Ok(self.addr.clone())
     }

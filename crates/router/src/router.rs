@@ -724,7 +724,18 @@ fn recover(state: &Arc<RouterState>, shard_idx: usize, observed_generation: u64)
         match host.respawn() {
             Ok(new_addr) => {
                 state.metrics.counter("router.respawns").inc();
-                replay_journal(state, shard_idx, &new_addr);
+                // A backend with a durable journal recovers its own
+                // sessions — with the *same* backend sids — before it
+                // accepts connections. Attaching to it is both cheaper
+                // and cleaner than re-sending every load line; the
+                // in-memory replay is the fallback for journal-less
+                // (or torn-journal) backends.
+                if backend_self_recovered(state, shard_idx, &new_addr) {
+                    state.metrics.counter("router.recoveries.attached").inc();
+                } else {
+                    state.metrics.counter("router.recoveries.replayed").inc();
+                    replay_journal(state, shard_idx, &new_addr);
+                }
                 *shard.addr.lock().expect("addr poisoned") = new_addr;
             }
             Err(_) => {
@@ -734,6 +745,50 @@ fn recover(state: &Arc<RouterState>, shard_idx: usize, observed_generation: u64)
         }
     }
     shard.generation.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Whether the freshly respawned backend at `addr` already recovered
+/// this shard's sessions from its own durable journal
+/// (`tbaad --journal-dir`). The backend replays *before* it accepts
+/// connections, and its journal guarantees the recovered sessions keep
+/// their pre-crash backend sids — so when its `journal.replayed`
+/// counter covers every session the router has mapped onto the shard,
+/// the router attaches as-is. A missing counter (no journal), a short
+/// count (torn journal), or an unreadable `stats` reply all fall back
+/// to the in-memory replay path.
+fn backend_self_recovered(state: &Arc<RouterState>, shard_idx: usize, addr: &str) -> bool {
+    let expected = {
+        let table = state.sessions.lock().expect("sessions poisoned");
+        table
+            .by_sid
+            .values()
+            .filter(|e| e.shard == shard_idx)
+            .count() as i64
+    };
+    if expected == 0 {
+        return true; // nothing to replay either way
+    }
+    let Some(stats) = fetch_stats(addr, state.io_timeout.min(Duration::from_secs(2))) else {
+        return false;
+    };
+    let replayed = stats
+        .get("stats")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get("journal.replayed"))
+        .and_then(Value::as_i64)
+        .unwrap_or(0);
+    replayed >= expected
+}
+
+/// One `stats` round trip against a raw backend address, parsed.
+fn fetch_stats(addr: &str, timeout: Duration) -> Option<Value<'static>> {
+    let mut conn = Conn::connect_tcp(addr).ok()?;
+    conn.set_read_timeout(Some(timeout)).ok()?;
+    conn.set_write_timeout(Some(timeout)).ok()?;
+    conn.write_line(r#"{"op":"stats"}"#).ok()?;
+    let read_half = conn.try_clone().ok()?;
+    let raw = LineReader::new(read_half).read_line_strict().ok()?;
+    Some(parse(&raw).ok()?.into_owned())
 }
 
 /// Whether a backend answers a `stats` round trip within `timeout`.
@@ -790,6 +845,7 @@ fn replay_journal(state: &Arc<RouterState>, shard_idx: usize, addr: &str) {
             continue; // it compiled once; a failure here is not actionable
         }
         if let Some(backend_sid) = v.get("session").and_then(Value::as_str) {
+            state.metrics.counter("router.journal_loads_replayed").inc();
             let mut table = state.sessions.lock().expect("sessions poisoned");
             if let Some(entry) = table.by_sid.get_mut(&rsid) {
                 entry.backend_sid = backend_sid.to_string();
@@ -1115,6 +1171,25 @@ fn route_stats(state: &Arc<RouterState>, out: &mut String) {
         (
             "respawns",
             Value::Int(state.metrics.counter("router.respawns").get() as i64),
+        ),
+        (
+            "recoveries",
+            Value::object(vec![
+                (
+                    "attached",
+                    Value::Int(state.metrics.counter("router.recoveries.attached").get() as i64),
+                ),
+                (
+                    "replayed",
+                    Value::Int(state.metrics.counter("router.recoveries.replayed").get() as i64),
+                ),
+                (
+                    "journal_loads_replayed",
+                    Value::Int(
+                        state.metrics.counter("router.journal_loads_replayed").get() as i64
+                    ),
+                ),
+            ]),
         ),
         ("imbalance_pct", Value::Int(imbalance)),
         ("per_shard", Value::Array(per_shard)),

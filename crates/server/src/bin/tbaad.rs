@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N]
+//!       [--journal-dir DIR]
 //!
-//!   --addr      TCP bind address (default 127.0.0.1:4980; use :0 for
-//!               an ephemeral port — the chosen one is printed)
-//!   --socket    additionally serve a Unix-domain socket (unix only)
-//!   --workers   worker threads == max concurrent connections (default 16)
-//!   --capacity  max cached sessions before LRU eviction (default 32)
+//!   --addr         TCP bind address (default 127.0.0.1:4980; use :0 for
+//!                  an ephemeral port — the chosen one is printed)
+//!   --socket       additionally serve a Unix-domain socket (unix only)
+//!   --workers      worker threads == max concurrent connections (default 16)
+//!   --capacity     max cached sessions before LRU eviction (default 32)
+//!   --journal-dir  durable session journal: admitted loads are logged
+//!                  here and replayed on restart (crash recovery)
 //! ```
 //!
 //! On startup the daemon prints exactly one line to stdout:
@@ -47,9 +50,13 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => config.session_capacity = n,
                 _ => return usage("--capacity needs a positive integer"),
             },
+            "--journal-dir" => match value(i) {
+                Some(d) => config.journal_dir = Some(d.into()),
+                None => return usage("--journal-dir needs DIR"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N]"
+                    "usage: tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N] [--journal-dir DIR]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -90,6 +97,8 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("tbaad: {msg}");
-    eprintln!("usage: tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N]");
+    eprintln!(
+        "usage: tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N] [--journal-dir DIR]"
+    );
     ExitCode::FAILURE
 }

@@ -1,0 +1,255 @@
+//! Deterministic fault-schedule harness for journal files.
+//!
+//! Recovery edge cases — torn final records, truncations, bit-flips,
+//! duplicated sequence numbers — must be reproducible unit tests, not
+//! chaos-run coincidences. This module turns a seed into a concrete
+//! [`FaultPlan`] and applies each [`Fault`] to a journal file's bytes;
+//! the tests then assert that [`crate::journal::scan`] recovers a
+//! well-defined prefix of the original records, byte-for-byte.
+//!
+//! Faults are parameterized in *permille of the file/record span*, so
+//! the same plan applies meaningfully to journals of any size, and the
+//! exact mutation is a pure function of `(plan, file bytes)`.
+//!
+//! The RNG is a private xorshift64 rather than `tbaa_bench::rng`
+//! because `tbaa-bench` depends on this crate — the copy keeps the
+//! dependency graph acyclic while every schedule still reproduces from
+//! its printed seed.
+
+use crate::journal::{decode_record, MAGIC};
+
+/// Minimal xorshift64 (same recurrence as `tbaa_bench::rng::XorShift64`).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator; zero is mapped to a fixed odd constant.
+    pub fn new(seed: u64) -> SmallRng {
+        SmallRng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform-ish value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// One injectable journal corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Truncate the *final* record partway through: keep
+    /// `keep_permille`/1000 of its framed bytes (always at least one
+    /// byte short, so the record is torn).
+    TornTail {
+        /// Portion of the final record's bytes to keep, in permille.
+        keep_permille: u16,
+    },
+    /// Truncate the whole file at `at_permille`/1000 of its length
+    /// (an arbitrary cut — may land mid-record or mid-header).
+    Truncate {
+        /// Cut position as a permille of the file length.
+        at_permille: u16,
+    },
+    /// XOR one byte at `at_permille`/1000 of the file with `mask`.
+    BitFlip {
+        /// Flip position as a permille of the file length.
+        at_permille: u16,
+        /// Non-zero XOR mask.
+        mask: u8,
+    },
+    /// Re-append a verbatim copy of one record right after itself —
+    /// a duplicated sequence number (the benign double-append form).
+    DuplicateSeq {
+        /// Which record to duplicate, as a permille of the record count.
+        record_permille: u16,
+    },
+}
+
+/// A seeded, deterministic schedule of faults. Each fault is meant for
+/// its own pristine copy of the journal (apply → recover → assert).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The seed the schedule was derived from (printed on failure).
+    pub seed: u64,
+    /// The schedule.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Derives `n` faults from `seed`, cycling through all four kinds
+    /// so every schedule of length ≥ 4 covers each at least once.
+    pub fn schedule(seed: u64, n: usize) -> FaultPlan {
+        let mut rng = SmallRng::new(seed);
+        let faults = (0..n)
+            .map(|i| {
+                let permille = (rng.below(999) + 1) as u16;
+                match i % 4 {
+                    0 => Fault::TornTail {
+                        keep_permille: permille,
+                    },
+                    1 => Fault::Truncate {
+                        at_permille: permille,
+                    },
+                    2 => Fault::BitFlip {
+                        at_permille: permille,
+                        mask: (rng.below(255) + 1) as u8,
+                    },
+                    _ => Fault::DuplicateSeq {
+                        record_permille: permille,
+                    },
+                }
+            })
+            .collect();
+        FaultPlan { seed, faults }
+    }
+}
+
+/// Byte spans of the framed records in a journal file (checksums are
+/// *not* validated — the harness must be able to locate records it is
+/// about to corrupt, and a boundary scan only needs the length
+/// prefixes).
+pub fn record_spans(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return spans;
+    }
+    let mut pos = MAGIC.len();
+    while pos < bytes.len() {
+        let Ok((_, consumed)) = decode_record(&bytes[pos..]) else {
+            break;
+        };
+        spans.push(pos..pos + consumed);
+        pos += consumed;
+    }
+    spans
+}
+
+/// Applies one fault to journal file bytes in place. A fault that has
+/// nothing to bite on (empty journal, no records) leaves the bytes
+/// unchanged — recovery of an untouched file is trivially divergence-free.
+pub fn apply(bytes: &mut Vec<u8>, fault: &Fault) {
+    let spans = record_spans(bytes);
+    match fault {
+        Fault::TornTail { keep_permille } => {
+            let Some(last) = spans.last() else { return };
+            let keep = (last.len() * *keep_permille as usize / 1000).min(last.len() - 1);
+            bytes.truncate(last.start + keep);
+        }
+        Fault::Truncate { at_permille } => {
+            let cut = bytes.len() * *at_permille as usize / 1000;
+            bytes.truncate(cut);
+        }
+        Fault::BitFlip { at_permille, mask } => {
+            if bytes.is_empty() {
+                return;
+            }
+            let at = (bytes.len() * *at_permille as usize / 1000).min(bytes.len() - 1);
+            bytes[at] ^= if *mask == 0 { 1 } else { *mask };
+        }
+        Fault::DuplicateSeq { record_permille } => {
+            if spans.is_empty() {
+                return;
+            }
+            let idx = (spans.len() * *record_permille as usize / 1000).min(spans.len() - 1);
+            let span = spans[idx].clone();
+            let copy = bytes[span.clone()].to_vec();
+            // Insert the copy immediately after the original.
+            let tail = bytes.split_off(span.end);
+            bytes.extend_from_slice(&copy);
+            bytes.extend_from_slice(&tail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{encode_record, scan, Record, RecordOp};
+
+    fn journal_bytes(n: u64) -> Vec<u8> {
+        let mut buf = MAGIC.to_vec();
+        for seq in 1..=n {
+            encode_record(
+                &Record {
+                    seq,
+                    op: RecordOp::Load {
+                        sid: format!("s{seq}"),
+                        line: format!(r#"{{"op":"load","bench":"b{seq}","scale":1}}"#),
+                    },
+                },
+                &mut buf,
+            );
+        }
+        buf
+    }
+
+    #[test]
+    fn spans_cover_the_file_exactly() {
+        let bytes = journal_bytes(5);
+        let spans = record_spans(&bytes);
+        assert_eq!(spans.len(), 5);
+        assert_eq!(spans[0].start, MAGIC.len());
+        assert_eq!(spans.last().unwrap().end, bytes.len());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_cover_all_kinds() {
+        let a = FaultPlan::schedule(7, 8);
+        let b = FaultPlan::schedule(7, 8);
+        assert_eq!(a.faults, b.faults);
+        for want in 0..4usize {
+            assert!(
+                a.faults.iter().enumerate().any(|(i, _)| i % 4 == want),
+                "kind {want} missing from the schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn every_fault_recovers_to_a_prefix() {
+        let pristine = journal_bytes(9);
+        let original = scan(&pristine).records;
+        let plan = FaultPlan::schedule(0xFA57, 16);
+        for (i, fault) in plan.faults.iter().enumerate() {
+            let mut bytes = pristine.clone();
+            apply(&mut bytes, fault);
+            let recovered = scan(&bytes);
+            let n = recovered.records.len();
+            assert!(
+                recovered.records == original[..n],
+                "seed {} fault {i} ({fault:?}): recovered records are not a prefix",
+                plan.seed
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_seq_is_skipped_not_torn() {
+        let pristine = journal_bytes(4);
+        let mut bytes = pristine.clone();
+        apply(
+            &mut bytes,
+            &Fault::DuplicateSeq {
+                record_permille: 500,
+            },
+        );
+        let recovered = scan(&bytes);
+        assert_eq!(recovered.records, scan(&pristine).records);
+        assert_eq!(recovered.dup_skipped, 1);
+        assert!(!recovered.torn);
+    }
+}

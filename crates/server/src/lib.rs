@@ -37,6 +37,14 @@
 //! * [`net`] — the shared transport layer (duplex connections, line
 //!   readers, dual TCP/Unix listeners, the accept-loop/worker-pool
 //!   skeleton) used by both `tbaad` and `tbaa-router`;
+//! * [`journal`] — the durable session journal (`--journal-dir`):
+//!   checksummed write-ahead log of admitted loads, compaction, and
+//!   crash recovery that replays the surviving prefix through the
+//!   store's incremental compiler;
+//! * [`fault`] — seeded fault-schedule harness that injects torn
+//!   records, truncations, bit-flips, and duplicate sequence numbers
+//!   into journal files, so recovery edge cases are deterministic
+//!   unit tests;
 //! * [`reply`] — typed reply decoding ([`Reply`], [`ErrCode`]);
 //! * [`server`] — request dispatch, `catch_unwind` request isolation,
 //!   graceful drain on `shutdown`, on top of [`net::serve`];
@@ -47,6 +55,8 @@
 //! `tbaac query --bench ktree alias n.left n.right`.
 
 pub mod client;
+pub mod fault;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod net;

@@ -31,6 +31,7 @@ use tbaa::analysis::{AliasAnalysis, Level};
 use tbaa::{census_alias_pairs, World};
 use tbaa_opt::rle::run_rle;
 
+use crate::journal::Journal;
 use crate::json::{write_json_string, Value};
 use crate::metrics::{Registry, LATENCY_US_BUCKETS};
 use crate::net::{self, DualListener, LineService, ServeOptions};
@@ -57,6 +58,11 @@ pub struct ServerConfig {
     /// How long a draining worker waits for already-sent bytes to
     /// surface after `shutdown` before closing its connection.
     pub drain_grace: Duration,
+    /// Directory for the durable session journal ([`crate::journal`]).
+    /// `None` (the default) disables journaling; with a directory set,
+    /// admitted loads are logged and replayed on restart, so a daemon
+    /// killed mid-run comes back with the same session ids.
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 /// The old name of [`ServerConfig`].
@@ -72,6 +78,7 @@ impl Default for ServerConfig {
             session_capacity: 32,
             io_timeout: Duration::from_secs(10),
             drain_grace: Duration::from_millis(500),
+            journal_dir: None,
         }
     }
 }
@@ -130,6 +137,12 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Durable session-journal directory (enables crash recovery).
+    pub fn journal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.journal_dir = Some(dir.into());
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> ServerConfig {
         self.config
@@ -139,6 +152,7 @@ impl ServerConfigBuilder {
 /// Shared server state: sessions, metrics, the shutdown flag.
 pub struct ServerState {
     store: SessionStore,
+    journal: Option<Journal>,
     metrics: Arc<Registry>,
     shutdown: AtomicBool,
     started: Instant,
@@ -148,14 +162,46 @@ impl ServerState {
     /// `started` is the uptime epoch: [`Server::bind`] passes the moment
     /// the listeners were bound, so `stats` reports a meaningful
     /// `uptime_us` from the very first request.
-    fn new(config: &ServerConfig, started: Instant) -> Self {
+    ///
+    /// With a `journal_dir` configured this is also where crash
+    /// recovery happens — the surviving journal prefix is replayed
+    /// through the store (and its incremental compiler) *before* any
+    /// listener accepts a connection, so the first client already sees
+    /// the pre-crash session ids.
+    fn new(config: &ServerConfig, started: Instant) -> std::io::Result<Self> {
         let metrics = Arc::new(Registry::new());
-        ServerState {
-            store: SessionStore::new(config.session_capacity, metrics.clone()),
+        let store = SessionStore::new(config.session_capacity, metrics.clone());
+        let journal = match &config.journal_dir {
+            None => None,
+            Some(dir) => {
+                let (journal, recovered) = Journal::open(dir, &metrics)?;
+                let replayed = metrics.counter("journal.replayed");
+                let failures = metrics.counter("journal.replay_failures");
+                for load in recovered {
+                    match store.restore_line(&load.sid, &load.line) {
+                        Ok(()) => replayed.inc(),
+                        // A journaled load that no longer compiles (or
+                        // names a vanished bench) is dropped, never fatal:
+                        // recovery serves the sessions that still make
+                        // sense and counts the rest.
+                        Err(_) => failures.inc(),
+                    }
+                }
+                Some(journal)
+            }
+        };
+        Ok(ServerState {
+            store,
+            journal,
             metrics,
             shutdown: AtomicBool::new(false),
             started,
-        }
+        })
+    }
+
+    /// The durable session journal, when `--journal-dir` is configured.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// Whether shutdown has been requested.
@@ -245,7 +291,7 @@ impl Server {
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         let started = Instant::now();
         let listener = DualListener::bind(&config.addr, config.unix_path.as_deref())?;
-        let state = Arc::new(ServerState::new(&config, started));
+        let state = Arc::new(ServerState::new(&config, started)?);
         Ok(Server {
             config,
             state,
@@ -425,6 +471,26 @@ fn dispatch(state: &Arc<ServerState>, req: Request<'_>, out: &mut String) {
                 Ok((slot, cached)) => match slot.as_ref() {
                     Err(diags) => compile_error_reply(diags).encode_into(out),
                     Ok(session) => {
+                        // Journal the admission (hits too: replay order
+                        // is how recovery reproduces LRU recency). The
+                        // line is re-canonicalized so replay never sees
+                        // client-specific extras like `"paths":true`.
+                        if let Some(journal) = state.journal() {
+                            let line = match (&source, &bench) {
+                                (Some(src), None) => Value::object(vec![
+                                    ("op", Value::Str("load".into())),
+                                    ("source", Value::Str(src.as_ref().into())),
+                                ]),
+                                (None, Some(name)) => Value::object(vec![
+                                    ("op", Value::Str("load".into())),
+                                    ("bench", Value::Str(name.as_ref().into())),
+                                    ("scale", Value::Int(scale as i64)),
+                                ]),
+                                _ => unreachable!("decode_request enforces exactly one"),
+                            }
+                            .encode();
+                            journal.append_load(&session.key.display(), &session.id, &line);
+                        }
                         let mut fields = vec![
                             ("session", Value::Str(session.id.as_str().into())),
                             ("key", Value::Str(session.key.display().into())),
@@ -588,12 +654,20 @@ fn dispatch(state: &Arc<ServerState>, req: Request<'_>, out: &mut String) {
             ])
             .encode_into(out);
         }
-        Request::Unload { session } => ok_reply(vec![
-            ("unloaded", Value::Bool(state.store().unload(&session))),
-        ])
-        .encode_into(out),
+        Request::Unload { session } => {
+            let unloaded = state.store().unload(&session);
+            if unloaded {
+                if let Some(journal) = state.journal() {
+                    journal.append_unload(&session);
+                }
+            }
+            ok_reply(vec![("unloaded", Value::Bool(unloaded))]).encode_into(out)
+        }
         Request::Shutdown => {
             state.request_shutdown();
+            if let Some(journal) = state.journal() {
+                journal.sync();
+            }
             ok_reply(vec![("draining", Value::Bool(true))]).encode_into(out);
         }
     }
@@ -604,7 +678,7 @@ mod tests {
     use super::*;
 
     fn state() -> Arc<ServerState> {
-        Arc::new(ServerState::new(&ServerConfig::default(), Instant::now()))
+        Arc::new(ServerState::new(&ServerConfig::default(), Instant::now()).expect("state"))
     }
 
     /// Buffered `handle_line` + reply re-parse, for test assertions.

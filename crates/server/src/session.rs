@@ -335,6 +335,73 @@ impl SessionStore {
         (slot, cached)
     }
 
+    /// Re-admits a journaled load under its *original* session id —
+    /// the replay half of crash recovery ([`crate::journal`]). The line
+    /// is a canonical `{"op":"load",…}` request; compilation routes
+    /// through the incremental cache like any other load, so recovery
+    /// cost is visible in the `incr.*` counters. Admission obeys the
+    /// normal LRU policy: replaying in journal order re-evicts exactly
+    /// what the crashed daemon had evicted. The id counter is advanced
+    /// past every restored id so future mints can never collide.
+    pub fn restore_line(&self, id: &str, line: &str) -> Result<(), String> {
+        let req = crate::proto::decode_request(line).map_err(|e| e.to_string())?;
+        let crate::proto::Request::Load { source, bench, scale, .. } = req else {
+            return Err("journal record is not a load".into());
+        };
+        match (&source, &bench) {
+            (Some(src), None) => {
+                let key = SessionKey::Source {
+                    hash: content_hash(src.as_bytes()),
+                };
+                self.restore_with(id, key, || self.compile_incr(src))
+            }
+            (None, Some(name)) => {
+                let bench = Benchmark::by_name(name)
+                    .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+                let key = SessionKey::Bench {
+                    name: name.to_string(),
+                    scale,
+                };
+                self.restore_with(id, key, || self.compile_incr(&bench.source_at_scale(scale)))
+            }
+            _ => Err("journal load has neither source nor bench".into()),
+        }
+    }
+
+    fn restore_with(
+        &self,
+        id: &str,
+        key: SessionKey,
+        compile: impl FnOnce() -> Result<Program, Diagnostics>,
+    ) -> Result<(), String> {
+        // Never re-mint a restored id, even if its session is later
+        // superseded or unloaded.
+        if let Some(n) = id.strip_prefix('s').and_then(|t| t.parse::<u64>().ok()) {
+            self.next_id.fetch_max(n + 1, Ordering::Relaxed);
+        }
+        let slot = self.sessions.get_or_build(key.clone(), || {
+            self.compiles.inc();
+            let t0 = Instant::now();
+            let compiled = compile();
+            self.compile_us.observe_duration(t0.elapsed());
+            compiled.map(|program| Session::new(id.to_string(), key.clone(), program, &self.metrics))
+        });
+        match slot.as_ref() {
+            Err(diags) => {
+                self.sessions.remove(&key);
+                Err(format!(
+                    "restored source does not compile ({} diagnostic{})",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" }
+                ))
+            }
+            Ok(session) => {
+                self.admit(key, &session.id);
+                Ok(())
+            }
+        }
+    }
+
     /// Looks a session up by client-visible id, refreshing its LRU slot.
     pub fn by_id(&self, id: &str) -> Option<Arc<SessionSlot>> {
         let key = {
@@ -534,6 +601,27 @@ mod tests {
         assert!(!store.unload(&id), "second unload is a no-op");
         assert!(store.by_id(&id).is_none());
         assert_eq!(store.live(), 0);
+    }
+
+    #[test]
+    fn restore_readmits_under_original_id_and_advances_the_counter() {
+        let store = store(8);
+        store
+            .restore_line("s7", r#"{"op":"load","bench":"ktree","scale":1}"#)
+            .expect("restore");
+        let slot = store.by_id("s7").expect("restored id resolves");
+        assert_eq!(
+            slot.as_ref().as_ref().unwrap().key.display(),
+            "bench:ktree@1"
+        );
+        // Fresh loads mint strictly past the restored watermark.
+        let (s, _) = store.load_bench("format", 1).unwrap();
+        assert_eq!(s.as_ref().as_ref().unwrap().id, "s8");
+        // Restoring broken source reports, never admits.
+        assert!(store
+            .restore_line("s9", r#"{"op":"load","source":"MODULE Broken"}"#)
+            .is_err());
+        assert!(store.by_id("s9").is_none());
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Property tests for the durable session journal's wire format:
+//! seeded encode/scan round-trips, a malformed-frame corpus, and the
+//! pin that recovery always stops *cleanly* at the first torn record —
+//! never panics, never resynchronizes past garbage.
+
+use tbaa_bench::rng::XorShift64;
+use tbaa_server::journal::{
+    decode_record, encode_record, scan, DecodeError, Record, RecordOp, FRAME_HEADER, MAGIC,
+};
+
+/// A random record: loads with adversarial strings (quotes, newlines,
+/// NULs, multibyte), unloads, and marks.
+fn random_record(rng: &mut XorShift64, seq: u64) -> Record {
+    let rand_string = |rng: &mut XorShift64| {
+        let alphabet: Vec<char> = "abc\"\\\n\x00é日🦀 {}[]:,".chars().collect();
+        let len = rng.index(24);
+        (0..len).map(|_| *rng.pick(&alphabet)).collect::<String>()
+    };
+    let op = match rng.index(4) {
+        0 | 1 => RecordOp::Load {
+            sid: format!("s{}", rng.index(1000)),
+            line: format!(
+                r#"{{"op":"load","source":{}}}"#,
+                tbaa_server::json::Value::Str(rand_string(rng).into()).encode()
+            ),
+        },
+        2 => RecordOp::Unload {
+            sid: format!("s{}", rng.index(1000)),
+        },
+        _ => RecordOp::Mark {
+            next_sid: rng.next_u64() % 10_000,
+        },
+    };
+    Record { seq, op }
+}
+
+/// Encodes `records` into a fresh journal image (magic + frames).
+fn image(records: &[Record]) -> Vec<u8> {
+    let mut buf = Vec::from(MAGIC.as_slice());
+    for rec in records {
+        encode_record(rec, &mut buf);
+    }
+    buf
+}
+
+#[test]
+fn seeded_round_trip_recovers_every_record() {
+    for seed in [1u64, 7, 42, 0xDEAD, 0xFFFF_FFFF_FFFF_FFFF] {
+        let mut rng = XorShift64::new(seed);
+        let n = 1 + rng.index(40);
+        let records: Vec<Record> = (0..n)
+            .map(|i| random_record(&mut rng, i as u64 + 1))
+            .collect();
+        let buf = image(&records);
+        let scanned = scan(&buf);
+        assert_eq!(scanned.records, records, "seed {seed}: lossless round-trip");
+        assert!(!scanned.torn, "seed {seed}: a pristine image is not torn");
+        assert_eq!(scanned.dup_skipped, 0);
+        assert_eq!(
+            scanned.valid_bytes,
+            buf.len(),
+            "seed {seed}: every byte accounted for"
+        );
+    }
+}
+
+#[test]
+fn single_record_decode_round_trips() {
+    let mut rng = XorShift64::new(99);
+    for i in 0..200 {
+        let rec = random_record(&mut rng, i + 1);
+        let mut buf = Vec::new();
+        encode_record(&rec, &mut buf);
+        let (back, used) = decode_record(&buf).expect("well-formed frame decodes");
+        assert_eq!(back, rec);
+        assert_eq!(used, buf.len(), "decode consumes exactly one frame");
+    }
+}
+
+/// The malformed-frame corpus: every trailing corruption truncates
+/// recovery to the valid prefix instead of failing it.
+#[test]
+fn malformed_tails_truncate_recovery_to_the_valid_prefix() {
+    let mut rng = XorShift64::new(5);
+    let records: Vec<Record> = (0..5).map(|i| random_record(&mut rng, i + 1)).collect();
+    let pristine = image(&records);
+
+    // Each corruption appends to (or mangles the tail of) the pristine
+    // image; scan must return the 5 intact records and flag the tear.
+    let corruptions: Vec<(&str, Vec<u8>)> = vec![
+        ("trailing garbage", {
+            let mut b = pristine.clone();
+            b.extend_from_slice(b"\xFF\xFE not a frame at all");
+            b
+        }),
+        ("short length prefix", {
+            let mut b = pristine.clone();
+            b.extend_from_slice(&[0x10, 0x00]); // 2 of the 4 length bytes
+            b
+        }),
+        ("zero-length frame", {
+            let mut b = pristine.clone();
+            b.extend_from_slice(&0u32.to_le_bytes());
+            b.extend_from_slice(&0u64.to_le_bytes());
+            b
+        }),
+        ("oversized length prefix", {
+            let mut b = pristine.clone();
+            b.extend_from_slice(&u32::MAX.to_le_bytes());
+            b.extend_from_slice(&0u64.to_le_bytes());
+            b.extend_from_slice(b"whatever");
+            b
+        }),
+        ("bad checksum", {
+            let mut b = pristine.clone();
+            let mut frame = Vec::new();
+            encode_record(&random_record(&mut rng, 6), &mut frame);
+            *frame.last_mut().unwrap() ^= 0x01; // flip a payload byte
+            b.extend_from_slice(&frame);
+            b
+        }),
+        ("checksum field itself flipped", {
+            let mut b = pristine.clone();
+            let mut frame = Vec::new();
+            encode_record(&random_record(&mut rng, 6), &mut frame);
+            frame[4] ^= 0x80; // first checksum byte
+            b.extend_from_slice(&frame);
+            b
+        }),
+        ("valid frame, garbage payload", {
+            let mut b = pristine.clone();
+            // A correctly framed, correctly checksummed payload that is
+            // not a journal record.
+            let payload = b"this is not json";
+            b.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            b.extend_from_slice(&tbaa_server::session::content_hash(payload).to_le_bytes());
+            b.extend_from_slice(payload);
+            b
+        }),
+        ("mid-record truncation", {
+            let mut b = pristine.clone();
+            let mut frame = Vec::new();
+            encode_record(&random_record(&mut rng, 6), &mut frame);
+            b.extend_from_slice(&frame[..frame.len() - 3]);
+            b
+        }),
+    ];
+    for (what, bytes) in corruptions {
+        let scanned = scan(&bytes);
+        assert_eq!(
+            scanned.records, records,
+            "{what}: the intact prefix survives"
+        );
+        assert!(scanned.torn, "{what}: the tear is reported");
+        assert!(
+            scanned.valid_bytes <= bytes.len(),
+            "{what}: valid_bytes stays in bounds"
+        );
+    }
+}
+
+/// The pin: recovery stops at the *first* torn record and never
+/// resynchronizes — well-formed records past the tear stay dead, so a
+/// recovered daemon can reason about a clean prefix, not a patchwork.
+#[test]
+fn recovery_never_resynchronizes_past_a_tear() {
+    let mut rng = XorShift64::new(17);
+    let before: Vec<Record> = (0..3).map(|i| random_record(&mut rng, i + 1)).collect();
+    let after: Vec<Record> = (0..3).map(|i| random_record(&mut rng, i + 4)).collect();
+
+    let mut bytes = image(&before);
+    // The tear: a frame whose checksum lies.
+    let mut frame = Vec::new();
+    encode_record(&random_record(&mut rng, 100), &mut frame);
+    let flip = FRAME_HEADER + frame[FRAME_HEADER..].len() / 2;
+    frame[flip] ^= 0xA5;
+    bytes.extend_from_slice(&frame);
+    // Perfectly valid records after it.
+    for rec in &after {
+        encode_record(rec, &mut bytes);
+    }
+
+    let scanned = scan(&bytes);
+    assert_eq!(
+        scanned.records, before,
+        "only the pre-tear prefix is recovered"
+    );
+    assert!(scanned.torn);
+}
+
+/// Sequence discipline: an out-of-order or repeated (but not identical)
+/// sequence number is a conflict that stops recovery; an *identical*
+/// duplicate frame (a retried write) is skipped and counted.
+#[test]
+fn duplicate_and_conflicting_sequence_numbers() {
+    let mut rng = XorShift64::new(23);
+    let a = random_record(&mut rng, 1);
+    let b = random_record(&mut rng, 2);
+
+    // Exact duplicate: skipped, not torn.
+    let mut bytes = image(std::slice::from_ref(&a));
+    let mut frame = Vec::new();
+    encode_record(&a, &mut frame);
+    bytes.extend_from_slice(&frame);
+    let mut tail = Vec::new();
+    encode_record(&b, &mut tail);
+    bytes.extend_from_slice(&tail);
+    let scanned = scan(&bytes);
+    assert_eq!(scanned.records, vec![a.clone(), b.clone()]);
+    assert_eq!(scanned.dup_skipped, 1);
+    assert!(!scanned.torn);
+
+    // Same seq, different body: a conflict — recovery stops before it.
+    let conflicting = Record {
+        seq: a.seq,
+        op: RecordOp::Unload {
+            sid: "s999".into(),
+        },
+    };
+    let mut bytes = image(std::slice::from_ref(&a));
+    let mut frame = Vec::new();
+    encode_record(&conflicting, &mut frame);
+    bytes.extend_from_slice(&frame);
+    let scanned = scan(&bytes);
+    assert_eq!(scanned.records, vec![a.clone()]);
+    assert!(scanned.torn, "a seq conflict is a tear, not a skip");
+}
+
+/// Decode errors carry the right diagnosis for each malformation.
+#[test]
+fn decode_errors_name_the_malformation() {
+    assert!(matches!(
+        decode_record(&[0x01, 0x00]),
+        Err(DecodeError::Truncated)
+    ));
+    let mut zero = Vec::new();
+    zero.extend_from_slice(&0u32.to_le_bytes());
+    zero.extend_from_slice(&0u64.to_le_bytes());
+    assert!(matches!(
+        decode_record(&zero),
+        Err(DecodeError::ZeroLength)
+    ));
+    let mut huge = Vec::new();
+    huge.extend_from_slice(&u32::MAX.to_le_bytes());
+    huge.extend_from_slice(&0u64.to_le_bytes());
+    assert!(matches!(decode_record(&huge), Err(DecodeError::TooLong)));
+    let mut rng = XorShift64::new(31);
+    let mut frame = Vec::new();
+    encode_record(&random_record(&mut rng, 1), &mut frame);
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF;
+    assert!(matches!(
+        decode_record(&frame),
+        Err(DecodeError::BadChecksum)
+    ));
+}

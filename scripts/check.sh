@@ -37,4 +37,7 @@ scripts/incr_smoke.sh
 echo "== census smoke (pairs verb == paper-tables table5, dense kernel)"
 scripts/census_smoke.sh
 
+echo "== journal smoke (kill -9, restart, byte-identical recovery)"
+scripts/journal_smoke.sh
+
 echo "All checks passed."

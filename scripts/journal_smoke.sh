@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Smoke-test the durable session journal end to end: start tbaad with a
+# journal dir, load a program and capture an alias reply, kill -9 the
+# daemon (no drain, no handshake), restart it over the same journal dir,
+# and demand the same session id and byte-identical alias bytes — then
+# run the loadgen crash-restart gate for the concurrent version of the
+# same story.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TBAAD=target/release/tbaad
+LOADGEN=target/release/tbaa-loadgen
+if [[ ! -x "$TBAAD" || ! -x "$LOADGEN" ]]; then
+    echo "== building tbaad + tbaa-loadgen (release)"
+    cargo build --release -p tbaa-server --bin tbaad -p tbaa-bench --bin tbaa-loadgen
+fi
+
+JDIR=$(mktemp -d)
+OUT=$(mktemp)
+trap 'rm -rf "$JDIR" "$OUT"; kill -9 "$PID" 2>/dev/null || true' EXIT
+
+start_tbaad() {
+    "$TBAAD" --addr 127.0.0.1:0 --journal-dir "$JDIR" > "$OUT" 2>/dev/null &
+    PID=$!
+    ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR=$(sed -n 's/^tbaad listening on //p' "$OUT")
+        [[ -n "$ADDR" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$ADDR" ]] || { echo "tbaad did not start"; exit 1; }
+    PORT=${ADDR##*:}
+}
+
+start_tbaad
+echo "== tbaad up on port $PORT (journal at $JDIR)"
+
+# First life: load, capture the session id and exact alias reply bytes.
+python3 - "$PORT" > "$JDIR/first_life" <<'EOF'
+import json, socket, sys
+
+port = int(sys.argv[1])
+sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+io = sock.makefile("rw", newline="\n")
+
+def rpc_raw(obj):
+    io.write(json.dumps(obj) + "\n")
+    io.flush()
+    return io.readline().rstrip("\n")
+
+load = json.loads(rpc_raw({"op": "load", "bench": "ktree", "scale": 1, "paths": True}))
+assert load["ok"], load
+paths = load["paths"]
+alias_raw = rpc_raw({"op": "alias", "session": load["session"],
+                     "pairs": [[paths[0], paths[1]], [paths[0], paths[0]]]})
+assert json.loads(alias_raw)["ok"], alias_raw
+print(load["session"])
+print(alias_raw)
+EOF
+SID=$(sed -n 1p "$JDIR/first_life")
+echo "== first life answered under session $SID"
+
+# The crash: SIGKILL, no drain, no final fsync.
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+echo "== tbaad killed -9"
+
+# Second life over the same journal dir.
+: > "$OUT"
+start_tbaad
+echo "== tbaad back up on port $PORT"
+
+# The restarted daemon must have replayed the journal, answer the same
+# session id for the same content, and produce byte-identical alias
+# replies for it.
+python3 - "$PORT" "$JDIR/first_life" <<'EOF'
+import json, socket, sys
+
+port = int(sys.argv[1])
+with open(sys.argv[2]) as f:
+    old_sid = f.readline().rstrip("\n")
+    old_alias = f.readline().rstrip("\n")
+
+sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+io = sock.makefile("rw", newline="\n")
+
+def rpc_raw(obj):
+    io.write(json.dumps(obj) + "\n")
+    io.flush()
+    return io.readline().rstrip("\n")
+
+stats = json.loads(rpc_raw({"op": "stats"}))
+replayed = stats["stats"]["counters"].get("journal.replayed", 0)
+assert replayed >= 1, "restart replayed nothing: %s" % stats
+
+load = json.loads(rpc_raw({"op": "load", "bench": "ktree", "scale": 1, "paths": True}))
+assert load["ok"], load
+assert load["cached"], "recovered session must not recompile: %s" % load
+assert load["session"] == old_sid, "session id changed across the crash: %s vs %s" % (
+    load["session"], old_sid)
+paths = load["paths"]
+alias_raw = rpc_raw({"op": "alias", "session": load["session"],
+                     "pairs": [[paths[0], paths[1]], [paths[0], paths[0]]]})
+assert alias_raw == old_alias, "alias bytes diverged across the crash:\n  pre  %s\n  post %s" % (
+    old_alias, alias_raw)
+
+down = json.loads(rpc_raw({"op": "shutdown"}))
+assert down["ok"] and down["draining"], down
+print("recovery ok: replayed %d, session %s, alias bytes identical" % (replayed, old_sid))
+EOF
+
+for _ in $(seq 1 100); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then
+    echo "tbaad did not exit after shutdown"
+    exit 1
+fi
+wait "$PID"
+echo "== tbaad drained and exited cleanly"
+
+# The concurrent version: loadgen hard-kills the daemon mid-run and
+# gates on recovery + zero byte-level divergences.
+echo "== loadgen crash-restart gate"
+"$LOADGEN" --crash-restart 1 --clients 3 --duration 4 --seed 7 \
+    --out target/bench_journal_smoke.json
+echo "== journal smoke passed"

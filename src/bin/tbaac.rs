@@ -223,6 +223,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(n) if n >= 1 => config.session_capacity = n,
                 _ => return serve_usage("--capacity needs a positive integer"),
             },
+            "--journal-dir" => match value {
+                Some(d) => config.journal_dir = Some(d.into()),
+                None => return serve_usage("--journal-dir needs DIR"),
+            },
             other => return serve_usage(&format!("unknown option `{other}`")),
         }
         i += 2;
@@ -248,7 +252,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 
 fn serve_usage(msg: &str) -> ExitCode {
     eprintln!("tbaac serve: {msg}");
-    eprintln!("usage: tbaac serve [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N]");
+    eprintln!(
+        "usage: tbaac serve [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N] \
+         [--journal-dir DIR]"
+    );
     ExitCode::FAILURE
 }
 
@@ -264,6 +271,7 @@ fn cmd_route(args: &[String]) -> ExitCode {
     let mut capacity: usize = 64;
     let mut backend_bin: Option<std::path::PathBuf> = None;
     let mut attach: Option<Vec<String>> = None;
+    let mut journal_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let value = args.get(i + 1);
@@ -298,6 +306,10 @@ fn cmd_route(args: &[String]) -> ExitCode {
                 }
                 None => return route_usage("--attach needs ADDR[,ADDR...]"),
             },
+            "--journal-dir" => match value {
+                Some(d) => journal_dir = Some(d.into()),
+                None => return route_usage("--journal-dir needs DIR"),
+            },
             other => return route_usage(&format!("unknown option `{other}`")),
         }
         i += 2;
@@ -310,14 +322,22 @@ fn cmd_route(args: &[String]) -> ExitCode {
             bin,
             workers,
             capacity,
+            journal_dir,
         },
-        (None, Some(addrs)) => BackendSpec::Attach { addrs },
-        (None, None) => BackendSpec::InProcess {
-            config: server::ServerConfig::builder()
+        (None, Some(addrs)) => {
+            if journal_dir.is_some() {
+                return route_usage("--journal-dir applies to owned backends, not --attach");
+            }
+            BackendSpec::Attach { addrs }
+        }
+        (None, None) => {
+            let mut config = server::ServerConfig::builder()
                 .workers(workers)
                 .session_capacity(capacity)
-                .build(),
-        },
+                .build();
+            config.journal_dir = journal_dir;
+            BackendSpec::InProcess { config }
+        }
     };
     let config = builder.shards(shards).workers(workers).backend(backend).build();
     let router = match Router::bind(config) {
@@ -343,7 +363,7 @@ fn route_usage(msg: &str) -> ExitCode {
     eprintln!("tbaac route: {msg}");
     eprintln!(
         "usage: tbaac route [--addr HOST:PORT] [--socket PATH] [--shards N] [--workers N] \
-         [--capacity N] [--backend-bin TBAAD | --attach ADDR[,ADDR...]]"
+         [--capacity N] [--journal-dir DIR] [--backend-bin TBAAD | --attach ADDR[,ADDR...]]"
     );
     ExitCode::FAILURE
 }

@@ -1,0 +1,526 @@
+//! Durable-journal differential: a daemon restarted over its
+//! `--journal-dir` must be *indistinguishable* from one that never died.
+//!
+//! Four proofs, in the counter-walk style of the incremental suite (one
+//! sequential connection → fully deterministic counters):
+//!
+//! * **Byte identity across a restart** — a seeded edit corpus is
+//!   loaded and queried, the server is brought down, and a second
+//!   server over the same journal dir must answer every re-`load` with
+//!   `cached:true` under the *same* session id, and every
+//!   `alias`/`pairs`/`rle` at every level × world byte-identical to the
+//!   from-scratch `Pipeline` oracle.
+//! * **LRU order survives recovery** — a capacity-1 store replays the
+//!   journal in append order, so only the most recent session is live
+//!   after restart; the evicted ids answer `no_session`, and fresh ids
+//!   mint past the recovered watermark (no id reuse, ever).
+//! * **Warm restart is incremental** — a one-function edit loaded just
+//!   before the crash replays through the store's `IncrCompiler` on
+//!   recovery: exactly `n−1` unit hits, with the cost visible in the
+//!   `incr.*` counters rather than hidden in bespoke recovery code.
+//! * **Every seeded fault schedule recovers a clean prefix** — torn
+//!   tails, truncations, bit flips, and duplicated records from
+//!   [`tbaa_server::fault`] leave a journal that still boots, recovers
+//!   exactly the sessions [`tbaa_server::journal::scan`] + `fold`
+//!   predict, and answers for them byte-identically.
+
+use tbaa::analysis::Level;
+use tbaa::World;
+use tbaa_bench::load::{
+    mutate_contents, CheckOutcome, Content, DiffChecker, LineSource, ReqKind, Wire,
+};
+use tbaa_server::fault::{self, Fault, FaultPlan};
+use tbaa_server::journal;
+use tbaa_server::json::{parse, Value};
+use tbaa_server::{Server, ServerConfig};
+
+fn counter(stats: &Value, name: &str) -> i64 {
+    stats
+        .get("stats")
+        .and_then(|s| s.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_i64)
+        .unwrap_or(0)
+}
+
+/// A scratch journal directory, wiped on creation and on drop.
+struct JournalDir(std::path::PathBuf);
+
+impl JournalDir {
+    fn new(tag: &str) -> JournalDir {
+        let dir = std::env::temp_dir().join(format!(
+            "tbaa-jrn-diff-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        JournalDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+
+    fn file(&self) -> std::path::PathBuf {
+        self.0.join(journal::FILE_NAME)
+    }
+}
+
+impl Drop for JournalDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+struct Driver {
+    writer: Wire,
+    src: LineSource,
+}
+
+impl Driver {
+    fn connect(addr: std::net::SocketAddr) -> Driver {
+        let wire = Wire::connect_tcp(addr).expect("connect");
+        let writer = wire.try_clone().expect("clone");
+        Driver {
+            writer,
+            src: LineSource::new(wire),
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_line(line).expect("send");
+        self.src.read_line_blocking().expect("reply")
+    }
+
+    fn stats(&mut self) -> Value<'static> {
+        let raw = self.request(r#"{"op":"stats"}"#);
+        parse(&raw).expect("stats parses").into_owned()
+    }
+
+    fn load(&mut self, content: &Content, checker: &DiffChecker) -> (String, bool) {
+        let raw = self.request(&content.load_line());
+        let kind = ReqKind::Load {
+            key: content.key(),
+        };
+        let CheckOutcome::Loaded { sid } = checker.check(&kind, &raw) else {
+            panic!("load failed: {raw}");
+        };
+        let cached = parse(&raw)
+            .unwrap()
+            .get("cached")
+            .and_then(Value::as_bool)
+            .unwrap();
+        (sid, cached)
+    }
+}
+
+/// Spawns a journal-backed server; `capacity` 0 keeps the default.
+fn boot(dir: &std::path::Path, capacity: usize) -> tbaa_server::ServerHandle {
+    let mut b = ServerConfig::builder().journal_dir(dir);
+    if capacity > 0 {
+        b = b.session_capacity(capacity);
+    }
+    Server::bind(b.build()).expect("bind").spawn()
+}
+
+fn stop(handle: tbaa_server::ServerHandle) {
+    handle.state().request_shutdown();
+    handle.join().expect("clean shutdown");
+}
+
+/// The numeric part of a session id (`"s12"` → 12).
+fn sid_num(sid: &str) -> u64 {
+    sid.strip_prefix('s')
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("malformed sid {sid:?}"))
+}
+
+const LEVELS: [(&str, Level); 3] = [
+    ("typedecl", Level::TypeDecl),
+    ("fields", Level::FieldTypeDecl),
+    ("merges", Level::SmFieldTypeRefs),
+];
+const WORLDS: [(&str, World); 2] = [("closed", World::Closed), ("open", World::Open)];
+
+/// Fires `alias`, `pairs`, and `rle` for every level × world against a
+/// session and byte-checks each reply against the oracle.
+fn sweep_queries(d: &mut Driver, checker: &DiffChecker, content: &Content, sid: &str) {
+    let key = content.key();
+    let paths = checker.oracle().paths(&key);
+    let pairs = vec![
+        (paths[0].clone(), paths[paths.len() / 2].clone()),
+        (paths.last().unwrap().clone(), paths[0].clone()),
+    ];
+    for (level_str, level) in LEVELS {
+        for (world_str, world) in WORLDS {
+            let alias = format!(
+                r#"{{"op":"alias","session":"{sid}","level":"{level_str}","world":"{world_str}","pairs":[["{}","{}"],["{}","{}"]]}}"#,
+                pairs[0].0, pairs[0].1, pairs[1].0, pairs[1].1
+            );
+            let raw = d.request(&alias);
+            let kind = ReqKind::Alias {
+                key: key.clone(),
+                sid: sid.to_string(),
+                level,
+                world,
+                pairs: pairs.clone(),
+            };
+            assert!(
+                matches!(checker.check(&kind, &raw), CheckOutcome::Ok),
+                "alias diverged at {level_str}/{world_str}:\n{}",
+                checker.details().join("\n")
+            );
+            for op in ["pairs", "rle"] {
+                let line = format!(
+                    r#"{{"op":"{op}","session":"{sid}","level":"{level_str}","world":"{world_str}"}}"#
+                );
+                let raw = d.request(&line);
+                let kind = match op {
+                    "pairs" => ReqKind::Pairs {
+                        key: key.clone(),
+                        sid: sid.to_string(),
+                        level,
+                        world,
+                    },
+                    _ => ReqKind::Rle {
+                        key: key.clone(),
+                        sid: sid.to_string(),
+                        level,
+                        world,
+                    },
+                };
+                assert!(
+                    matches!(checker.check(&kind, &raw), CheckOutcome::Ok),
+                    "{op} diverged at {level_str}/{world_str}:\n{}",
+                    checker.details().join("\n")
+                );
+            }
+        }
+    }
+}
+
+/// A seeded edit corpus loaded into a journal-backed server, then the
+/// same journal booted fresh: every session comes back under its old
+/// id, every query at every level × world is byte-identical to the
+/// oracle, and a brand-new load mints past the recovered watermark.
+#[test]
+fn restart_preserves_session_ids_and_replies_byte_identically() {
+    const VERSIONS: usize = 4;
+    let dir = JournalDir::new("restart");
+    let contents = mutate_contents(13, VERSIONS);
+    let checker = DiffChecker::new(&contents);
+
+    // First life: load and query everything.
+    let mut sids = Vec::new();
+    let handle = boot(dir.path(), 0);
+    {
+        let mut d = Driver::connect(handle.addr());
+        for content in &contents {
+            let (sid, cached) = d.load(content, &checker);
+            assert!(!cached, "every version is new content");
+            sweep_queries(&mut d, &checker, content, &sid);
+            sids.push(sid);
+        }
+        let s = d.stats();
+        assert_eq!(
+            counter(&s, "journal.appends"),
+            VERSIONS as i64,
+            "one journal append per admitted load"
+        );
+    }
+    stop(handle);
+
+    // Second life, same journal dir.
+    let handle = boot(dir.path(), 0);
+    let mut d = Driver::connect(handle.addr());
+    let s = d.stats();
+    assert_eq!(
+        counter(&s, "journal.replayed"),
+        VERSIONS as i64,
+        "every journaled load replays on boot"
+    );
+    assert!(
+        counter(&s, "incr.func_hits") > 0,
+        "replaying superseding versions goes through the incremental \
+         compiler; recovery cost shows up in incr.*, not nowhere"
+    );
+
+    // Every session answers under its pre-crash id, from cache.
+    for (content, old_sid) in contents.iter().zip(&sids) {
+        let (sid, cached) = d.load(content, &checker);
+        assert!(cached, "recovered session must not recompile");
+        assert_eq!(&sid, old_sid, "recovery must not re-mint session ids");
+        sweep_queries(&mut d, &checker, content, &sid);
+    }
+
+    // A genuinely new content mints beyond every recovered id.
+    let fresh = Content::Bench {
+        name: "ktree".into(),
+        scale: 1,
+    };
+    let fresh_checker = DiffChecker::new(std::slice::from_ref(&fresh));
+    let (fresh_sid, _) = d.load(&fresh, &fresh_checker);
+    let watermark = sids.iter().map(|s| sid_num(s)).max().unwrap();
+    assert!(
+        sid_num(&fresh_sid) > watermark,
+        "fresh sid {fresh_sid} must mint past the recovered watermark {watermark}"
+    );
+
+    assert_eq!(checker.mismatches(), 0, "{:?}", checker.details());
+    assert_eq!(fresh_checker.mismatches(), 0, "{:?}", fresh_checker.details());
+    stop(handle);
+}
+
+/// Recovery replays the journal in append order through the same LRU
+/// store, so a capacity-1 server keeps only the *last* session loaded
+/// before the crash — and never hands an evicted id to anyone else.
+#[test]
+fn capacity_1_recovery_keeps_only_the_most_recent_session() {
+    let dir = JournalDir::new("lru1");
+    let contents = mutate_contents(19, 3);
+    let checker = DiffChecker::new(&contents);
+
+    let mut sids = Vec::new();
+    let handle = boot(dir.path(), 1);
+    {
+        let mut d = Driver::connect(handle.addr());
+        for content in &contents {
+            let (sid, _) = d.load(content, &checker);
+            sids.push(sid);
+        }
+    }
+    stop(handle);
+
+    let handle = boot(dir.path(), 1);
+    let mut d = Driver::connect(handle.addr());
+    let s = d.stats();
+    assert_eq!(
+        counter(&s, "journal.replayed"),
+        3,
+        "all three loads replay; the store then evicts in journal order"
+    );
+    assert_eq!(
+        counter(&s, "sessions.evictions"),
+        2,
+        "capacity-1 replay evicts the two older sessions"
+    );
+
+    // The survivor answers under its old id; the evicted ids are gone.
+    let last = contents.last().unwrap();
+    let (sid, cached) = d.load(last, &checker);
+    assert!(cached, "the most recent session survived recovery");
+    assert_eq!(&sid, sids.last().unwrap());
+    sweep_queries(&mut d, &checker, last, &sid);
+    for dead in &sids[..2] {
+        let raw = d.request(&format!(
+            r#"{{"op":"pairs","session":"{dead}","level":"typedecl","world":"closed"}}"#
+        ));
+        let v = parse(&raw).expect("error reply parses");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str),
+            Some("no_session"),
+            "evicted session must be gone, not resurrected: {raw}"
+        );
+    }
+
+    // Reloading an evicted content recompiles under a *fresh* id past
+    // the watermark — recovery must never re-mint a dead session's id.
+    let (sid0, cached) = d.load(&contents[0], &checker);
+    assert!(!cached, "evicted content recompiles");
+    let watermark = sids.iter().map(|s| sid_num(s)).max().unwrap();
+    assert!(
+        sid_num(&sid0) > watermark,
+        "recompiled sid {sid0} reuses a pre-crash id (watermark {watermark})"
+    );
+
+    assert_eq!(checker.mismatches(), 0, "{:?}", checker.details());
+    stop(handle);
+}
+
+/// The exact-counter walk across a crash: a one-function edit loaded
+/// just before the kill replays warm on recovery — the store-level
+/// incremental cache turns the second replayed load into `n−1` unit
+/// hits and exactly 1 re-lowered unit.
+#[test]
+fn warm_restart_replays_the_one_function_edit_incrementally() {
+    const WALK_BASE: &str = "MODULE Walk;
+
+TYPE
+  Box = OBJECT
+    val: INTEGER;
+    next: Box;
+  END;
+
+VAR
+  head: Box;
+  total: INTEGER;
+
+PROCEDURE Mk (v: INTEGER): Box =
+VAR b: Box;
+BEGIN
+  b := NEW(Box);
+  b.val := v + 1;
+  b.next := head;
+  RETURN b;
+END Mk;
+
+PROCEDURE Grow (n: INTEGER) =
+BEGIN
+  FOR i := 1 TO n DO
+    head := Mk(i);
+  END;
+END Grow;
+
+PROCEDURE Tally (): INTEGER =
+VAR b: Box; s: INTEGER;
+BEGIN
+  s := 0;
+  b := head;
+  WHILE b # NIL DO
+    s := s + b.val;
+    b := b.next;
+  END;
+  RETURN s;
+END Tally;
+
+BEGIN
+  head := NIL;
+  Grow(8);
+  total := Tally();
+END Walk.
+";
+    /// Units in the walk program: three procedures plus the module body.
+    const WALK_UNITS: i64 = 4;
+
+    let dir = JournalDir::new("warm");
+    let base = Content::Source {
+        text: WALK_BASE.to_string(),
+    };
+    let edited = Content::Source {
+        text: WALK_BASE.replace("b.val := v + 1;", "b.val := v + 2;"),
+    };
+    let contents = vec![base.clone(), edited.clone()];
+    let checker = DiffChecker::new(&contents);
+
+    let mut sids = Vec::new();
+    let handle = boot(dir.path(), 0);
+    {
+        let mut d = Driver::connect(handle.addr());
+        for content in &contents {
+            let (sid, _) = d.load(content, &checker);
+            sids.push(sid);
+        }
+    }
+    stop(handle);
+
+    // Fresh process, same journal: the replay recompiles both versions
+    // through a cold IncrCompiler, so the walk is exact — the base
+    // version misses all n units, the edit hits n−1 and misses 1.
+    let handle = boot(dir.path(), 0);
+    let mut d = Driver::connect(handle.addr());
+    let s = d.stats();
+    assert_eq!(counter(&s, "journal.replayed"), 2);
+    assert_eq!(
+        counter(&s, "incr.func_hits"),
+        WALK_UNITS - 1,
+        "recovery replays every unchanged unit of the edit from cache"
+    );
+    assert_eq!(
+        counter(&s, "incr.func_misses"),
+        WALK_UNITS + 1,
+        "recovery re-lowers the base's {WALK_UNITS} units and the 1 edited unit"
+    );
+
+    // Both sessions answer under their old ids, byte-identically.
+    for (content, old_sid) in contents.iter().zip(&sids) {
+        let (sid, cached) = d.load(content, &checker);
+        assert!(cached);
+        assert_eq!(&sid, old_sid);
+        sweep_queries(&mut d, &checker, content, &sid);
+    }
+
+    assert_eq!(checker.mismatches(), 0, "{:?}", checker.details());
+    stop(handle);
+}
+
+/// Every fault in a seeded schedule — torn tails, truncations, bit
+/// flips, duplicated records — leaves a journal that still boots, and
+/// the booted server recovers *exactly* the prefix that `scan` + `fold`
+/// predict, answering for each survivor byte-identically.
+#[test]
+fn seeded_fault_schedules_recover_predicted_prefixes_byte_identically() {
+    const VERSIONS: usize = 5;
+    let contents = mutate_contents(23, VERSIONS);
+
+    // Build one pristine journal to corrupt over and over.
+    let pristine_dir = JournalDir::new("fault-src");
+    let mut sids = Vec::new();
+    {
+        let checker = DiffChecker::new(&contents);
+        let handle = boot(pristine_dir.path(), 0);
+        let mut d = Driver::connect(handle.addr());
+        for content in &contents {
+            let (sid, _) = d.load(content, &checker);
+            sids.push(sid);
+        }
+        stop(handle);
+    }
+    let pristine = std::fs::read(pristine_dir.file()).expect("journal exists");
+    assert!(
+        pristine.len() > journal::MAGIC.len(),
+        "the pristine journal holds records"
+    );
+
+    let plan = FaultPlan::schedule(0xFA17, 8);
+    for (i, f) in plan.faults.iter().enumerate() {
+        // Corrupt a copy and predict the recovery from the bytes alone.
+        let mut bytes = pristine.clone();
+        fault::apply(&mut bytes, f);
+        let scanned = journal::scan(&bytes);
+        let (predicted, _max_sid) = journal::fold(&scanned.records);
+
+        let dir = JournalDir::new(&format!("fault-{i}"));
+        std::fs::create_dir_all(dir.path()).expect("mkdir");
+        std::fs::write(dir.file(), &bytes).expect("write corrupted journal");
+
+        let handle = boot(dir.path(), 0);
+        let mut d = Driver::connect(handle.addr());
+        let s = d.stats();
+        assert_eq!(
+            counter(&s, "journal.replayed"),
+            predicted.len() as i64,
+            "fault {i} ({f:?}): recovery must restore exactly the \
+             well-formed prefix, no more, no less"
+        );
+
+        // Each predicted survivor answers under its journaled id with
+        // oracle-identical bytes; a fresh checker per fault keeps the
+        // sid bookkeeping independent across schedules.
+        let checker = DiffChecker::new(&contents);
+        for live in &predicted {
+            let content = contents
+                .iter()
+                .find(|c| c.key().display() == live.key)
+                .expect("journaled key is one of the corpus contents");
+            let (sid, cached) = d.load(content, &checker);
+            assert!(cached, "fault {i}: survivor {} must not recompile", live.key);
+            assert_eq!(sid, live.sid, "fault {i}: survivor answers under its id");
+            sweep_queries(&mut d, &checker, content, &sid);
+        }
+        assert_eq!(checker.mismatches(), 0, "fault {i}: {:?}", checker.details());
+        stop(handle);
+    }
+
+    // The schedule must have exercised all four fault kinds.
+    let kinds: std::collections::HashSet<_> = plan
+        .faults
+        .iter()
+        .map(|f| match f {
+            Fault::TornTail { .. } => "torn",
+            Fault::Truncate { .. } => "truncate",
+            Fault::BitFlip { .. } => "flip",
+            Fault::DuplicateSeq { .. } => "dup",
+        })
+        .collect();
+    assert_eq!(kinds.len(), 4, "schedule covers every fault kind");
+}

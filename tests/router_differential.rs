@@ -208,6 +208,178 @@ fn survives_backend_kill_with_respawn_and_journal_reload() {
         state.respawns() >= 1,
         "the killed backend must have been respawned"
     );
+    // Journal-less backends cannot self-recover, so every recovery here
+    // went through the router's in-memory journal replay.
+    let m = state.metrics();
+    assert!(
+        m.counter("router.recoveries.replayed").get() >= 1,
+        "a journal-less respawn recovers via router-side replay"
+    );
+    assert_eq!(
+        m.counter("router.recoveries.attached").get(),
+        0,
+        "nothing to attach to without a durable backend journal"
+    );
+    assert!(
+        m.counter("router.journal_loads_replayed").get() >= 1,
+        "the replay re-sent the victim shard's loads"
+    );
+
+    handle.state().request_shutdown();
+    handle.join().expect("router exits cleanly");
+}
+
+/// A scratch journal directory, wiped on creation and on drop.
+struct JournalDir(std::path::PathBuf);
+
+impl JournalDir {
+    fn new(tag: &str) -> JournalDir {
+        let dir = std::env::temp_dir().join(format!("tbaa-rtr-jrn-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        JournalDir(dir)
+    }
+}
+
+impl Drop for JournalDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The journal-enabled kill variant — the recovery *seam*: when the
+/// respawned backend self-recovers from its own durable journal, the
+/// router must attach to it instead of re-sending its in-memory journal,
+/// and must not double-count the backend's replayed loads as its own.
+/// Same gates as above otherwise: zero divergences, same session ids.
+#[test]
+fn journaled_backend_self_recovers_and_router_attaches_without_replay() {
+    let dir = JournalDir::new("kill");
+    let contents: Arc<Vec<Content>> = Arc::new(vec![
+        Content::Bench {
+            name: "ktree".into(),
+            scale: 1,
+        },
+        Content::Bench {
+            name: "format".into(),
+            scale: 1,
+        },
+    ]);
+    let checker = Arc::new(DiffChecker::new(&contents));
+    let config = RouterConfig::builder()
+        .addr("127.0.0.1:0")
+        .shards(3)
+        .io_timeout(std::time::Duration::from_secs(30))
+        .backend(BackendSpec::InProcess {
+            config: ServerConfig::builder().journal_dir(&dir.0).build(),
+        })
+        .build();
+    let handle = Router::bind(config).expect("bind router").spawn();
+    let addr = handle.addr();
+    let state = handle.state().clone();
+
+    // Preload and remember the router-minted session ids.
+    let sids: Vec<String> = {
+        let wire = Wire::connect_tcp(addr).expect("connect");
+        let mut writer = wire.try_clone().expect("clone socket");
+        let mut src = LineSource::new(wire);
+        contents
+            .iter()
+            .map(|content| {
+                writer.write_line(&content.load_line()).expect("send load");
+                let raw = src.read_line_blocking().expect("load reply");
+                let kind = ReqKind::Load {
+                    key: content.key(),
+                };
+                let CheckOutcome::Loaded { sid } = checker.check(&kind, &raw) else {
+                    panic!("preload failed: {raw}");
+                };
+                sid
+            })
+            .collect()
+    };
+
+    let victim = state.shard_of(&contents[0].key().display());
+    const KILLER_CLIENTS: usize = 4;
+    const ROUNDS: usize = 30;
+    let barrier = Arc::new(Barrier::new(KILLER_CLIENTS + 1));
+
+    std::thread::scope(|scope| {
+        {
+            let barrier = barrier.clone();
+            let state = state.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                state.kill_backend(victim);
+                barrier.wait();
+            });
+        }
+        for c in 0..KILLER_CLIENTS {
+            let checker = checker.clone();
+            let contents = contents.clone();
+            let sids = sids.clone();
+            let barrier = barrier.clone();
+            scope.spawn(move || {
+                let wire = Wire::connect_tcp(addr).expect("connect");
+                let mut writer = wire.try_clone().expect("clone socket");
+                let mut src = LineSource::new(wire);
+                let mut rng = tbaa_bench::rng::XorShift64::new(0xBEEF + c as u64);
+                for round in 0..ROUNDS {
+                    if round == 5 {
+                        barrier.wait(); // killer is about to strike
+                        barrier.wait(); // backend is confirmed dead
+                    }
+                    let which = (round + c) % contents.len();
+                    let content = &contents[which];
+                    let key = content.key();
+                    let sid = sids[which].clone();
+                    let paths = checker.oracle().paths(&key);
+                    let pairs = vec![(rng.pick(&paths).clone(), rng.pick(&paths).clone())];
+                    let line = format!(
+                        r#"{{"op":"alias","session":"{sid}","level":"merges","world":"closed","pairs":[["{}","{}"]]}}"#,
+                        pairs[0].0, pairs[0].1
+                    );
+                    writer.write_line(&line).expect("send alias");
+                    let raw = src.read_line_blocking().expect("alias reply");
+                    let kind = ReqKind::Alias {
+                        key: key.clone(),
+                        sid,
+                        level: tbaa::Level::SmFieldTypeRefs,
+                        world: tbaa::World::Closed,
+                        pairs,
+                    };
+                    assert!(
+                        matches!(checker.check(&kind, &raw), CheckOutcome::Ok),
+                        "reply diverged across backend death:\n{}",
+                        checker.details().join("\n")
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        checker.mismatches(),
+        0,
+        "router diverged during journaled recovery:\n{}",
+        checker.details().join("\n")
+    );
+    assert!(state.respawns() >= 1, "the killed backend respawned");
+    let m = state.metrics();
+    assert!(
+        m.counter("router.recoveries.attached").get() >= 1,
+        "a self-recovered backend must be attached to, not replayed at"
+    );
+    assert_eq!(
+        m.counter("router.recoveries.replayed").get(),
+        0,
+        "the durable journal made router-side replay unnecessary"
+    );
+    assert_eq!(
+        m.counter("router.journal_loads_replayed").get(),
+        0,
+        "the backend's own replayed loads must not be double-counted \
+         as router retries"
+    );
 
     handle.state().request_shutdown();
     handle.join().expect("router exits cleanly");
