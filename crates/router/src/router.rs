@@ -751,33 +751,34 @@ fn recover(state: &Arc<RouterState>, shard_idx: usize, observed_generation: u64)
 /// this shard's sessions from its own durable journal
 /// (`tbaad --journal-dir`). The backend replays *before* it accepts
 /// connections, and its journal guarantees the recovered sessions keep
-/// their pre-crash backend sids — so when its `journal.replayed`
-/// counter covers every session the router has mapped onto the shard,
-/// the router attaches as-is. A missing counter (no journal), a short
-/// count (torn journal), or an unreadable `stats` reply all fall back
-/// to the in-memory replay path.
+/// their pre-crash backend sids — so the router checks each mapped
+/// backend sid individually against the `engines` table of one `stats`
+/// reply (keyed by live session id) and attaches only when every one
+/// survived. A count heuristic is not enough: a journal that recovered
+/// a same-sized but *different* session set (say, a replay failure
+/// offset by an extra live session) would leave dangling sid mappings.
+/// Any missing sid, or an unreadable `stats` reply, falls back to the
+/// in-memory replay path.
 fn backend_self_recovered(state: &Arc<RouterState>, shard_idx: usize, addr: &str) -> bool {
-    let expected = {
+    let expected: Vec<String> = {
         let table = state.sessions.lock().expect("sessions poisoned");
         table
             .by_sid
             .values()
             .filter(|e| e.shard == shard_idx)
-            .count() as i64
+            .map(|e| e.backend_sid.clone())
+            .collect()
     };
-    if expected == 0 {
+    if expected.is_empty() {
         return true; // nothing to replay either way
     }
     let Some(stats) = fetch_stats(addr, state.io_timeout.min(Duration::from_secs(2))) else {
         return false;
     };
-    let replayed = stats
-        .get("stats")
-        .and_then(|s| s.get("counters"))
-        .and_then(|c| c.get("journal.replayed"))
-        .and_then(Value::as_i64)
-        .unwrap_or(0);
-    replayed >= expected
+    let Some(engines) = stats.get("engines") else {
+        return false;
+    };
+    expected.iter().all(|sid| engines.get(sid).is_some())
 }
 
 /// One `stats` round trip against a raw backend address, parsed.

@@ -31,8 +31,15 @@
 //! Every append is written and flushed to the OS immediately (so a
 //! `kill -9` of the daemon loses nothing — page cache survives the
 //! process), and `fsync`ed every [`SYNC_EVERY`] appends (bounding the
-//! window a *machine* crash can lose). Compaction rewrites the file via
-//! temp-file + rename, which is atomic on POSIX.
+//! window a *machine* crash can lose). Compaction rewrites the file as
+//! temp-file + rename with the temp file fsynced before the rename and
+//! the directory fsynced after it, so the rewrite is atomic against
+//! power loss too — never worse than the [`SYNC_EVERY`] window.
+//!
+//! Appends are made from inside the session store's admission critical
+//! section ([`crate::session::SessionStore`] holds its index lock
+//! across the append), so journal order is exactly admission order
+//! even under concurrent loads racing unloads.
 //!
 //! ## Recovery ordering guarantees
 //!
@@ -270,6 +277,21 @@ pub struct LiveLoad {
     pub line: String,
 }
 
+/// What [`Journal::open`] recovered from a previous daemon's file.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Surviving loads in journal order — the replay list.
+    pub loads: Vec<LiveLoad>,
+    /// First session-id number safe to mint: one past the highest id
+    /// named by *any* scanned record (superseded and unloaded loads
+    /// and marks included). The caller must advance the store's id
+    /// counter here before serving — replaying `loads` alone is not
+    /// enough, because the highest-minted sid may have been unloaded
+    /// pre-crash, and re-minting it would silently point a stale
+    /// client at a different session.
+    pub next_sid: u64,
+}
+
 /// Derives the content-key display of a canonical journaled load line.
 pub fn key_of_load_line(line: &str) -> Option<String> {
     match decode_request(line).ok()? {
@@ -361,13 +383,15 @@ pub struct Journal {
 impl Journal {
     /// Opens (creating if needed) the journal under `dir`, recovering
     /// whatever a previous daemon left behind. Returns the journal plus
-    /// the surviving loads for the caller to replay through the store —
-    /// in journal order, so LRU eviction during replay matches the
-    /// pre-crash daemon. The recovered file is rewritten compacted.
+    /// a [`Recovery`]: the surviving loads for the caller to replay
+    /// through the store — in journal order, so LRU eviction during
+    /// replay matches the pre-crash daemon — and the session-id
+    /// watermark the store must advance to before serving. The
+    /// recovered file is rewritten compacted.
     ///
     /// Registers (at zero) every `journal.*` counter, so `stats`
     /// carries them from the first request whenever journaling is on.
-    pub fn open(dir: &Path, metrics: &Registry) -> std::io::Result<(Journal, Vec<LiveLoad>)> {
+    pub fn open(dir: &Path, metrics: &Registry) -> std::io::Result<(Journal, Recovery)> {
         fs::create_dir_all(dir)?;
         let path = dir.join(FILE_NAME);
         let existing = match fs::read(&path) {
@@ -423,11 +447,7 @@ impl Journal {
             );
             next_seq += 1;
         }
-        let tmp = dir.join(format!("{FILE_NAME}.tmp"));
-        fs::write(&tmp, &buf)?;
-        fs::rename(&tmp, &path)?;
-        let file = OpenOptions::new().append(true).open(&path)?;
-        file.sync_data()?;
+        let file = replace_file_durably(dir, &path, &buf)?;
         bytes.add(buf.len() as u64);
         if compacted {
             compactions.inc();
@@ -449,7 +469,13 @@ impl Journal {
             fsyncs,
             errors,
         };
-        Ok((journal, live))
+        Ok((
+            journal,
+            Recovery {
+                loads: live,
+                next_sid: max_sid + 1,
+            },
+        ))
     }
 
     /// Journals one admitted load. `key` is the content-key display,
@@ -529,8 +555,8 @@ impl Journal {
 
     /// Rewrites the file to just a mark + the live set once superseded
     /// records dominate (≥ [`COMPACT_MIN_RECORDS`] on disk, under half
-    /// live). Atomic via temp-file + rename; original ids survive in
-    /// the mark, sequence numbers restart at 1.
+    /// live). Power-loss atomic via [`replace_file_durably`]; original
+    /// ids survive in the mark, sequence numbers restart at 1.
     fn maybe_compact(&self, st: &mut JournalState) {
         if st.records < COMPACT_MIN_RECORDS || st.live.len() as u64 * 2 >= st.records {
             return;
@@ -564,15 +590,7 @@ impl Journal {
             next_seq += 1;
         }
         let dir = self.path.parent().expect("journal path has a parent");
-        let tmp = dir.join(format!("{FILE_NAME}.tmp"));
-        let rewritten = fs::write(&tmp, &buf)
-            .and_then(|()| fs::rename(&tmp, &self.path))
-            .and_then(|()| OpenOptions::new().append(true).open(&self.path))
-            .and_then(|file| {
-                file.sync_data()?;
-                Ok(file)
-            });
-        match rewritten {
+        match replace_file_durably(dir, &self.path, &buf) {
             Ok(file) => {
                 st.file = file;
                 st.next_seq = next_seq;
@@ -591,6 +609,27 @@ impl Drop for Journal {
     fn drop(&mut self) {
         self.sync();
     }
+}
+
+/// Durably replaces the journal file with `buf` and returns a fresh
+/// append handle. Rename alone only orders the replacement against
+/// other *operations*, not against power loss: the tmp file's bytes
+/// must reach disk before the rename makes them the journal, and the
+/// rename itself lives in the directory, so both are fsynced — tmp
+/// file before the rename, parent directory after. A crash at any
+/// point leaves either the complete old file or the complete new one,
+/// never an empty or partial journal.
+fn replace_file_durably(dir: &Path, path: &Path, buf: &[u8]) -> std::io::Result<File> {
+    let tmp = dir.join(format!("{FILE_NAME}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(buf)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    OpenOptions::new().append(true).open(path)
 }
 
 #[cfg(test)]
@@ -709,7 +748,7 @@ mod tests {
         let metrics = Registry::new();
         {
             let (journal, recovered) = Journal::open(&dir, &metrics).expect("open");
-            assert!(recovered.is_empty());
+            assert!(recovered.loads.is_empty());
             journal.append_load(
                 "bench:ktree@1",
                 "s1",
@@ -724,8 +763,43 @@ mod tests {
         }
         let metrics2 = Registry::new();
         let (_journal, recovered) = Journal::open(&dir, &metrics2).expect("reopen");
-        assert_eq!(recovered.len(), 1);
-        assert_eq!(recovered[0].sid, "s2");
+        assert_eq!(recovered.loads.len(), 1);
+        assert_eq!(recovered.loads[0].sid, "s2");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_watermark_covers_an_unloaded_top_sid() {
+        // load s1, load s2, unload s2, crash: the replay list is just
+        // s1, but the watermark must still cover s2 — otherwise the
+        // next fresh load would re-mint it and a stale client's s2
+        // would silently resolve to a different session.
+        let dir = std::env::temp_dir().join(format!(
+            "tbaa-jrn-watermark-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let (journal, _) = Journal::open(&dir, &Registry::new()).expect("open");
+            journal.append_load(
+                "bench:ktree@1",
+                "s1",
+                r#"{"op":"load","bench":"ktree","scale":1}"#,
+            );
+            journal.append_load(
+                "bench:slisp@1",
+                "s2",
+                r#"{"op":"load","bench":"slisp","scale":1}"#,
+            );
+            journal.append_unload("s2");
+        }
+        let (_journal, recovered) = Journal::open(&dir, &Registry::new()).expect("reopen");
+        assert_eq!(recovered.loads.len(), 1);
+        assert_eq!(recovered.loads[0].sid, "s1");
+        assert_eq!(
+            recovered.next_sid, 3,
+            "the watermark covers the unloaded s2, not just the replayed s1"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -152,7 +152,7 @@ impl ServerConfigBuilder {
 /// Shared server state: sessions, metrics, the shutdown flag.
 pub struct ServerState {
     store: SessionStore,
-    journal: Option<Journal>,
+    journal: Option<Arc<Journal>>,
     metrics: Arc<Registry>,
     shutdown: AtomicBool,
     started: Instant,
@@ -174,10 +174,16 @@ impl ServerState {
         let journal = match &config.journal_dir {
             None => None,
             Some(dir) => {
-                let (journal, recovered) = Journal::open(dir, &metrics)?;
+                let (journal, recovery) = Journal::open(dir, &metrics)?;
+                // Apply the session-id watermark before anything else:
+                // the highest-minted pre-crash sid may belong to an
+                // unloaded session the replay below never touches, and
+                // re-minting it would hand a stale client's id to a
+                // different session.
+                store.reserve_ids(recovery.next_sid);
                 let replayed = metrics.counter("journal.replayed");
                 let failures = metrics.counter("journal.replay_failures");
-                for load in recovered {
+                for load in recovery.loads {
                     match store.restore_line(&load.sid, &load.line) {
                         Ok(()) => replayed.inc(),
                         // A journaled load that no longer compiles (or
@@ -187,6 +193,12 @@ impl ServerState {
                         Err(_) => failures.inc(),
                     }
                 }
+                // Attach only after replay: the restored loads are
+                // already in the freshly compacted file. From here on
+                // the store journals every admission and unload itself,
+                // inside its admission critical section.
+                let journal = Arc::new(journal);
+                store.attach_journal(journal.clone());
                 Some(journal)
             }
         };
@@ -201,7 +213,7 @@ impl ServerState {
 
     /// The durable session journal, when `--journal-dir` is configured.
     pub fn journal(&self) -> Option<&Journal> {
-        self.journal.as_ref()
+        self.journal.as_deref()
     }
 
     /// Whether shutdown has been requested.
@@ -471,26 +483,9 @@ fn dispatch(state: &Arc<ServerState>, req: Request<'_>, out: &mut String) {
                 Ok((slot, cached)) => match slot.as_ref() {
                     Err(diags) => compile_error_reply(diags).encode_into(out),
                     Ok(session) => {
-                        // Journal the admission (hits too: replay order
-                        // is how recovery reproduces LRU recency). The
-                        // line is re-canonicalized so replay never sees
-                        // client-specific extras like `"paths":true`.
-                        if let Some(journal) = state.journal() {
-                            let line = match (&source, &bench) {
-                                (Some(src), None) => Value::object(vec![
-                                    ("op", Value::Str("load".into())),
-                                    ("source", Value::Str(src.as_ref().into())),
-                                ]),
-                                (None, Some(name)) => Value::object(vec![
-                                    ("op", Value::Str("load".into())),
-                                    ("bench", Value::Str(name.as_ref().into())),
-                                    ("scale", Value::Int(scale as i64)),
-                                ]),
-                                _ => unreachable!("decode_request enforces exactly one"),
-                            }
-                            .encode();
-                            journal.append_load(&session.key.display(), &session.id, &line);
-                        }
+                        // The admission itself was journaled by the store
+                        // (inside its admission critical section), so the
+                        // journal's order matches admission order.
                         let mut fields = vec![
                             ("session", Value::Str(session.id.as_str().into())),
                             ("key", Value::Str(session.key.display().into())),
@@ -655,12 +650,10 @@ fn dispatch(state: &Arc<ServerState>, req: Request<'_>, out: &mut String) {
             .encode_into(out);
         }
         Request::Unload { session } => {
+            // The store journals the tombstone itself, under its
+            // admission lock, so it can never be reordered against a
+            // racing load of the same content.
             let unloaded = state.store().unload(&session);
-            if unloaded {
-                if let Some(journal) = state.journal() {
-                    journal.append_unload(&session);
-                }
-            }
             ok_reply(vec![("unloaded", Value::Bool(unloaded))]).encode_into(out)
         }
         Request::Shutdown => {

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use mini_m3::Diagnostics;
@@ -27,6 +27,8 @@ use tbaa_ir::pretty;
 
 use tbaa_incr::IncrCompiler;
 
+use crate::journal::Journal;
+use crate::json::Value;
 use crate::metrics::{Counter, Gauge, Histogram, Registry, LATENCY_US_BUCKETS};
 
 /// Content identity of a session.
@@ -204,6 +206,10 @@ pub struct SessionStore {
     /// LRU order (front = coldest) plus the id → key index.
     index: Mutex<StoreIndex>,
     next_id: AtomicU64,
+    /// The durable journal, attached after recovery replay. Appends
+    /// happen inside the index-lock critical section of [`Self::admit`]
+    /// and [`Self::unload`], so journal order is admission order.
+    journal: OnceLock<Arc<Journal>>,
     incr: IncrCompiler,
     metrics: Arc<Registry>,
     compiles: Arc<Counter>,
@@ -231,6 +237,7 @@ impl SessionStore {
             sessions: Memo::new(),
             index: Mutex::new(StoreIndex::default()),
             next_id: AtomicU64::new(1),
+            journal: OnceLock::new(),
             incr: IncrCompiler::new(),
             compiles: metrics.counter("sessions.compiles"),
             hits: metrics.counter("sessions.hits"),
@@ -261,6 +268,26 @@ impl SessionStore {
         result
     }
 
+    /// Attaches the durable journal. Called once, after recovery
+    /// replay — the restored loads are already in the (freshly
+    /// compacted) file, so replay must not re-append them. From here
+    /// on every admission and unload is journaled from inside the
+    /// index-lock critical section, so the journal's append order is
+    /// exactly the store's admission order: replay reproduces LRU
+    /// recency even when concurrent loads race unloads near capacity.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        let _ = self.journal.set(journal);
+    }
+
+    /// Advances the session-id counter so future mints start at
+    /// `next_sid` or later — the recovery watermark. Must be applied
+    /// before serving: the highest pre-crash id may belong to an
+    /// unloaded session that replay never touches, and re-minting it
+    /// would silently point a stale client at a different session.
+    pub fn reserve_ids(&self, next_sid: u64) {
+        self.next_id.fetch_max(next_sid, Ordering::Relaxed);
+    }
+
     /// Maximum number of live sessions.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -281,7 +308,15 @@ impl SessionStore {
             name: name.to_string(),
             scale,
         };
-        Ok(self.load_with(key, || self.compile_incr(&bench.source_at_scale(scale))))
+        let line = self.journal.get().map(|_| {
+            Value::object(vec![
+                ("op", Value::Str("load".into())),
+                ("bench", Value::Str(name.into())),
+                ("scale", Value::Int(scale as i64)),
+            ])
+            .encode()
+        });
+        Ok(self.load_with(key, line, || self.compile_incr(&bench.source_at_scale(scale))))
     }
 
     /// Loads inline source (compiling at most once per content hash).
@@ -290,12 +325,25 @@ impl SessionStore {
         let key = SessionKey::Source {
             hash: content_hash(source.as_bytes()),
         };
-        self.load_with(key, || self.compile_incr(source))
+        let line = self.journal.get().map(|_| {
+            Value::object(vec![
+                ("op", Value::Str("load".into())),
+                ("source", Value::Str(source.into())),
+            ])
+            .encode()
+        });
+        self.load_with(key, line, || self.compile_incr(source))
     }
 
+    /// `journal_line` is the canonical re-issuable request line to
+    /// journal on admission (hits included: replay order is how
+    /// recovery reproduces LRU recency), or `None` when journaling is
+    /// off. Re-canonicalized by the caller so replay never sees
+    /// client-specific extras like `"paths":true`.
     fn load_with(
         &self,
         key: SessionKey,
+        journal_line: Option<String>,
         compile: impl FnOnce() -> Result<Program, Diagnostics>,
     ) -> (Arc<SessionSlot>, bool) {
         let mut built_here = false;
@@ -320,7 +368,7 @@ impl SessionStore {
             }
             (Ok(session), true) => {
                 self.misses.inc();
-                self.admit(key, &session.id);
+                self.admit(key, &session.id, journal_line.as_deref());
                 false
             }
             (Ok(session), false) => {
@@ -328,7 +376,7 @@ impl SessionStore {
                 // Admit (not just touch): a hit thread can win the memo
                 // race and reply before the builder thread has indexed
                 // the id — its client's next query must still resolve.
-                self.admit(key, &session.id);
+                self.admit(key, &session.id, journal_line.as_deref());
                 true
             }
         };
@@ -396,7 +444,9 @@ impl SessionStore {
                 ))
             }
             Ok(session) => {
-                self.admit(key, &session.id);
+                // No journal line: replay must not re-append records the
+                // recovered (already compacted) file still holds.
+                self.admit(key, &session.id, None);
                 Ok(())
             }
         }
@@ -437,7 +487,10 @@ impl SessionStore {
         out
     }
 
-    /// Drops a session by id. Returns whether it was live.
+    /// Drops a session by id. Returns whether it was live. The journal
+    /// tombstone (when journaling is on) is appended while the index
+    /// lock is still held, for the same admission-ordering guarantee
+    /// as [`Self::admit`].
     pub fn unload(&self, id: &str) -> bool {
         let key = {
             let mut index = self.index.lock().expect("store poisoned");
@@ -445,18 +498,30 @@ impl SessionStore {
                 return false;
             };
             index.lru.retain(|k| k != &key);
+            if let Some(journal) = self.journal.get() {
+                journal.append_unload(id);
+            }
             key
         };
         self.sessions.remove(&key);
         true
     }
 
-    fn admit(&self, key: SessionKey, id: &str) {
+    fn admit(&self, key: SessionKey, id: &str, journal_line: Option<&str>) {
+        let key_display = journal_line.map(|_| key.display());
         let evicted: Vec<SessionKey> = {
             let mut index = self.index.lock().expect("store poisoned");
             index.by_id.insert(id.to_string(), key.clone());
             index.lru.retain(|k| k != &key);
             index.lru.push(key);
+            // Journal while the admission lock is still held: the
+            // append order on disk is then exactly the order admissions
+            // (and unloads) took effect, so replay can never resurrect
+            // a session whose unload raced its load, or misorder LRU
+            // recency near capacity.
+            if let (Some(journal), Some(line)) = (self.journal.get(), journal_line) {
+                journal.append_load(key_display.as_deref().unwrap_or_default(), id, line);
+            }
             let mut evicted = Vec::new();
             while index.lru.len() > self.capacity {
                 let cold = index.lru.remove(0);

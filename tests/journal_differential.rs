@@ -270,6 +270,87 @@ fn restart_preserves_session_ids_and_replies_byte_identically() {
     stop(handle);
 }
 
+/// The watermark must outlive the session it came from: when the
+/// *highest-minted* sid is unloaded before the crash, replay never
+/// touches it — only the mark/fold watermark knows it existed. A
+/// recovered daemon must still answer `no_session` for it and mint
+/// fresh ids strictly past it; re-minting would silently resolve a
+/// stale client's id to a different session.
+#[test]
+fn unloaded_top_sid_is_never_reminted_after_restart() {
+    let dir = JournalDir::new("unload-top");
+    let a = Content::Bench {
+        name: "ktree".into(),
+        scale: 1,
+    };
+    let b = Content::Bench {
+        name: "slisp".into(),
+        scale: 1,
+    };
+    let contents = vec![a.clone(), b.clone()];
+    let checker = DiffChecker::new(&contents);
+
+    let handle = boot(dir.path(), 0);
+    let (sid_a, sid_b);
+    {
+        let mut d = Driver::connect(handle.addr());
+        let (sa, _) = d.load(&a, &checker);
+        let (sb, _) = d.load(&b, &checker);
+        assert!(
+            sid_num(&sb) > sid_num(&sa),
+            "the second load mints the higher sid"
+        );
+        let raw = d.request(&format!(r#"{{"op":"unload","session":"{sb}"}}"#));
+        let v = parse(&raw).expect("unload reply parses");
+        assert_eq!(v.get("unloaded").and_then(Value::as_bool), Some(true));
+        sid_a = sa;
+        sid_b = sb;
+    }
+    stop(handle);
+
+    let handle = boot(dir.path(), 0);
+    let mut d = Driver::connect(handle.addr());
+    let s = d.stats();
+    assert_eq!(
+        counter(&s, "journal.replayed"),
+        1,
+        "only the surviving session replays"
+    );
+
+    // The stale top sid is dead, not someone else's session.
+    let raw = d.request(&format!(
+        r#"{{"op":"pairs","session":"{sid_b}","level":"typedecl","world":"closed"}}"#
+    ));
+    let v = parse(&raw).expect("error reply parses");
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str),
+        Some("no_session"),
+        "an unloaded pre-crash sid must stay dead after recovery: {raw}"
+    );
+
+    // A brand-new content mints strictly past the unloaded watermark.
+    let fresh = Content::Bench {
+        name: "format".into(),
+        scale: 1,
+    };
+    let fresh_checker = DiffChecker::new(std::slice::from_ref(&fresh));
+    let (fresh_sid, _) = d.load(&fresh, &fresh_checker);
+    assert!(
+        sid_num(&fresh_sid) > sid_num(&sid_b),
+        "fresh sid {fresh_sid} re-mints the unloaded pre-crash sid {sid_b}"
+    );
+
+    // The survivor still answers under its old id, byte-identically.
+    let (sid, cached) = d.load(&a, &checker);
+    assert!(cached, "the survivor must not recompile");
+    assert_eq!(sid, sid_a);
+    sweep_queries(&mut d, &checker, &a, &sid);
+
+    assert_eq!(checker.mismatches(), 0, "{:?}", checker.details());
+    assert_eq!(fresh_checker.mismatches(), 0, "{:?}", fresh_checker.details());
+    stop(handle);
+}
+
 /// Recovery replays the journal in append order through the same LRU
 /// store, so a capacity-1 server keeps only the *last* session loaded
 /// before the crash — and never hands an evicted id to anyone else.
