@@ -174,13 +174,37 @@ impl CompiledAliasEngine {
     /// already-built analysis, precomputing the dense pair matrix when
     /// the snapshot fits [`DENSE_LIMIT`].
     pub fn compile(prog: &Program, tbaa: Arc<Tbaa>) -> Self {
-        Self::compile_with_dense_limit(prog, tbaa, DENSE_LIMIT)
+        Self::compile_with_options(prog, tbaa, DENSE_LIMIT, 1)
+    }
+
+    /// [`compile`](Self::compile) with the dense matrix filled row-
+    /// parallel on up to `threads` workers (capped by the host's core
+    /// count via [`tbaa_ir::effective_workers`]; one effective worker
+    /// runs the serial fill with zero thread overhead). The matrix is
+    /// bit-for-bit identical at any thread count.
+    pub fn compile_with_threads(prog: &Program, tbaa: Arc<Tbaa>, threads: usize) -> Self {
+        let workers = tbaa_ir::effective_workers(threads, prog.aps.len());
+        Self::compile_with_options(prog, tbaa, DENSE_LIMIT, workers)
     }
 
     /// [`compile`](Self::compile) with an explicit dense-matrix cutoff;
     /// `0` forces the lazy memo regime (the differential tests use this
     /// to cover both query paths on the same programs).
     pub fn compile_with_dense_limit(prog: &Program, tbaa: Arc<Tbaa>, dense_limit: usize) -> Self {
+        Self::compile_with_options(prog, tbaa, dense_limit, 1)
+    }
+
+    /// Full-control constructor: explicit dense cutoff and an **exact**
+    /// dense-fill worker count (clamped only to the row count, not the
+    /// host's cores — tests use this to force the parallel fill on a
+    /// single-core host; production callers go through
+    /// [`compile_with_threads`](Self::compile_with_threads)).
+    pub fn compile_with_options(
+        prog: &Program,
+        tbaa: Arc<Tbaa>,
+        dense_limit: usize,
+        threads: usize,
+    ) -> Self {
         let start = std::time::Instant::now();
         let integer = prog.types.integer();
         let mut nodes: Vec<Node> = Vec::new();
@@ -250,18 +274,72 @@ impl CompiledAliasEngine {
             // rows. Padding costs < 64 bits per row over the flat
             // `a*n+b` layout it replaced.
             let wpr = n.div_ceil(64);
-            let mut bits = vec![0u64; n * wpr];
-            for a in 0..n {
-                for b in a..n {
-                    if engine
-                        .compiled_answer(ApId(a as u32), ApId(b as u32))
-                        .expect("snapshot ids are dense")
-                    {
-                        bits[a * wpr + (b >> 6)] |= 1 << (b & 63);
-                        bits[b * wpr + (a >> 6)] |= 1 << (a & 63);
+            let workers = threads.clamp(1, n);
+            let bits = if workers <= 1 {
+                let mut bits = vec![0u64; n * wpr];
+                for a in 0..n {
+                    for b in a..n {
+                        if engine
+                            .compiled_answer(ApId(a as u32), ApId(b as u32))
+                            .expect("snapshot ids are dense")
+                        {
+                            bits[a * wpr + (b >> 6)] |= 1 << (b & 63);
+                            bits[b * wpr + (a >> 6)] |= 1 << (a & 63);
+                        }
                     }
                 }
-            }
+                bits
+            } else {
+                // Row-parallel fill: each worker claims upper-triangle
+                // rows off an atomic cursor (row a holds pairs b >= a,
+                // so the cursor balances the skewed row costs), writes
+                // only its own row's words, and the mirror half is
+                // copied serially after the join. `compiled_answer` is
+                // `&self` over the shared memo, so the walks race only
+                // on monotonic counters — the verdicts, and hence the
+                // matrix, are bit-identical to the serial fill.
+                let abits: Vec<AtomicU64> = (0..n * wpr).map(|_| AtomicU64::new(0)).collect();
+                let cursor = AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        let abits = &abits;
+                        let cursor = &cursor;
+                        let engine = &engine;
+                        s.spawn(move || {
+                            let mut row = vec![0u64; wpr];
+                            loop {
+                                let a = cursor.fetch_add(1, Ordering::Relaxed);
+                                if a >= n {
+                                    break;
+                                }
+                                row.fill(0);
+                                for b in a..n {
+                                    if engine
+                                        .compiled_answer(ApId(a as u32), ApId(b as u32))
+                                        .expect("snapshot ids are dense")
+                                    {
+                                        row[b >> 6] |= 1 << (b & 63);
+                                    }
+                                }
+                                for (w, &v) in row.iter().enumerate() {
+                                    if v != 0 {
+                                        abits[a * wpr + w].store(v, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                let mut bits: Vec<u64> = abits.into_iter().map(AtomicU64::into_inner).collect();
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        if bits[a * wpr + (b >> 6)] >> (b & 63) & 1 == 1 {
+                            bits[b * wpr + (a >> 6)] |= 1 << (a & 63);
+                        }
+                    }
+                }
+                bits
+            };
             engine.dense = bits;
             engine.dense_n = n as u32;
             engine.dense_wpr = wpr as u32;
@@ -519,7 +597,10 @@ impl CompiledAliasEngine {
             (local, weighted, diag)
         };
         let add = |x: (u64, u64, u64), y: (u64, u64, u64)| (x.0 + y.0, x.1 + y.1, x.2 + y.2);
-        let workers = threads.clamp(1, groups.max(1));
+        // Host-core cap included: a single-core host always takes the
+        // serial arm, so the census never pays thread-spawn overhead it
+        // cannot recoup (the pairs.scaling regression).
+        let workers = tbaa_ir::effective_workers(threads, groups);
         let (local, weighted, diag) = if workers <= 1 {
             (0..groups).map(census_group).fold((0, 0, 0), add)
         } else {
@@ -700,6 +781,31 @@ mod tests {
                             "{level}/{world:?} wild {a:?}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_dense_fill_is_bit_identical() {
+        let prog = prog();
+        for world in [World::Closed, World::Open] {
+            for level in Level::ALL {
+                let tbaa = Arc::new(Tbaa::build(&prog, level, world));
+                let serial = CompiledAliasEngine::compile(&prog, tbaa.clone());
+                for workers in [2, 3, 8] {
+                    let par = CompiledAliasEngine::compile_with_options(
+                        &prog,
+                        tbaa.clone(),
+                        DENSE_LIMIT,
+                        workers,
+                    );
+                    assert_eq!(par.dense_n, serial.dense_n);
+                    assert_eq!(par.dense_wpr, serial.dense_wpr);
+                    assert_eq!(
+                        par.dense, serial.dense,
+                        "{level}/{world:?} dense matrix diverged at {workers} workers"
+                    );
                 }
             }
         }

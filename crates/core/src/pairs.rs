@@ -118,7 +118,10 @@ pub fn count_alias_pairs_rows(
         }
         (local, global)
     };
-    let workers = threads.clamp(1, n.max(1));
+    // Host-core cap included: on a single-core host every `threads`
+    // value degrades to the serial fold, so thread-spawn overhead never
+    // shows up as a scaling "slowdown" (the pairs.scaling fix).
+    let workers = tbaa_ir::effective_workers(threads, n);
     let (local, global) = if workers <= 1 {
         (0..n).map(count_row).fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
     } else {
@@ -209,6 +212,16 @@ mod tests {
     use crate::analysis::{Level, Tbaa};
     use crate::merge::World;
     use tbaa_ir::compile_to_ir;
+
+    #[test]
+    fn single_core_worker_count_short_circuits_spawn() {
+        // The pair and census kernels derive their worker count from
+        // `effective_workers`; on a 1-core host every requested thread
+        // count collapses to 1, taking the spawn-free serial arm.
+        for requested in [1, 2, 8, 64] {
+            assert_eq!(tbaa_ir::effective_workers_for(requested, 1000, 1), 1);
+        }
+    }
 
     fn prog() -> Program {
         compile_to_ir(

@@ -26,7 +26,9 @@ use mini_m3::check::{
 use mini_m3::error::{Diagnostics, Phase};
 use mini_m3::span::Span;
 use mini_m3::types::{ParamMode, TypeId, TypeKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Lowers a checked module to IR.
 ///
@@ -45,9 +47,190 @@ use std::collections::HashMap;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn lower(checked: CheckedModule) -> Result<Program, Diagnostics> {
-    let mut lw = Lowerer::new(checked);
+    let mut lw = Lowerer::new(Arc::new(checked));
     lw.run();
     assemble(lw)
+}
+
+/// The worker count actually worth spawning for `items` independent work
+/// units when `requested` threads were asked for: never more threads than
+/// items, and never more than the host exposes — a single-core host pays
+/// thread-spawn overhead without any parallel speedup, so it always runs
+/// serial (the `pairs.scaling` regression this fixes).
+pub fn effective_workers(requested: usize, items: usize) -> usize {
+    // `available_parallelism` re-parses cgroup quotas on every call
+    // (~10µs on Linux) — far too slow for per-query kernels that route
+    // their thread clamp through here. The core count is fixed for the
+    // process lifetime, so resolve it once.
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cores =
+        *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    effective_workers_for(requested, items, cores)
+}
+
+/// Pure core of [`effective_workers`], parameterized on the core count so
+/// the clamp is testable on any host.
+pub fn effective_workers_for(requested: usize, items: usize, cores: usize) -> usize {
+    requested.clamp(1, items.max(1)).min(cores.max(1))
+}
+
+/// [`lower`] with the per-function fan-out: function units are lowered
+/// detached on scoped threads and merged **in unit order** through
+/// [`ModuleLowerer::absorb_next`], so the output is byte-identical to the
+/// serial lowering at any thread count. Worker count is capped by
+/// [`effective_workers`]; one worker falls back to plain [`lower`].
+pub fn lower_parallel(checked: CheckedModule, threads: usize) -> Result<Program, Diagnostics> {
+    let workers = effective_workers(threads, checked.procs.len());
+    lower_parallel_with_workers(checked, workers)
+}
+
+/// [`lower_parallel`] with an exact worker count (no host-core cap) — the
+/// differential tests use this to force the detached-merge path even on a
+/// single-core host.
+pub fn lower_parallel_with_workers(
+    checked: CheckedModule,
+    workers: usize,
+) -> Result<Program, Diagnostics> {
+    if workers <= 1 {
+        return lower(checked);
+    }
+    let checked = Arc::new(checked);
+    let units = lower_units_detached(&checked, workers);
+    let mut ml = ModuleLowerer::new_shared(checked);
+    for unit in units {
+        ml.absorb_next(unit);
+    }
+    ml.finish()
+}
+
+/// Lowers every function unit of `checked` detached (fresh local tables)
+/// on `workers` scoped threads, returning the units in function order.
+/// Workers claim unit indices off a shared atomic cursor, so skewed
+/// function sizes still balance.
+pub fn lower_units_detached(checked: &Arc<CheckedModule>, workers: usize) -> Vec<DetachedUnit> {
+    let n = checked.procs.len();
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<DetachedUnit>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, lower_unit_detached(checked, ProcId(i as u32))));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, u) in h.join().expect("lowering worker panicked") {
+                slots[i] = Some(u);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every unit lowered exactly once"))
+        .collect()
+}
+
+/// Lowers one function unit against fresh empty tables. All ids the unit
+/// hands out (`ApId`s, `Symbol`s, text ids, temp/opaque counters) are
+/// local; [`ModuleLowerer::absorb_next`] remaps them into the
+/// module-shared tables.
+pub fn lower_unit_detached(checked: &Arc<CheckedModule>, pid: ProcId) -> DetachedUnit {
+    let mut lw = Lowerer::new_detached(Arc::clone(checked));
+    lw.lower_func(pid);
+    let func = lw.funcs.pop().expect("lower_func pushed");
+    DetachedUnit {
+        func,
+        temps: lw.aps.temp_mark(),
+        opaques: lw.aps.opaque_mark(),
+        aps: lw.aps,
+        symbols: lw.symbols,
+        texts: lw.texts,
+        merges: lw.merges,
+        address_taken: lw.address_taken,
+        allocated: lw.allocated,
+        diags: lw.diags,
+    }
+}
+
+/// One function lowered in isolation by [`lower_unit_detached`]: the body
+/// plus its shared-state contributions, all in unit-local id spaces.
+#[derive(Debug)]
+pub struct DetachedUnit {
+    func: Function,
+    /// Fresh temp roots the unit consumed (local ids `1..=temps`).
+    temps: u32,
+    /// Fresh opaque-index ids the unit consumed.
+    opaques: u32,
+    aps: ApTable,
+    symbols: SymbolTable,
+    texts: Vec<String>,
+    merges: Vec<Merge>,
+    address_taken: AddressTakenInfo,
+    allocated: HashSet<TypeId>,
+    diags: Diagnostics,
+}
+
+/// Rebases a detached unit's opaque-index ids into the module id space.
+fn remap_index(ix: &mut ApIndex, opaque_base: u32) {
+    match ix {
+        ApIndex::Opaque(o) => *o += opaque_base,
+        ApIndex::Bin(_, l, r) => {
+            remap_index(l, opaque_base);
+            remap_index(r, opaque_base);
+        }
+        _ => {}
+    }
+}
+
+/// Rebases a detached unit's access path: temp roots and opaque indices
+/// shift by the module counters at absorb time (fresh ids are handed out
+/// pre-increment, so local id `k` is exactly serial id `base + k`), and
+/// field symbols map through the unit's symbol remap table.
+fn remap_path(p: &AccessPath, sym_map: &[Symbol], temp_base: u32, opaque_base: u32) -> AccessPath {
+    let mut p = p.clone();
+    if let ApRoot::Temp(t) = &mut p.root {
+        *t += temp_base;
+    }
+    for s in &mut p.steps {
+        match s {
+            ApStep::Field { name, .. } => *name = sym_map[name.0 as usize],
+            ApStep::Index { index, .. } => remap_index(index, opaque_base),
+            _ => {}
+        }
+    }
+    p
+}
+
+/// Rewrites every unit-local id a lowered body carries (`ApId`
+/// annotations on heap instructions and text-literal ids) into the
+/// module id space.
+fn remap_func(f: &mut Function, ap_map: &[ApId], text_map: &[u32]) {
+    for b in &mut f.blocks {
+        for i in &mut b.instrs {
+            match i {
+                Instr::LoadMem { ap, .. }
+                | Instr::StoreMem { ap, .. }
+                | Instr::TakeAddrMem { ap, .. } => *ap = ap_map[ap.0 as usize],
+                Instr::Call { addr_aps, .. } | Instr::CallMethod { addr_aps, .. } => {
+                    for ap in addr_aps {
+                        *ap = ap_map[ap.0 as usize];
+                    }
+                }
+                Instr::ConstText { text, .. } => *text = text_map[*text as usize],
+                _ => {}
+            }
+        }
+    }
 }
 
 /// Assembles the final [`Program`] from a fully-driven [`Lowerer`] —
@@ -56,22 +239,31 @@ fn assemble(lw: Lowerer) -> Result<Program, Diagnostics> {
     if lw.diags.has_errors() {
         Err(lw.diags)
     } else {
+        let main = FuncId(lw.checked.main.0);
+        let method_impls = lw
+            .checked
+            .method_impls
+            .iter()
+            .map(|(&(t, ref m), &p)| ((t, m.clone()), FuncId(p.0)))
+            .collect();
+        // Reclaim the checked module's type table when this lowering
+        // holds the last reference (always true once the detached
+        // workers have joined); a still-shared module pays one clone.
+        let types = match Arc::try_unwrap(lw.checked) {
+            Ok(checked) => checked.types,
+            Err(shared) => shared.types.clone(),
+        };
         Ok(Program {
-            types: lw.checked.types,
+            types,
             funcs: lw.funcs,
-            main: FuncId(lw.checked.main.0),
+            main,
             globals: lw.globals,
             global_frame_size: lw.global_frame_size,
             texts: lw.texts,
             aps: lw.aps,
             symbols: lw.symbols,
             address_taken: lw.address_taken,
-            method_impls: lw
-                .checked
-                .method_impls
-                .iter()
-                .map(|(&(t, ref m), &p)| ((t, m.clone()), FuncId(p.0)))
-                .collect(),
+            method_impls,
             allocated_types: lw.allocated,
             merges: lw.merges,
         })
@@ -124,6 +316,73 @@ pub struct FuncLowering {
     pub clean: bool,
 }
 
+/// Table positions before one unit is driven, for delta capture. The
+/// address-taken/allocated deltas come from insertion-order logs the
+/// [`Lowerer`] maintains alongside its sets, so capturing a unit no
+/// longer clones three `HashSet`s up front.
+struct Marks {
+    aps: usize,
+    temps: u32,
+    opaques: u32,
+    syms: usize,
+    texts: usize,
+    merges: usize,
+    diags: usize,
+    taken_fields: usize,
+    taken_elements: usize,
+    allocated: usize,
+}
+
+impl Marks {
+    fn take(lw: &Lowerer) -> Marks {
+        Marks {
+            aps: lw.aps.len(),
+            temps: lw.aps.temp_mark(),
+            opaques: lw.aps.opaque_mark(),
+            syms: lw.symbols.len(),
+            texts: lw.texts.len(),
+            merges: lw.merges.len(),
+            diags: lw.diags.len(),
+            taken_fields: lw.taken_fields_log.len(),
+            taken_elements: lw.taken_elements_log.len(),
+            allocated: lw.allocated_log.len(),
+        }
+    }
+
+    /// The delta between the marks and the lowerer's current state, as a
+    /// cacheable [`FuncLowering`] for the function just driven.
+    fn capture(self, lw: &Lowerer) -> FuncLowering {
+        let mut taken_fields = lw.taken_fields_log[self.taken_fields..].to_vec();
+        taken_fields.sort_unstable();
+        let mut taken_elements = lw.taken_elements_log[self.taken_elements..].to_vec();
+        taken_elements.sort_unstable();
+        let mut allocated = lw.allocated_log[self.allocated..].to_vec();
+        allocated.sort_unstable();
+        FuncLowering {
+            func: lw.funcs.last().expect("a function was driven").clone(),
+            effects: FuncEffects {
+                aps: (self.aps..lw.aps.len())
+                    .map(|i| lw.aps.path(ApId(i as u32)).clone())
+                    .collect(),
+                temps: lw.aps.temp_mark() - self.temps,
+                opaques: lw.aps.opaque_mark() - self.opaques,
+                symbols: lw
+                    .symbols
+                    .iter()
+                    .skip(self.syms)
+                    .map(|(_, n)| n.to_string())
+                    .collect(),
+                texts: lw.texts[self.texts..].to_vec(),
+                merges: lw.merges[self.merges..].to_vec(),
+                taken_fields,
+                taken_elements,
+                allocated,
+            },
+            clean: lw.diags.len() == self.diags,
+        }
+    }
+}
+
 /// A resumable, function-at-a-time driver over the same lowering engine as
 /// [`lower`], for incremental compilation (`tbaa-incr`).
 ///
@@ -142,6 +401,13 @@ pub struct ModuleLowerer {
 impl ModuleLowerer {
     /// Starts lowering `checked`, with no function lowered yet.
     pub fn new(checked: CheckedModule) -> Self {
+        Self::new_shared(Arc::new(checked))
+    }
+
+    /// [`new`](Self::new) over an already-shared module — the parallel
+    /// cold-compile path keeps one `Arc` per detached worker plus this
+    /// one, so the module is checked once and never cloned.
+    pub fn new_shared(checked: Arc<CheckedModule>) -> Self {
         ModuleLowerer {
             lw: Lowerer::new(checked),
             next: 0,
@@ -160,64 +426,76 @@ impl ModuleLowerer {
 
     /// Lowers the next function fresh, capturing its shared-state effects.
     pub fn lower_next(&mut self) -> FuncLowering {
-        let lw = &mut self.lw;
-        let aps_mark = lw.aps.len();
-        let temp_mark = lw.aps.temp_mark();
-        let opaque_mark = lw.aps.opaque_mark();
-        let sym_mark = lw.symbols.len();
-        let text_mark = lw.texts.len();
-        let merge_mark = lw.merges.len();
-        let diag_mark = lw.diags.len();
-        let taken_fields_before = lw.address_taken.fields.clone();
-        let taken_elements_before = lw.address_taken.elements.clone();
-        let allocated_before = lw.allocated.clone();
-
-        lw.lower_func(ProcId(self.next));
+        let marks = Marks::take(&self.lw);
+        self.lw.lower_func(ProcId(self.next));
         self.next += 1;
+        marks.capture(&self.lw)
+    }
 
-        let mut taken_fields: Vec<(TypeId, Symbol)> = lw
-            .address_taken
-            .fields
-            .difference(&taken_fields_before)
-            .copied()
+    /// Splices a detached unit in by remapping its locally-numbered ids
+    /// (paths, temp/opaque roots, field symbols, text literals) into the
+    /// module-shared tables **in the unit's own intern order**. Detached
+    /// lowering interns in the same first-use order a serial lowering
+    /// does, and fresh ids are handed out pre-increment, so local id `k`
+    /// rebased by the module counter is exactly the id serial lowering
+    /// would have produced — the merged tables, and therefore the
+    /// assembled program, are byte-identical to serial output.
+    pub fn absorb_next(&mut self, unit: DetachedUnit) {
+        let lw = &mut self.lw;
+        let temp_base = lw.aps.temp_mark();
+        let opaque_base = lw.aps.opaque_mark();
+        // Field symbols and text literals, in unit intern order.
+        let sym_map: Vec<Symbol> = unit
+            .symbols
+            .iter()
+            .map(|(_, n)| lw.symbols.intern(n))
             .collect();
-        taken_fields.sort_unstable();
-        let mut taken_elements: Vec<TypeId> = lw
-            .address_taken
-            .elements
-            .difference(&taken_elements_before)
-            .copied()
+        let text_map: Vec<u32> = unit.texts.iter().map(|t| lw.text_id(t)).collect();
+        // Access paths: rebase local ids, then re-intern in unit order
+        // (already-shared paths dedup to their existing module ids; new
+        // ones append in the same order serial lowering would).
+        let ap_map: Vec<ApId> = unit
+            .aps
+            .iter()
+            .map(|(_, p)| {
+                let p = remap_path(p, &sym_map, temp_base, opaque_base);
+                lw.aps.intern(p)
+            })
             .collect();
-        taken_elements.sort_unstable();
-        let mut allocated: Vec<TypeId> = lw
-            .allocated
-            .difference(&allocated_before)
-            .copied()
-            .collect();
-        allocated.sort_unstable();
+        lw.aps.advance_counters(unit.temps, unit.opaques);
 
-        FuncLowering {
-            func: lw.funcs.last().expect("lower_func pushed").clone(),
-            effects: FuncEffects {
-                aps: (aps_mark..lw.aps.len())
-                    .map(|i| lw.aps.path(ApId(i as u32)).clone())
-                    .collect(),
-                temps: lw.aps.temp_mark() - temp_mark,
-                opaques: lw.aps.opaque_mark() - opaque_mark,
-                symbols: lw
-                    .symbols
-                    .iter()
-                    .skip(sym_mark)
-                    .map(|(_, n)| n.to_string())
-                    .collect(),
-                texts: lw.texts[text_mark..].to_vec(),
-                merges: lw.merges[merge_mark..].to_vec(),
-                taken_fields,
-                taken_elements,
-                allocated,
-            },
-            clean: lw.diags.len() == diag_mark,
+        let mut func = unit.func;
+        remap_func(&mut func, &ap_map, &text_map);
+        lw.funcs.push(func);
+        lw.merges.extend_from_slice(&unit.merges);
+        for &(ty, sym) in unit.address_taken.fields.iter() {
+            let f = (ty, sym_map[sym.0 as usize]);
+            if lw.address_taken.fields.insert(f) {
+                lw.taken_fields_log.push(f);
+            }
         }
+        for &t in unit.address_taken.elements.iter() {
+            if lw.address_taken.elements.insert(t) {
+                lw.taken_elements_log.push(t);
+            }
+        }
+        for &t in unit.allocated.iter() {
+            if lw.allocated.insert(t) {
+                lw.allocated_log.push(t);
+            }
+        }
+        lw.diags.extend(unit.diags);
+        self.next += 1;
+    }
+
+    /// [`absorb_next`](Self::absorb_next), additionally capturing the
+    /// unit's shared-state delta as a cacheable [`FuncLowering`] —
+    /// exactly what [`lower_next`](Self::lower_next) would have captured
+    /// for the same function.
+    pub fn absorb_next_captured(&mut self, unit: DetachedUnit) -> FuncLowering {
+        let marks = Marks::take(&self.lw);
+        self.absorb_next(unit);
+        marks.capture(&self.lw)
     }
 
     /// Splices a cached function in by replaying its shared-state delta.
@@ -242,13 +520,19 @@ impl ModuleLowerer {
         }
         lw.merges.extend_from_slice(&eff.merges);
         for &f in &eff.taken_fields {
-            lw.address_taken.fields.insert(f);
+            if lw.address_taken.fields.insert(f) {
+                lw.taken_fields_log.push(f);
+            }
         }
         for &t in &eff.taken_elements {
-            lw.address_taken.elements.insert(t);
+            if lw.address_taken.elements.insert(t) {
+                lw.taken_elements_log.push(t);
+            }
         }
         for &t in &eff.allocated {
-            lw.allocated.insert(t);
+            if lw.allocated.insert(t) {
+                lw.allocated_log.push(t);
+            }
         }
         self.next += 1;
     }
@@ -291,7 +575,7 @@ enum LPlaceKind {
 }
 
 struct Lowerer {
-    checked: CheckedModule,
+    checked: Arc<CheckedModule>,
     diags: Diagnostics,
     funcs: Vec<Function>,
     globals: Vec<GlobalDecl>,
@@ -301,8 +585,14 @@ struct Lowerer {
     aps: ApTable,
     symbols: SymbolTable,
     address_taken: AddressTakenInfo,
+    /// Insertion-order logs mirroring the sets above/below: a unit's
+    /// delta is a slice of the log, so per-unit capture never clones the
+    /// sets themselves.
+    taken_fields_log: Vec<(TypeId, Symbol)>,
+    taken_elements_log: Vec<TypeId>,
     merges: Vec<Merge>,
-    allocated: std::collections::HashSet<TypeId>,
+    allocated: HashSet<TypeId>,
+    allocated_log: Vec<TypeId>,
     // per-function state
     fid: FuncId,
     vars: Vec<VarDecl>,
@@ -314,9 +604,9 @@ struct Lowerer {
 }
 
 impl Lowerer {
-    fn new(checked: CheckedModule) -> Self {
+    fn new(checked: Arc<CheckedModule>) -> Self {
         // Global frame layout.
-        let mut globals = Vec::new();
+        let mut globals = Vec::with_capacity(checked.globals.len());
         let mut off = 0u32;
         for g in &checked.globals {
             let size = checked.types.size_of(g.ty).max(1);
@@ -328,19 +618,57 @@ impl Lowerer {
             });
             off += size;
         }
+        // Cheap pre-scan over the expression arena: designator shapes
+        // bound how many access paths the module can intern, Qualify
+        // expressions its field symbols, Text its literals. Pre-sizing
+        // the intern tables avoids mid-module rehash/regrow churn.
+        let mut ap_cap = 0usize;
+        let mut sym_cap = 0usize;
+        let mut text_cap = 0usize;
+        for e in &checked.ast.exprs {
+            match e {
+                Expr::Qualify { .. } => {
+                    ap_cap += 1;
+                    sym_cap += 1;
+                }
+                Expr::Deref(_) | Expr::Index { .. } => ap_cap += 2,
+                Expr::Text(_) => text_cap += 1,
+                _ => {}
+            }
+        }
+        let n_procs = checked.procs.len();
+        let mut lw = Self::new_detached(checked);
+        lw.funcs = Vec::with_capacity(n_procs);
+        lw.globals = globals;
+        lw.global_frame_size = off;
+        lw.aps = ApTable::with_capacity(ap_cap);
+        lw.symbols = SymbolTable::with_capacity(sym_cap);
+        lw.texts = Vec::with_capacity(text_cap);
+        lw.text_intern = HashMap::with_capacity(text_cap);
+        lw
+    }
+
+    /// A lowerer for one detached unit: shares the checked module but
+    /// starts from empty tables and skips the global frame layout and
+    /// pre-scan (neither is consulted while lowering a single function —
+    /// the layout is only assembled into the final program).
+    fn new_detached(checked: Arc<CheckedModule>) -> Self {
         Lowerer {
             checked,
             diags: Diagnostics::new(),
             funcs: Vec::new(),
-            globals,
-            global_frame_size: off,
+            globals: Vec::new(),
+            global_frame_size: 0,
             texts: Vec::new(),
             text_intern: HashMap::new(),
             aps: ApTable::new(),
             symbols: SymbolTable::new(),
             address_taken: AddressTakenInfo::default(),
+            taken_fields_log: Vec::new(),
+            taken_elements_log: Vec::new(),
             merges: Vec::new(),
-            allocated: std::collections::HashSet::new(),
+            allocated: HashSet::new(),
+            allocated_log: Vec::new(),
             fid: FuncId(0),
             vars: Vec::new(),
             blocks: Vec::new(),
@@ -432,10 +760,13 @@ impl Lowerer {
     fn record_address_taken(&mut self, ap: &AccessPath) {
         match ap.steps.last() {
             Some(ApStep::Field { name, base_ty, .. }) => {
-                self.address_taken.fields.insert((*base_ty, *name));
+                let f = (*base_ty, *name);
+                if self.address_taken.fields.insert(f) {
+                    self.taken_fields_log.push(f);
+                }
             }
-            Some(ApStep::Index { base_ty, .. }) => {
-                self.address_taken.elements.insert(*base_ty);
+            Some(ApStep::Index { base_ty, .. }) if self.address_taken.elements.insert(*base_ty) => {
+                self.taken_elements_log.push(*base_ty);
             }
             _ => {}
         }
@@ -444,20 +775,21 @@ impl Lowerer {
     // ---- function lowering ------------------------------------------------
 
     fn lower_func(&mut self, pid: ProcId) {
-        let pinfo = self.checked.proc(pid).clone();
+        let checked = Arc::clone(&self.checked);
+        let pinfo = checked.proc(pid);
         self.fid = FuncId(pid.0);
-        self.vars = Vec::new();
+        self.vars = Vec::with_capacity(pinfo.locals.len());
         self.blocks = vec![Block::new()];
         self.cur = BlockId(0);
         self.n_regs = 0;
-        self.bindings = Vec::new();
-        self.loop_exits = Vec::new();
+        self.bindings.clear();
+        self.loop_exits.clear();
 
-        let mut param_modes = Vec::new();
+        let mut param_modes = Vec::with_capacity(pinfo.n_params as usize);
         for (i, l) in pinfo.locals.iter().enumerate() {
             let is_param = (i as u32) < pinfo.n_params;
-            let size = self.checked.types.size_of(l.ty).max(1);
-            let scalar = self.checked.types.is_scalar(l.ty);
+            let size = checked.types.size_of(l.ty).max(1);
+            let scalar = checked.types.is_scalar(l.ty);
             let class = if scalar {
                 VarClass::Register
             } else {
@@ -487,9 +819,9 @@ impl Lowerer {
 
         // Local initializers (declared locals of the source procedure), or
         // global initializers when lowering <main>.
-        if pid == self.checked.main {
-            for (gid, init) in self.checked.global_inits.clone() {
-                let gty = self.checked.globals[gid.0 as usize].ty;
+        if pid == checked.main {
+            for &(gid, init) in &checked.global_inits {
+                let gty = checked.globals[gid.0 as usize].ty;
                 let ity = self.ty(init);
                 let op = self.lower_expr(init);
                 self.record_merge(gty, ity);
@@ -499,7 +831,7 @@ impl Lowerer {
                 });
             }
         } else {
-            let pdecl = self.checked.ast.procs[pid.0 as usize].clone();
+            let pdecl = &checked.ast.procs[pid.0 as usize];
             // Map declared local names (after params) to binding indices in
             // declaration order; checker laid them out contiguously.
             let mut next = pinfo.n_params as usize;
@@ -509,7 +841,7 @@ impl Lowerer {
                         let lid = LocalId(next as u32);
                         let ity = self.ty(init);
                         let op = self.lower_expr(init);
-                        let Binding::Slot(v) = self.bindings[lid.0 as usize].clone() else {
+                        let &Binding::Slot(v) = &self.bindings[lid.0 as usize] else {
                             unreachable!("declared locals are slots");
                         };
                         let lty = self.vars[v.0 as usize].ty;
@@ -524,7 +856,7 @@ impl Lowerer {
             }
         }
 
-        for s in pinfo.body.clone() {
+        for &s in &pinfo.body {
             self.lower_stmt(s);
         }
 
@@ -542,18 +874,18 @@ impl Lowerer {
     // ---- statements --------------------------------------------------------
 
     fn lower_stmt(&mut self, s: StmtId) {
-        let stmt = self.checked.ast.stmt(s).clone();
-        match stmt {
-            Stmt::Assign { lhs, rhs } => self.lower_assign(lhs, rhs),
+        let checked = Arc::clone(&self.checked);
+        match checked.ast.stmt(s) {
+            Stmt::Assign { lhs, rhs } => self.lower_assign(*lhs, *rhs),
             Stmt::Call(e) => {
-                self.lower_call(e, false);
+                self.lower_call(*e, false);
             }
-            Stmt::Eval(e) => {
+            &Stmt::Eval(e) => {
                 let ty = self.ty(e);
-                if self.checked.types.is_scalar(ty) {
+                if checked.types.is_scalar(ty) {
                     let _ = self.lower_expr(e);
                 } else {
-                    let span = self.checked.ast.expr_span(e);
+                    let span = checked.ast.expr_span(e);
                     self.error(span, "EVAL of an aggregate value is not supported");
                 }
             }
@@ -562,20 +894,20 @@ impl Lowerer {
                 for (cond, body) in arms {
                     let then_bb = self.new_block();
                     let next_bb = self.new_block();
-                    let c = self.lower_expr(cond);
+                    let c = self.lower_expr(*cond);
                     self.terminate(Terminator::Branch {
                         cond: c,
                         then_bb,
                         else_bb: next_bb,
                     });
                     self.cur = then_bb;
-                    for st in body {
+                    for &st in body {
                         self.lower_stmt(st);
                     }
                     self.terminate(Terminator::Jump(join));
                     self.cur = next_bb;
                 }
-                for st in else_body {
+                for &st in else_body {
                     self.lower_stmt(st);
                 }
                 self.goto(join);
@@ -586,7 +918,7 @@ impl Lowerer {
                 // hoisted without speculation.
                 let body_bb = self.new_block();
                 let exit = self.new_block();
-                let c = self.lower_expr(cond); // guard
+                let c = self.lower_expr(*cond); // guard
                 self.terminate(Terminator::Branch {
                     cond: c,
                     then_bb: body_bb,
@@ -594,11 +926,11 @@ impl Lowerer {
                 });
                 self.cur = body_bb;
                 self.loop_exits.push(exit);
-                for st in body {
+                for &st in body {
                     self.lower_stmt(st);
                 }
                 self.loop_exits.pop();
-                let c2 = self.lower_expr(cond); // bottom test
+                let c2 = self.lower_expr(*cond); // bottom test
                 self.terminate(Terminator::Branch {
                     cond: c2,
                     then_bb: body_bb,
@@ -611,11 +943,11 @@ impl Lowerer {
                 let exit = self.new_block();
                 self.goto(body_bb);
                 self.loop_exits.push(exit);
-                for st in body {
+                for &st in body {
                     self.lower_stmt(st);
                 }
                 self.loop_exits.pop();
-                let c = self.lower_expr(cond);
+                let c = self.lower_expr(*cond);
                 self.terminate(Terminator::Branch {
                     cond: c,
                     then_bb: exit,
@@ -628,7 +960,7 @@ impl Lowerer {
                 let exit = self.new_block();
                 self.goto(body_bb);
                 self.loop_exits.push(exit);
-                for st in body {
+                for &st in body {
                     self.lower_stmt(st);
                 }
                 self.loop_exits.pop();
@@ -648,12 +980,12 @@ impl Lowerer {
                 to,
                 by,
                 body,
-            } => self.lower_for(s, from, to, by, &body),
-            Stmt::Return(value) => {
+            } => self.lower_for(s, *from, *to, *by, body),
+            &Stmt::Return(value) => {
                 let op = value.map(|v| {
                     let vty = self.ty(v);
                     let o = self.lower_expr(v);
-                    if let Some(rt) = self.checked.proc(ProcId(self.fid.0)).ret {
+                    if let Some(rt) = checked.proc(ProcId(self.fid.0)).ret {
                         self.record_merge(rt, vty);
                     }
                     o
@@ -662,9 +994,9 @@ impl Lowerer {
                 self.cur = self.new_block();
             }
             Stmt::With { bindings, body } => {
-                let lids = self.checked.stmt_locals[&s].clone();
+                let lids = &checked.stmt_locals[&s];
                 for (i, (_name, e)) in bindings.iter().enumerate() {
-                    let kind = self.checked.with_kinds[&(s, i)];
+                    let kind = checked.with_kinds[&(s, i)];
                     let lid = lids[i];
                     match kind {
                         WithKind::Alias => {
@@ -693,7 +1025,7 @@ impl Lowerer {
                         }
                         WithKind::Value => {
                             let op = self.lower_expr(*e);
-                            let Binding::Slot(v) = self.bindings[lid.0 as usize].clone() else {
+                            let &Binding::Slot(v) = &self.bindings[lid.0 as usize] else {
                                 unreachable!("WITH value bindings start as slots");
                             };
                             self.emit(Instr::StoreSlot {
@@ -703,7 +1035,7 @@ impl Lowerer {
                         }
                     }
                 }
-                for st in body {
+                for &st in body {
                     self.lower_stmt(st);
                 }
             }
@@ -721,7 +1053,7 @@ impl Lowerer {
         let int = self.checked.types.integer();
         // The loop variable slot was allocated by the checker.
         let lid = self.checked.stmt_locals[&s][0];
-        let Binding::Slot(idx_var) = self.bindings[lid.0 as usize].clone() else {
+        let &Binding::Slot(idx_var) = &self.bindings[lid.0 as usize] else {
             unreachable!("FOR index is a slot");
         };
         let step = match by {
@@ -858,7 +1190,8 @@ impl Lowerer {
         base_off: u32,
         base_steps: Vec<ApStep>,
     ) -> Vec<(u32, Vec<ApStep>, TypeId)> {
-        match self.checked.types.kind(ty).clone() {
+        let checked = Arc::clone(&self.checked);
+        match checked.types.kind(ty) {
             TypeKind::Record { fields } => {
                 let mut out = Vec::new();
                 for f in fields {
@@ -872,11 +1205,11 @@ impl Lowerer {
                 }
                 out
             }
-            TypeKind::Array {
+            &TypeKind::Array {
                 range: Some((lo, hi)),
                 elem,
             } => {
-                let esz = self.checked.types.size_of(elem);
+                let esz = checked.types.size_of(elem);
                 let mut out = Vec::new();
                 for k in 0..=(hi - lo).max(-1) {
                     let mut steps = base_steps.clone();
@@ -918,11 +1251,11 @@ impl Lowerer {
 
     /// Lowers a designator to a place.
     fn lower_place(&mut self, e: ExprId) -> LPlace {
-        let expr = self.checked.ast.expr(e).clone();
-        match expr {
-            Expr::Name(_) => match self.checked.name_res.get(&e).cloned() {
-                Some(NameRes::Local(l)) => match self.bindings[l.0 as usize].clone() {
-                    Binding::Slot(v) => LPlace {
+        let checked = Arc::clone(&self.checked);
+        match checked.ast.expr(e) {
+            Expr::Name(_) => match checked.name_res.get(&e) {
+                Some(&NameRes::Local(l)) => match &self.bindings[l.0 as usize] {
+                    &Binding::Slot(v) => LPlace {
                         kind: LPlaceKind::Slot(SlotAddr::var(SlotBase::Local(v))),
                         ap: AccessPath {
                             root: ApRoot::Local {
@@ -933,7 +1266,7 @@ impl Lowerer {
                             steps: vec![],
                         },
                     },
-                    Binding::VarParam(v) => {
+                    &Binding::VarParam(v) => {
                         let r = self.reg();
                         self.emit(Instr::LoadSlot {
                             dst: r,
@@ -948,33 +1281,32 @@ impl Lowerer {
                             },
                         }
                     }
-                    Binding::Place(p) => p,
+                    Binding::Place(p) => p.clone(),
                 },
-                Some(NameRes::Global(g)) => LPlace {
+                Some(&NameRes::Global(g)) => LPlace {
                     kind: LPlaceKind::Slot(SlotAddr::var(SlotBase::Global(g))),
                     ap: AccessPath {
                         root: ApRoot::Global(g),
-                        root_ty: self.checked.globals[g.0 as usize].ty,
+                        root_ty: checked.globals[g.0 as usize].ty,
                         steps: vec![],
                     },
                 },
                 _ => unreachable!("checker guarantees designators resolve to variables"),
             },
             Expr::Qualify { base, field } => {
+                let base = *base;
                 let bty = self.ty(base);
-                let f = self
-                    .checked
+                let f = checked
                     .types
-                    .field(bty, &field)
-                    .expect("checker verified field")
-                    .clone();
-                match self.checked.types.kind(bty) {
+                    .field(bty, field)
+                    .expect("checker verified field");
+                match checked.types.kind(bty) {
                     TypeKind::Object { .. } => {
                         // The base is a reference value: load it, then field.
                         let (b, bap) = self.lower_expr_with_ap(base);
                         let mut ap = bap;
                         ap.steps.push(ApStep::Field {
-                            name: self.symbols.intern(&field),
+                            name: self.symbols.intern(field),
                             base_ty: bty,
                             ty: f.ty,
                         });
@@ -991,7 +1323,7 @@ impl Lowerer {
                         // The base is itself a place; extend in place.
                         let bp = self.lower_place(base);
                         let step = ApStep::Field {
-                            name: self.symbols.intern(&field),
+                            name: self.symbols.intern(field),
                             base_ty: bty,
                             ty: f.ty,
                         };
@@ -1000,9 +1332,9 @@ impl Lowerer {
                     _ => unreachable!("checker verified qualify base"),
                 }
             }
-            Expr::Deref(base) => {
+            &Expr::Deref(base) => {
                 let bty = self.ty(base);
-                let TypeKind::Ref { target, .. } = self.checked.types.kind(bty) else {
+                let TypeKind::Ref { target, .. } = checked.types.kind(bty) else {
                     unreachable!("checker verified deref base");
                 };
                 let target = *target;
@@ -1018,12 +1350,12 @@ impl Lowerer {
                     ap,
                 }
             }
-            Expr::Index { base, index } => {
+            &Expr::Index { base, index } => {
                 let bty = self.ty(base);
-                let TypeKind::Array { range, elem } = self.checked.types.kind(bty).clone() else {
+                let &TypeKind::Array { range, elem } = checked.types.kind(bty) else {
                     unreachable!("checker verified index base");
                 };
-                let esz = self.checked.types.size_of(elem);
+                let esz = checked.types.size_of(elem);
                 let idx_ap = self.canonical_index(index);
                 let idx_op = self.lower_expr(index);
                 match range {
@@ -1095,9 +1427,10 @@ impl Lowerer {
 
     /// Canonicalizes an index expression for AP identity.
     fn canonical_index(&mut self, e: ExprId) -> ApIndex {
-        match self.checked.ast.expr(e).clone() {
-            Expr::Int(v) => ApIndex::Const(v),
-            Expr::Name(_) => match self.checked.name_res.get(&e) {
+        let checked = Arc::clone(&self.checked);
+        match checked.ast.expr(e) {
+            &Expr::Int(v) => ApIndex::Const(v),
+            Expr::Name(_) => match checked.name_res.get(&e) {
                 Some(NameRes::Local(l)) => match &self.bindings[l.0 as usize] {
                     Binding::Slot(v) => ApIndex::Var(*v),
                     _ => ApIndex::Opaque(self.aps.fresh_opaque()),
@@ -1106,7 +1439,7 @@ impl Lowerer {
                 Some(NameRes::Const(ConstVal::Int(v))) => ApIndex::Const(*v),
                 _ => ApIndex::Opaque(self.aps.fresh_opaque()),
             },
-            Expr::Binary { op, lhs, rhs } if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) => {
+            &Expr::Binary { op, lhs, rhs } if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) => {
                 let l = self.canonical_index(lhs);
                 let r = self.canonical_index(rhs);
                 ApIndex::Bin(op, Box::new(l), Box::new(r))
@@ -1163,29 +1496,29 @@ impl Lowerer {
     /// describes where the value came from (a temp root if it is not a
     /// designator).
     fn lower_expr_with_ap(&mut self, e: ExprId) -> (Operand, AccessPath) {
-        let expr = self.checked.ast.expr(e).clone();
+        let checked = Arc::clone(&self.checked);
         let ety = self.ty(e);
         let temp_ap = |lw: &mut Self| AccessPath {
             root: ApRoot::Temp(lw.aps.fresh_temp()),
             root_ty: ety,
             steps: vec![],
         };
-        match expr {
-            Expr::Int(v) => (Operand::ImmInt(v), temp_ap(self)),
-            Expr::Bool(b) => (Operand::ImmBool(b), temp_ap(self)),
-            Expr::Char(c) => (Operand::ImmChar(c), temp_ap(self)),
+        match checked.ast.expr(e) {
+            &Expr::Int(v) => (Operand::ImmInt(v), temp_ap(self)),
+            &Expr::Bool(b) => (Operand::ImmBool(b), temp_ap(self)),
+            &Expr::Char(c) => (Operand::ImmChar(c), temp_ap(self)),
             Expr::Nil => (Operand::ImmNil, temp_ap(self)),
             Expr::Text(t) => {
-                let id = self.text_id(&t);
+                let id = self.text_id(t);
                 let r = self.reg();
                 self.emit(Instr::ConstText { dst: r, text: id });
                 (r.into(), temp_ap(self))
             }
             Expr::Name(_) | Expr::Qualify { .. } | Expr::Deref(_) | Expr::Index { .. } => {
                 // Designator (or constant name).
-                if let Expr::Name(_) = self.checked.ast.expr(e) {
-                    if let Some(NameRes::Const(c)) = self.checked.name_res.get(&e).cloned() {
-                        return (self.lower_const(&c), temp_ap(self));
+                if let Expr::Name(_) = checked.ast.expr(e) {
+                    if let Some(NameRes::Const(c)) = checked.name_res.get(&e) {
+                        return (self.lower_const(c), temp_ap(self));
                     }
                 }
                 let place = self.lower_place(e);
@@ -1197,13 +1530,13 @@ impl Lowerer {
                 let op = self.lower_call(e, true).unwrap_or(Operand::ImmInt(0));
                 (op, temp_ap(self))
             }
-            Expr::Unary { op, expr } => {
+            &Expr::Unary { op, expr } => {
                 let s = self.lower_expr(expr);
                 let r = self.reg();
                 self.emit(Instr::Un { dst: r, op, src: s });
                 (r.into(), temp_ap(self))
             }
-            Expr::Binary { op, lhs, rhs } => match op {
+            &Expr::Binary { op, lhs, rhs } => match op {
                 BinOp::And | BinOp::Or => {
                     let r = self.reg();
                     let rhs_bb = self.new_block();
@@ -1278,13 +1611,14 @@ impl Lowerer {
 
     /// Lowers a call; returns the result operand when `want_value`.
     fn lower_call(&mut self, e: ExprId, want_value: bool) -> Option<Operand> {
-        let Expr::Call { callee: _, args } = self.checked.ast.expr(e).clone() else {
+        let checked = Arc::clone(&self.checked);
+        let Expr::Call { callee: _, args } = checked.ast.expr(e) else {
             unreachable!("lower_call on non-call");
         };
-        match self.checked.call_res.get(&e).cloned() {
-            Some(CallRes::Proc(pid)) => {
-                let callee = self.checked.proc(pid).clone();
-                let mut ops = Vec::new();
+        match checked.call_res.get(&e) {
+            Some(&CallRes::Proc(pid)) => {
+                let callee = checked.proc(pid);
+                let mut ops = Vec::with_capacity(args.len());
                 let mut addr_aps = Vec::new();
                 let mut addr_slots = Vec::new();
                 for (i, &a) in args.iter().enumerate() {
@@ -1326,15 +1660,16 @@ impl Lowerer {
                 name,
                 recv_ty,
             }) => {
-                let (m, _) = self
-                    .checked
+                let (recv, recv_ty) = (*recv, *recv_ty);
+                let (m, _) = checked
                     .types
-                    .resolve_method(recv_ty, &name)
+                    .resolve_method(recv_ty, name)
                     .expect("checker verified method");
-                let m_params = m.params.clone();
+                let m_params = &m.params;
                 let m_ret = m.ret;
                 let recv_op = self.lower_expr(recv);
-                let mut ops = vec![recv_op];
+                let mut ops = Vec::with_capacity(args.len() + 1);
+                ops.push(recv_op);
                 let mut addr_aps = Vec::new();
                 let mut addr_slots = Vec::new();
                 for (&a, (mode, pty)) in args.iter().zip(m_params.iter()) {
@@ -1356,9 +1691,9 @@ impl Lowerer {
                 // `t` — merge each impl's self type with the subtype it is
                 // bound at (not with the static receiver type, which would
                 // needlessly collapse the whole hierarchy).
-                for t in self.checked.types.subtypes(recv_ty) {
-                    if let Some(&pid) = self.checked.method_impls.get(&(t, name.clone())) {
-                        let self_ty = self.checked.proc(pid).locals[0].ty;
+                for t in checked.types.subtypes(recv_ty) {
+                    if let Some(&pid) = checked.method_impls.get(&(t, name.clone())) {
+                        let self_ty = checked.proc(pid).locals[0].ty;
                         self.record_merge(self_ty, t);
                     }
                 }
@@ -1369,7 +1704,7 @@ impl Lowerer {
                 };
                 self.emit(Instr::CallMethod {
                     dst,
-                    method: name,
+                    method: name.clone(),
                     recv_ty,
                     args: ops,
                     addr_aps,
@@ -1377,7 +1712,7 @@ impl Lowerer {
                 });
                 dst.map(Operand::Reg)
             }
-            Some(CallRes::Builtin(b)) => self.lower_builtin(e, b, &args, want_value),
+            Some(&CallRes::Builtin(b)) => self.lower_builtin(e, b, args, want_value),
             None => unreachable!("checker resolved every call"),
         }
     }
@@ -1430,7 +1765,9 @@ impl Lowerer {
         match b {
             Builtin::New => {
                 let ty = self.ty(args[0]);
-                self.allocated.insert(ty);
+                if self.allocated.insert(ty) {
+                    self.allocated_log.push(ty);
+                }
                 let r = self.reg();
                 if let TypeKind::Array { range: None, .. } = self.checked.types.kind(ty) {
                     let len = self.lower_expr(args[1]);
@@ -1442,7 +1779,8 @@ impl Lowerer {
             }
             Builtin::Number => {
                 let aty = self.ty(args[0]);
-                match self.checked.types.kind(aty).clone() {
+                let checked = Arc::clone(&self.checked);
+                match checked.types.kind(aty) {
                     TypeKind::Array { range: None, .. } => {
                         let (op, bap) = self.lower_expr_with_ap(args[0]);
                         let mut ap = bap;
@@ -1462,7 +1800,7 @@ impl Lowerer {
                         });
                         Some(r.into())
                     }
-                    TypeKind::Array {
+                    &TypeKind::Array {
                         range: Some((lo, hi)),
                         ..
                     } => Some(Operand::ImmInt(hi - lo + 1)),
@@ -1776,5 +2114,81 @@ mod tests {
         );
         let sites = p.heap_ref_sites();
         assert_eq!(sites.len(), 1, "only the visible element load");
+    }
+
+    /// A module exercising every remap surface: temp roots (WITH aliases,
+    /// object bases), opaque indices, field symbols across multiple units,
+    /// text literals, methods, open arrays, VAR actuals.
+    const PARALLEL_SRC: &str = "MODULE M;
+         TYPE Box = OBJECT val: INTEGER; next: Box; METHODS bump () := Bump; END;
+              A = ARRAY OF INTEGER;
+         VAR root: Box; arr: A; total: INTEGER; greet: TEXT;
+         PROCEDURE Bump (self: Box) =
+           BEGIN self.val := self.val + 1 END Bump;
+         PROCEDURE Mk (v: INTEGER): Box =
+           VAR b: Box;
+           BEGIN b := NEW(Box); b.val := v; RETURN b END Mk;
+         PROCEDURE Touch (VAR x: INTEGER) =
+           BEGIN x := x + 1 END Touch;
+         PROCEDURE Sum (b: Box): INTEGER =
+           VAR s: INTEGER;
+           BEGIN
+             WITH w = b.val DO s := s + w END;
+             Touch(b.val);
+             RETURN s
+           END Sum;
+         BEGIN
+           root := Mk(7);
+           root.next := Mk(8);
+           root.bump();
+           arr := NEW(A, 4);
+           arr[total] := Sum(root);
+           greet := \"hi\" & \"there\";
+         END M.";
+
+    #[test]
+    fn detached_absorb_matches_serial() {
+        let serial = lower_src(PARALLEL_SRC);
+        for workers in [2, 3, 8] {
+            let checked = mini_m3::compile(PARALLEL_SRC).expect("compiles");
+            let par = lower_parallel_with_workers(checked, workers).expect("lowers");
+            assert_eq!(
+                crate::pretty::program(&serial),
+                crate::pretty::program(&par),
+                "parallel lowering with {workers} workers diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_captures_same_effects_as_lower_next() {
+        let checked = Arc::new(mini_m3::compile(PARALLEL_SRC).expect("compiles"));
+        let n = checked.procs.len();
+        let mut serial = ModuleLowerer::new_shared(Arc::clone(&checked));
+        let mut par = ModuleLowerer::new_shared(Arc::clone(&checked));
+        let units = lower_units_detached(&checked, 2);
+        for (i, unit) in units.into_iter().enumerate() {
+            let fresh = serial.lower_next();
+            let absorbed = par.absorb_next_captured(unit);
+            assert_eq!(
+                fresh.effects, absorbed.effects,
+                "unit {i}/{n} effects diverged"
+            );
+            assert_eq!(fresh.clean, absorbed.clean, "unit {i} cleanliness diverged");
+        }
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_items_and_cores() {
+        // Single-core hosts never spawn (the pairs.scaling fix).
+        assert_eq!(effective_workers_for(8, 100, 1), 1);
+        // Never more workers than items.
+        assert_eq!(effective_workers_for(8, 3, 16), 3);
+        // Never more than the host exposes.
+        assert_eq!(effective_workers_for(8, 100, 4), 4);
+        // Zero requests still run the work.
+        assert_eq!(effective_workers_for(0, 100, 4), 1);
+        // No items: one worker, no division by zero.
+        assert_eq!(effective_workers_for(4, 0, 4), 1);
     }
 }

@@ -304,6 +304,17 @@ impl ApTable {
         Self::default()
     }
 
+    /// Creates an empty table with room for `cap` paths, so cold-compile
+    /// interning does not rehash/regrow mid-module.
+    pub fn with_capacity(cap: usize) -> Self {
+        ApTable {
+            paths: Vec::with_capacity(cap),
+            intern: HashMap::with_capacity(cap),
+            next_temp: 0,
+            next_opaque: 0,
+        }
+    }
+
     /// Interns a path, returning its id.
     pub fn intern(&mut self, path: AccessPath) -> ApId {
         if let Some(&id) = self.intern.get(&path) {

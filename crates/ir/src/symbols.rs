@@ -40,6 +40,14 @@ impl SymbolTable {
         Self::default()
     }
 
+    /// An empty table with room for `cap` symbols.
+    pub fn with_capacity(cap: usize) -> Self {
+        SymbolTable {
+            names: Vec::with_capacity(cap),
+            intern: HashMap::with_capacity(cap),
+        }
+    }
+
     /// Interns `name`, returning its symbol (stable across repeat calls).
     pub fn intern(&mut self, name: &str) -> Symbol {
         if let Some(&s) = self.intern.get(name) {

@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N]
-//!       [--journal-dir DIR]
+//!       [--journal-dir DIR] [--compile-threads N] [--prewarm N]
 //!
-//!   --addr         TCP bind address (default 127.0.0.1:4980; use :0 for
-//!                  an ephemeral port — the chosen one is printed)
-//!   --socket       additionally serve a Unix-domain socket (unix only)
-//!   --workers      worker threads == max concurrent connections (default 16)
-//!   --capacity     max cached sessions before LRU eviction (default 32)
-//!   --journal-dir  durable session journal: admitted loads are logged
-//!                  here and replayed on restart (crash recovery)
+//!   --addr             TCP bind address (default 127.0.0.1:4980; use :0 for
+//!                      an ephemeral port — the chosen one is printed)
+//!   --socket           additionally serve a Unix-domain socket (unix only)
+//!   --workers          worker threads == max concurrent connections (default 16)
+//!   --capacity         max cached sessions before LRU eviction (default 32)
+//!   --journal-dir      durable session journal: admitted loads are logged
+//!                      here and replayed on restart (crash recovery)
+//!   --compile-threads  worker threads for cold-compile fan-out and engine
+//!                      builds (default 0 = one per host core; output is
+//!                      byte-identical at any setting)
+//!   --prewarm          engines built eagerly per admitted load (default 1 =
+//!                      the default (level, world) engine; 0 = off)
 //! ```
 //!
 //! On startup the daemon prints exactly one line to stdout:
@@ -25,6 +30,8 @@
 use std::process::ExitCode;
 
 use tbaa_server::{Server, ServerConfig};
+
+const USAGE: &str = "tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N] [--journal-dir DIR] [--compile-threads N] [--prewarm N]";
 
 fn main() -> ExitCode {
     let mut config = ServerConfig::builder().addr("127.0.0.1:4980").build();
@@ -54,10 +61,16 @@ fn main() -> ExitCode {
                 Some(d) => config.journal_dir = Some(d.into()),
                 None => return usage("--journal-dir needs DIR"),
             },
+            "--compile-threads" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(n) => config.compile_threads = n,
+                None => return usage("--compile-threads needs an integer (0 = auto)"),
+            },
+            "--prewarm" => match value(i).and_then(|s| s.parse().ok()) {
+                Some(n) => config.prewarm = n,
+                None => return usage("--prewarm needs an integer (0 = off)"),
+            },
             "--help" | "-h" => {
-                println!(
-                    "usage: tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N] [--journal-dir DIR]"
-                );
+                println!("usage: {USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown flag `{other}`")),
@@ -97,8 +110,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("tbaad: {msg}");
-    eprintln!(
-        "usage: tbaad [--addr HOST:PORT] [--socket PATH] [--workers N] [--capacity N] [--journal-dir DIR]"
-    );
+    eprintln!("usage: {USAGE}");
     ExitCode::FAILURE
 }

@@ -60,7 +60,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use crate::json::{parse, Value};
-use crate::metrics::{Counter, Registry};
+use crate::metrics::{Counter, Histogram, Registry, LATENCY_US_BUCKETS};
 use crate::proto::{decode_request, Request};
 use crate::session::{content_hash, SessionKey};
 
@@ -378,6 +378,11 @@ pub struct Journal {
     compactions: Arc<Counter>,
     fsyncs: Arc<Counter>,
     errors: Arc<Counter>,
+    /// Wall time of each append (lock + encode + write + any fsync or
+    /// compaction). Kept separate from `compile_us`, which by design
+    /// stops before admission journals the load — this histogram is
+    /// where the WAL cost shows up instead.
+    append_us: Arc<Histogram>,
 }
 
 impl Journal {
@@ -412,6 +417,7 @@ impl Journal {
         let compactions = metrics.counter("journal.compactions");
         let fsyncs = metrics.counter("journal.fsyncs");
         let errors = metrics.counter("journal.errors");
+        let append_us = metrics.histogram("journal.append_us", LATENCY_US_BUCKETS);
 
         // Rewrite compacted: a mark preserving the id watermark, then
         // the live loads renumbered from seq 2. Dropping superseded or
@@ -468,6 +474,7 @@ impl Journal {
             compactions,
             fsyncs,
             errors,
+            append_us,
         };
         Ok((
             journal,
@@ -483,6 +490,7 @@ impl Journal {
     /// failure is counted (`journal.errors`), never surfaced to the
     /// client whose load already succeeded.
     pub fn append_load(&self, key: &str, sid: &str, line: &str) {
+        let t0 = std::time::Instant::now();
         let mut st = self.state.lock().expect("journal poisoned");
         let rec = Record {
             seq: st.next_seq,
@@ -502,10 +510,12 @@ impl Journal {
         });
         self.write_record(&mut st, &rec);
         self.maybe_compact(&mut st);
+        self.append_us.observe_duration(t0.elapsed());
     }
 
     /// Journals an `unload` tombstone.
     pub fn append_unload(&self, sid: &str) {
+        let t0 = std::time::Instant::now();
         let mut st = self.state.lock().expect("journal poisoned");
         let rec = Record {
             seq: st.next_seq,
@@ -516,6 +526,7 @@ impl Journal {
         st.live.retain(|l| l.sid != sid);
         self.write_record(&mut st, &rec);
         self.maybe_compact(&mut st);
+        self.append_us.observe_duration(t0.elapsed());
     }
 
     /// Forces an fsync (used on graceful shutdown).

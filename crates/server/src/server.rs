@@ -63,6 +63,14 @@ pub struct ServerConfig {
     /// admitted loads are logged and replayed on restart, so a daemon
     /// killed mid-run comes back with the same session ids.
     pub journal_dir: Option<std::path::PathBuf>,
+    /// Worker-thread budget for cold-compile lowering fan-out and
+    /// row-parallel engine builds. `0` (the default) means one worker
+    /// per host core; output is byte-identical at any setting.
+    pub compile_threads: usize,
+    /// Engines to build eagerly right after a load is admitted: `0`
+    /// disables prewarming, `1` (the default) builds the default
+    /// `(level, world)` engine so the first query pays no engine build.
+    pub prewarm: usize,
 }
 
 /// The old name of [`ServerConfig`].
@@ -79,6 +87,8 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(10),
             drain_grace: Duration::from_millis(500),
             journal_dir: None,
+            compile_threads: 0,
+            prewarm: 1,
         }
     }
 }
@@ -143,6 +153,18 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Worker-thread budget for compiles (0 = one per host core).
+    pub fn compile_threads(mut self, n: usize) -> Self {
+        self.config.compile_threads = n;
+        self
+    }
+
+    /// Engines to prewarm per admitted load (0 = off, 1 = default).
+    pub fn prewarm(mut self, n: usize) -> Self {
+        self.config.prewarm = n;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> ServerConfig {
         self.config
@@ -156,6 +178,8 @@ pub struct ServerState {
     metrics: Arc<Registry>,
     shutdown: AtomicBool,
     started: Instant,
+    /// Engines to build eagerly after each admitted load (0 = off).
+    prewarm: usize,
 }
 
 impl ServerState {
@@ -170,7 +194,8 @@ impl ServerState {
     /// the pre-crash session ids.
     fn new(config: &ServerConfig, started: Instant) -> std::io::Result<Self> {
         let metrics = Arc::new(Registry::new());
-        let store = SessionStore::new(config.session_capacity, metrics.clone());
+        let store = SessionStore::new(config.session_capacity, metrics.clone())
+            .with_compile_threads(config.compile_threads);
         let journal = match &config.journal_dir {
             None => None,
             Some(dir) => {
@@ -208,6 +233,7 @@ impl ServerState {
             metrics,
             shutdown: AtomicBool::new(false),
             started,
+            prewarm: config.prewarm,
         })
     }
 
@@ -483,6 +509,14 @@ fn dispatch(state: &Arc<ServerState>, req: Request<'_>, out: &mut String) {
                 Ok((slot, cached)) => match slot.as_ref() {
                     Err(diags) => compile_error_reply(diags).encode_into(out),
                     Ok(session) => {
+                        // Admission-time prewarm: build the default
+                        // `(level, world)` engine before replying, so the
+                        // first query against this session pays zero
+                        // engine-build latency. Memoized — a re-load of a
+                        // warm session is a no-op here.
+                        if state.prewarm > 0 {
+                            let _ = session.engine(proto::DEFAULT_LEVEL, proto::DEFAULT_WORLD);
+                        }
                         // The admission itself was journaled by the store
                         // (inside its admission critical section), so the
                         // journal's order matches admission order.
@@ -804,6 +838,46 @@ mod tests {
         assert!(engine.get("nodes").unwrap().as_i64().unwrap() > 0);
     }
 
+    /// The `engines.built` counter from a `stats` reply.
+    fn engines_built(state: &Arc<ServerState>) -> i64 {
+        let stats = handle(state, r#"{"op":"stats"}"#);
+        stats
+            .get("stats")
+            .unwrap()
+            .get("counters")
+            .unwrap()
+            .get("engines.built")
+            .map_or(0, |v| v.as_i64().unwrap())
+    }
+
+    #[test]
+    fn prewarm_builds_default_engine_at_load_time() {
+        // Default config has prewarm = 1: the load itself builds the
+        // default (level, world) engine, so the first query finds it
+        // memoized and `engines.built` never moves past 1.
+        let st = state();
+        let sid = load(&st, SMOKE);
+        assert_eq!(engines_built(&st), 1, "load alone must build the engine");
+        handle(
+            &st,
+            &format!(r#"{{"op":"alias","session":"{sid}","ap1":"t.f","ap2":"t.f"}}"#),
+        );
+        assert_eq!(engines_built(&st), 1, "first query must not build again");
+    }
+
+    #[test]
+    fn prewarm_zero_defers_engine_build_to_first_query() {
+        let config = ServerConfig::builder().prewarm(0).build();
+        let st = Arc::new(ServerState::new(&config, Instant::now()).expect("state"));
+        let sid = load(&st, SMOKE);
+        assert_eq!(engines_built(&st), 0, "prewarm=0 must not build at load");
+        handle(
+            &st,
+            &format!(r#"{{"op":"alias","session":"{sid}","ap1":"t.f","ap2":"t.f"}}"#),
+        );
+        assert_eq!(engines_built(&st), 1);
+    }
+
     #[test]
     fn uptime_is_present_and_positive_from_the_first_request() {
         // The clock starts when the state is created (bind time), not
@@ -831,11 +905,15 @@ mod tests {
             .session_capacity(7)
             .io_timeout(Duration::from_secs(2))
             .drain_grace(Duration::from_millis(10))
+            .compile_threads(5)
+            .prewarm(0)
             .build();
         assert_eq!(built.workers, 3);
         assert_eq!(built.session_capacity, 7);
         assert_eq!(built.io_timeout, Duration::from_secs(2));
         assert_eq!(built.drain_grace, Duration::from_millis(10));
+        assert_eq!(built.compile_threads, 5);
+        assert_eq!(built.prewarm, 0);
         assert!(built.unix_path.is_none());
     }
 

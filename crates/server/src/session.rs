@@ -85,6 +85,10 @@ pub struct Session {
     analysis_us: Arc<Histogram>,
     engines_built: Arc<Counter>,
     engine_build_us: Arc<Histogram>,
+    /// Worker-thread budget for engine builds (row-parallel dense fill).
+    /// Capped by host cores inside `compile_with_threads`, so `1` on a
+    /// single-core box regardless of the configured value.
+    compile_threads: usize,
     /// Alias queries served against this session's engines. Counted
     /// here (per session) because the engine's dense query path is
     /// deliberately uninstrumented.
@@ -92,7 +96,13 @@ pub struct Session {
 }
 
 impl Session {
-    fn new(id: String, key: SessionKey, program: Program, metrics: &Registry) -> Self {
+    fn new(
+        id: String,
+        key: SessionKey,
+        program: Program,
+        metrics: &Registry,
+        compile_threads: usize,
+    ) -> Self {
         let program = Arc::new(program);
         let mut paths = HashMap::new();
         for (_f, ap, _is_store) in program.heap_ref_sites() {
@@ -112,6 +122,7 @@ impl Session {
             analysis_us: metrics.histogram("analysis_us", LATENCY_US_BUCKETS),
             engines_built: metrics.counter("engines.built"),
             engine_build_us: metrics.histogram("engine_build_us", LATENCY_US_BUCKETS),
+            compile_threads,
             queries_served: AtomicU64::new(0),
         }
     }
@@ -137,7 +148,11 @@ impl Session {
         self.engines.get_or_build((level, world), || {
             self.engines_built.inc();
             let t0 = Instant::now();
-            let engine = CompiledAliasEngine::compile(&self.program, analysis);
+            let engine = CompiledAliasEngine::compile_with_threads(
+                &self.program,
+                analysis,
+                self.compile_threads,
+            );
             self.engine_build_us.observe_duration(t0.elapsed());
             engine
         })
@@ -211,12 +226,19 @@ pub struct SessionStore {
     /// and [`Self::unload`], so journal order is admission order.
     journal: OnceLock<Arc<Journal>>,
     incr: IncrCompiler,
+    /// Worker-thread budget for cold-compile fan-out and engine builds.
+    /// Always ≥ 1; `with_compile_threads(0)` resolves to the host core
+    /// count, and every consumer re-caps by cores/work anyway.
+    compile_threads: usize,
     metrics: Arc<Registry>,
     compiles: Arc<Counter>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
     compile_us: Arc<Histogram>,
+    compile_analyze_us: Arc<Histogram>,
+    compile_lower_us: Arc<Histogram>,
+    compile_merge_us: Arc<Histogram>,
     incr_func_hits: Arc<Counter>,
     incr_func_misses: Arc<Counter>,
     incr_reuse_ratio: Arc<Gauge>,
@@ -239,11 +261,15 @@ impl SessionStore {
             next_id: AtomicU64::new(1),
             journal: OnceLock::new(),
             incr: IncrCompiler::new(),
+            compile_threads: 1,
             compiles: metrics.counter("sessions.compiles"),
             hits: metrics.counter("sessions.hits"),
             misses: metrics.counter("sessions.misses"),
             evictions: metrics.counter("sessions.evictions"),
             compile_us: metrics.histogram("compile_us", LATENCY_US_BUCKETS),
+            compile_analyze_us: metrics.histogram("compile.analyze_us", LATENCY_US_BUCKETS),
+            compile_lower_us: metrics.histogram("compile.lower_us", LATENCY_US_BUCKETS),
+            compile_merge_us: metrics.histogram("compile.merge_us", LATENCY_US_BUCKETS),
             incr_func_hits: metrics.counter("incr.func_hits"),
             incr_func_misses: metrics.counter("incr.func_misses"),
             incr_reuse_ratio: metrics.gauge("incr.reuse_ratio"),
@@ -252,13 +278,33 @@ impl SessionStore {
         }
     }
 
+    /// Sets the worker-thread budget for cold-compile lowering fan-out
+    /// and row-parallel engine builds. `0` means "one worker per host
+    /// core"; any value is still re-capped by cores and by the amount
+    /// of work at each use site, so over-asking is harmless and output
+    /// stays byte-identical at every setting.
+    #[must_use]
+    pub fn with_compile_threads(mut self, threads: usize) -> Self {
+        self.compile_threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        self
+    }
+
     /// Compiles source through the function-granular incremental cache,
-    /// recording reuse metrics. Output (including diagnostics) is
-    /// byte-identical to a from-scratch `tbaa_ir::compile_to_ir`.
+    /// recording reuse metrics and per-stage compile timings. Output
+    /// (including diagnostics) is byte-identical to a from-scratch
+    /// `tbaa_ir::compile_to_ir` at any thread count.
     fn compile_incr(&self, source: &str) -> Result<Program, Diagnostics> {
         let t0 = Instant::now();
-        let (result, report) = self.incr.compile(source);
+        let workers = tbaa_ir::effective_workers(self.compile_threads, usize::MAX);
+        let (result, report) = self.incr.compile_with_threads(source, workers);
         self.incr_rebuild_us.observe_duration(t0.elapsed());
+        self.compile_analyze_us.observe(report.analyze_us);
+        self.compile_lower_us.observe(report.lower_us);
+        self.compile_merge_us.observe(report.merge_us);
         self.incr_func_hits.add(report.func_hits);
         self.incr_func_misses.add(report.func_misses);
         // Percent of functions reused by the most recent compile — a
@@ -355,7 +401,7 @@ impl SessionStore {
             self.compile_us.observe_duration(t0.elapsed());
             compiled.map(|program| {
                 let id = format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed));
-                Session::new(id, key.clone(), program, &self.metrics)
+                Session::new(id, key.clone(), program, &self.metrics, self.compile_threads)
             })
         });
         let cached = match (&*slot, built_here) {
@@ -432,7 +478,15 @@ impl SessionStore {
             let t0 = Instant::now();
             let compiled = compile();
             self.compile_us.observe_duration(t0.elapsed());
-            compiled.map(|program| Session::new(id.to_string(), key.clone(), program, &self.metrics))
+            compiled.map(|program| {
+                Session::new(
+                    id.to_string(),
+                    key.clone(),
+                    program,
+                    &self.metrics,
+                    self.compile_threads,
+                )
+            })
         });
         match slot.as_ref() {
             Err(diags) => {

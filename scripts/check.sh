@@ -13,7 +13,10 @@ cargo test -q --workspace
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy perf lints (advisory: reported, never fails the gate)"
+echo "== cargo clippy perf lints (enforcing for the compile pipeline crates)"
+cargo clippy -p tbaa-ir -p tbaa-incr --all-targets -- -D warnings -D clippy::perf
+
+echo "== cargo clippy perf lints (advisory elsewhere: reported, never fails the gate)"
 cargo clippy --workspace --all-targets -- -W clippy::perf || true
 
 echo "== bench targets compile (feature bench-deps)"
@@ -24,6 +27,9 @@ scripts/server_smoke.sh
 
 echo "== alias-query bench smoke (engines agree, harness runs)"
 scripts/bench_alias.sh --smoke --out target/bench_alias_smoke.json
+
+echo "== cold-compile bench smoke (parallel lowering byte-identical, alloc gate)"
+scripts/compile_smoke.sh --smoke --out target/bench_compile_smoke.json
 
 echo "== loadgen smoke (chaos on, differential gates)"
 scripts/load_smoke.sh

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Cold-compile pipeline benchmark: serial cost + allocation count of
+# source -> IR over the benchsuite, thread-scaling curve of the parallel
+# lowering fan-out, and byte-identity of parallel vs serial output.
+# Merges a `compile` section into BENCH_alias_query.json in the repo root.
+#
+#   scripts/compile_smoke.sh            # full run (gates on allocations,
+#                                       # and on thread scaling when the
+#                                       # host has >1 core)
+#   scripts/compile_smoke.sh --smoke    # quick correctness-only pass (CI)
+#
+# Extra arguments are forwarded to the bench-compile binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/bench-compile
+if [[ ! -x "$BIN" ]]; then
+    echo "== building bench-compile (release)"
+    cargo build --release -p tbaa-bench --bin bench-compile
+fi
+
+"$BIN" "$@"
